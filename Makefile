@@ -1,0 +1,40 @@
+# Convenience targets for the MajorCAN reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/scenario_gallery.py
+	$(PYTHON) examples/table1_reproduction.py
+	$(PYTHON) examples/protocol_comparison.py
+	$(PYTHON) examples/automotive_network.py
+	$(PYTHON) examples/rufino_protocols.py
+	$(PYTHON) examples/bounded_verification.py
+	$(PYTHON) examples/dual_bus.py
+	$(PYTHON) examples/desync_finding.py
+
+experiments:
+	$(PYTHON) -m repro.cli table1
+	$(PYTHON) -m repro.cli scenarios
+	$(PYTHON) -m repro.cli fig4
+	$(PYTHON) -m repro.cli matrix
+	$(PYTHON) -m repro.cli overhead
+	$(PYTHON) -m repro.cli ablation
+	$(PYTHON) -m repro.cli reliability
+	$(PYTHON) -m repro.cli geometry
+	$(PYTHON) -m repro.cli verify --flips 1
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,20 @@
+"""Artefact registry for the benchmark suite (importable module)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_ARTIFACTS: Dict[str, str] = {}
+_ORDER: List[str] = []
+
+
+def report(title: str, text: str) -> None:
+    """Register a rendered experiment artefact for the final summary."""
+    if title not in _ARTIFACTS:
+        _ORDER.append(title)
+    _ARTIFACTS[title] = text
+
+
+def ordered_artifacts():
+    """(title, text) pairs in registration order."""
+    return [(title, _ARTIFACTS[title]) for title in _ORDER]

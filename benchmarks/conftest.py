@@ -1,0 +1,22 @@
+"""Benchmark-suite hooks.
+
+Every benchmark regenerates one artefact of the paper and registers the
+rendered text via :func:`_artifacts.report`; this terminal summary
+prints all artefacts at the end, so ``pytest benchmarks/
+--benchmark-only`` both times the harnesses and reproduces the paper's
+rows.
+"""
+
+from _artifacts import ordered_artifacts
+
+
+def pytest_terminal_summary(terminalreporter):
+    artifacts = ordered_artifacts()
+    if not artifacts:
+        return
+    terminalreporter.section("reproduced paper artefacts")
+    for title, text in artifacts:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("== %s ==" % title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

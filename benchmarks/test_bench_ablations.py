@@ -1,0 +1,80 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **Choice of m** (the paper proposes m = 5 "because standard CAN uses
+  a CRC code that allows the detection of up to 5 randomly distributed
+  bit errors"): overhead vs. verified tolerance per m, including
+  whether the finding-F1 desynchronisation channel is closed.
+* **CAN6 -> CAN6'**: the inconsistent-omission degree with and without
+  the new scenarios, per reference interval.
+* **Network-size sweep** of the analytical rates (the spatial ber*
+  model makes the new-scenario rate *fall* with N while the old one
+  rises slightly).
+"""
+
+from _artifacts import report
+
+from repro.analysis.sweeps import (
+    imo_rate_sweep,
+    m_ablation,
+    omission_degree_revision,
+)
+from repro.metrics.report import render_table
+
+
+def test_bench_m_ablation(benchmark):
+    rows = benchmark(m_ablation, (3, 4, 5, 6, 7), 1)
+    by_m = {row.m: row for row in rows}
+    assert all(row.tail_consistent for row in rows)
+    assert by_m[5].f1_channel_closed is False
+    assert by_m[6].f1_channel_closed is True
+    table = render_table(
+        [
+            {
+                "m": row.m,
+                "best bits": row.best_case_bits,
+                "worst bits": row.worst_case_bits,
+                "tail <=1 err ok": row.tail_consistent,
+                "F1 closed": row.f1_channel_closed,
+            }
+            for row in rows
+        ],
+        columns=["m", "best bits", "worst bits", "tail <=1 err ok", "F1 closed"],
+    )
+    report(
+        "Ablation — choice of m (paper: m=5; F1 needs m>=6)",
+        table,
+    )
+
+
+def test_bench_omission_degree_revision(benchmark):
+    revision = benchmark(omission_degree_revision, 1e-4)
+    assert revision.inflation > 1000
+    lines = []
+    for ber in (1e-4, 1e-5, 1e-6):
+        rev = omission_degree_revision(ber)
+        lines.append(
+            "ber=%.0e: j=%.2e  j'=%.2e  inflation=%.0fx"
+            % (rev.ber, rev.j_old_scenarios, rev.j_prime_with_new, rev.inflation)
+        )
+    report("CAN6 -> CAN6' — omission degree per hour of reference interval", "\n".join(lines))
+
+
+def test_bench_network_size_sweep(benchmark):
+    points = benchmark(
+        imo_rate_sweep, (1e-4,), (8, 16, 32, 64), (110,)
+    )
+    rates = [point.imo_new_per_hour for point in points]
+    assert rates == sorted(rates, reverse=True)
+    table = render_table(
+        [
+            {
+                "N": point.n_nodes,
+                "IMOnew/hour": point.imo_new_per_hour,
+                "IMO*/hour": point.imo_star_per_hour,
+                "ratio": point.ratio,
+            }
+            for point in points
+        ],
+        columns=["N", "IMOnew/hour", "IMO*/hour", "ratio"],
+    )
+    report("Sweep — IMO rates vs network size (ber=1e-4)", table)

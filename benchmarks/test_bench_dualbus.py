@@ -1,0 +1,69 @@
+"""Experiment E-DUAL (extension): protocol fix vs media redundancy.
+
+The paper's reference [2] proposes a dual CAN bus; Section 1 argues
+for fixing the protocol instead.  This bench runs the Fig. 3a pattern
+against three architectures and reports the verdicts side by side.
+"""
+
+from _artifacts import report
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.faults.scenarios import fig3
+from repro.metrics.report import render_table
+from repro.redundancy import DualBusSystem
+
+FRAME = data_frame(0x123, b"\x55", message_id="cmd")
+
+
+def _fig3_injector(x_port, tx_port):
+    return ScriptedInjector(
+        view_faults=[
+            ViewFault(x_port, Trigger(field=EOF, index=5), force=DOMINANT),
+            ViewFault(tx_port, Trigger(field=EOF, index=6), force=RECESSIVE),
+        ]
+    )
+
+
+def _dual_run(injectors):
+    system = DualBusSystem(["tx", "x", "y"], injectors=injectors)
+    system.node("tx").submit(FRAME)
+    system.run_until_idle()
+    return system.classify(FRAME)
+
+
+def test_bench_dual_bus_comparison(benchmark):
+    one_channel = benchmark.pedantic(
+        _dual_run,
+        args=({"A": _fig3_injector("x.A", "tx.A")},),
+        rounds=1,
+        iterations=1,
+    )
+    assert one_channel.all_delivered_once
+    both_channels = _dual_run(
+        {
+            "A": _fig3_injector("x.A", "tx.A"),
+            "B": _fig3_injector("x.B", "tx.B"),
+        }
+    )
+    assert both_channels.inconsistent_omission
+    single_can = fig3("can")
+    single_major = fig3("majorcan")
+    assert not single_can.consistent
+    assert single_major.consistent
+    rows = [
+        {"architecture": "single CAN", "errors": 2,
+         "verdict": "IMO" if single_can.inconsistent_omission else "consistent"},
+        {"architecture": "dual CAN, one channel hit", "errors": 2,
+         "verdict": "IMO" if one_channel.inconsistent_omission else "consistent"},
+        {"architecture": "dual CAN, both channels hit", "errors": 4,
+         "verdict": "IMO" if both_channels.inconsistent_omission else "consistent"},
+        {"architecture": "single MajorCAN_5", "errors": 2,
+         "verdict": "IMO" if single_major.inconsistent_omission else "consistent"},
+    ]
+    report(
+        "Fix comparison — protocol (MajorCAN) vs media redundancy (dual CAN)",
+        render_table(rows, columns=["architecture", "errors", "verdict"]),
+    )

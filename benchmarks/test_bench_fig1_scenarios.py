@@ -1,0 +1,40 @@
+"""Experiments E-F1a/b/c: the Fig. 1 error scenarios under standard CAN.
+
+Paper claims reproduced here:
+
+* Fig. 1a — an error in the last EOF bit is absorbed by the last-bit
+  rule: every node delivers once, no retransmission;
+* Fig. 1b — an error in the last-but-one EOF bit of the X set causes a
+  retransmission that the Y set receives **twice** (double reception);
+* Fig. 1c — the same pattern plus a transmitter crash leaves X without
+  the frame while Y keeps it: an inconsistent message omission.
+"""
+
+from _artifacts import report
+
+from repro.faults.scenarios import fig1a, fig1b, fig1c
+
+
+def test_bench_fig1a(benchmark):
+    outcome = benchmark(fig1a, "can")
+    assert outcome.consistent
+    assert outcome.all_delivered_once
+    assert outcome.attempts == 1
+    report("Fig. 1a — last-bit rule keeps consistency (CAN)", outcome.summary())
+
+
+def test_bench_fig1b(benchmark):
+    outcome = benchmark(fig1b, "can")
+    assert outcome.double_reception
+    assert outcome.deliveries == {"tx": 1, "x": 1, "y": 2}
+    assert outcome.attempts == 2
+    report("Fig. 1b — double reception (CAN)", outcome.summary())
+
+
+def test_bench_fig1c(benchmark):
+    outcome = benchmark(fig1c, "can")
+    assert outcome.inconsistent_omission
+    assert outcome.deliveries["x"] == 0
+    assert outcome.deliveries["y"] == 1
+    assert outcome.crashed == ["tx"]
+    report("Fig. 1c — IMO after transmitter crash (CAN)", outcome.summary())

@@ -1,0 +1,37 @@
+"""Experiment E-F2: MinorCAN achieves consistency in the Fig. 1
+scenarios (the paper's Fig. 2).
+
+* Fig. 1a pattern — the disturbed node detects a primary error and
+  accepts: all deliver once, still no retransmission;
+* Fig. 1b pattern — the nodes fooled by the last-bit rule in standard
+  CAN now see no primary error and reject with everyone else: one
+  consistent retransmission, no double reception;
+* Fig. 1c pattern — even with the transmitter crashing, the outcome is
+  consistent (nobody delivers).
+"""
+
+from _artifacts import report
+
+from repro.faults.scenarios import fig1a, fig1b, fig1c
+
+
+def test_bench_fig2_pattern_a(benchmark):
+    outcome = benchmark(fig1a, "minorcan")
+    assert outcome.all_delivered_once
+    assert outcome.attempts == 1
+    report("Fig. 2 (1a pattern) — MinorCAN accepts via primary error", outcome.summary())
+
+
+def test_bench_fig2_pattern_b(benchmark):
+    outcome = benchmark(fig1b, "minorcan")
+    assert outcome.all_delivered_once
+    assert not outcome.double_reception
+    assert outcome.attempts == 2
+    report("Fig. 2 (1b pattern) — MinorCAN rejects consistently", outcome.summary())
+
+
+def test_bench_fig2_pattern_c(benchmark):
+    outcome = benchmark(fig1c, "minorcan")
+    assert outcome.consistent
+    assert not outcome.inconsistent_omission
+    report("Fig. 2 (1c pattern) — MinorCAN consistent under crash", outcome.summary())

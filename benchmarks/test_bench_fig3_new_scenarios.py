@@ -1,0 +1,36 @@
+"""Experiments E-F3a/b: the paper's new inconsistency scenarios.
+
+The headline of Section 4: with one disturbance on the X set's view of
+the last-but-one EOF bit and a *single additional* disturbance masking
+the error flag from the transmitter, an inconsistent message omission
+occurs although the transmitter remains correct — defeating standard
+CAN (Fig. 3a), MinorCAN (Fig. 3b), and (shown in the property-matrix
+benchmark) RELCAN and TOTCAN.  MajorCAN handles the same pattern.
+"""
+
+from _artifacts import report
+
+from repro.faults.scenarios import fig3
+
+
+def test_bench_fig3a_standard_can(benchmark):
+    outcome = benchmark(fig3, "can")
+    assert outcome.inconsistent_omission
+    assert outcome.crashed == []
+    assert outcome.attempts == 1
+    assert outcome.errors_injected == 2
+    report("Fig. 3a — new scenario defeats standard CAN", outcome.summary())
+
+
+def test_bench_fig3b_minorcan(benchmark):
+    outcome = benchmark(fig3, "minorcan")
+    assert outcome.inconsistent_omission
+    assert outcome.crashed == []
+    report("Fig. 3b — new scenario defeats MinorCAN", outcome.summary())
+
+
+def test_bench_fig3_majorcan_resists(benchmark):
+    outcome = benchmark(fig3, "majorcan")
+    assert outcome.consistent
+    assert outcome.all_delivered_once
+    report("Fig. 3 pattern — MajorCAN_5 stays consistent", outcome.summary())

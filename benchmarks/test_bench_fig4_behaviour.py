@@ -1,0 +1,43 @@
+"""Experiment E-F4: the behaviour of a MajorCAN_5 node (Fig. 4).
+
+Regenerates the per-bit behaviour table: for a CRC error and for an
+error in each of the 2m EOF bits, which flag the node transmits
+(6-bit vs extended), whether it samples the agreement window, and the
+verdict on the frame.  The paper's figure shows: CRC error -> 6-bit
+flag, no sampling, rejected; EOF bits 1..m -> 6-bit flag with
+sampling; EOF bits m+1..2m -> extended flag, accepted.
+"""
+
+from _artifacts import report
+
+from repro.faults.scenarios import fig4_behaviour
+
+
+def test_bench_fig4_majorcan5(benchmark):
+    rows = benchmark(fig4_behaviour, 5)
+    assert len(rows) == 11
+    crc_row = rows[0]
+    assert crc_row.flag == "6-bit error flag"
+    assert not crc_row.sampling
+    assert crc_row.verdict == "rejected"
+    for row in rows[1:6]:
+        assert row.flag == "6-bit error flag"
+        assert row.sampling
+    for row in rows[6:]:
+        assert row.flag == "extended error flag"
+        assert row.verdict == "accepted"
+    report(
+        "Fig. 4 — behaviour of a MajorCAN_5 node",
+        "\n".join(row.render() for row in rows),
+    )
+
+
+def test_bench_fig4_majorcan3(benchmark):
+    rows = benchmark(fig4_behaviour, 3)
+    assert len(rows) == 7
+    for row in rows[4:]:
+        assert row.flag == "extended error flag"
+    report(
+        "Fig. 4 variant — behaviour of a MajorCAN_3 node",
+        "\n".join(row.render() for row in rows),
+    )

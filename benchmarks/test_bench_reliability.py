@@ -1,0 +1,83 @@
+"""Experiment E-REL (extension): the operational meaning of Table 1.
+
+Converts the Table 1 incident rates into mission-reliability terms —
+mean time to the first inconsistent omission and the probability of
+surviving a year of continuous operation — and runs a seeded
+attack-campaign comparison across protocols.
+"""
+
+from _artifacts import report
+
+from repro.analysis.reliability import reliability_comparison
+from repro.faults.campaigns import compare_protocols
+from repro.metrics.report import render_table
+
+
+def test_bench_reliability_rows(benchmark):
+    rows = benchmark(reliability_comparison, 1e-4, (1.0, 8760.0))
+    by_protocol = {row.protocol: row for row in rows}
+    assert by_protocol["CAN"].mttf_hours < 150
+    assert by_protocol["MajorCAN"].mission_survival[8760.0] == 1.0
+    table = render_table(
+        [
+            {
+                "protocol": row.protocol,
+                "IMO rate /h": row.imo_rate_per_hour,
+                "MTTF hours": row.mttf_hours,
+                "P(1-year mission)": row.mission_survival[8760.0],
+            }
+            for row in rows
+        ],
+        columns=["protocol", "IMO rate /h", "MTTF hours", "P(1-year mission)"],
+    )
+    report(
+        "Reliability — Table 1 restated as mission survival (ber=1e-4)",
+        table,
+    )
+
+
+def test_bench_attack_campaign(benchmark):
+    outcomes = benchmark(
+        compare_protocols, ("can", "minorcan", "majorcan"),
+        rounds=20, attack_probability=0.5, seed=17,
+    )
+    by_protocol = {outcome.spec.protocol: outcome for outcome in outcomes}
+    assert by_protocol["majorcan"].omissions == 0
+    assert by_protocol["can"].omissions == by_protocol["can"].attacked_rounds
+    table = render_table(
+        [outcome.as_row() for outcome in outcomes],
+        columns=["protocol", "rounds", "attacked", "consistent", "imo", "double"],
+    )
+    report("Campaign — seeded Fig. 3a attacks, 20 rounds", table)
+
+
+def test_bench_residual_rates(benchmark):
+    """The residual of the fix itself: P(> m errors per frame) as an
+    incidents/hour bracket, and the smallest m per environment."""
+    from repro.analysis.residual import residual_table, smallest_m_meeting_target
+
+    rows = benchmark(residual_table)
+    by_key = {(row.ber, row.m): row for row in rows}
+    assert by_key[(1e-5, 5)].meets_target_upper
+    assert not by_key[(1e-4, 5)].meets_target_upper
+    table = render_table(
+        [
+            {
+                "ber": "%.0e" % row.ber,
+                "m": row.m,
+                "upper bound /h": row.upper_bound_per_hour,
+                "tail bound /h": row.tail_bound_per_hour,
+                "meets 1e-9": row.meets_target_upper,
+            }
+            for row in rows
+        ],
+        columns=["ber", "m", "upper bound /h", "tail bound /h", "meets 1e-9"],
+    )
+    recommendation = ", ".join(
+        "ber=%.0e -> m>=%d" % (ber, smallest_m_meeting_target(ber))
+        for ber in (1e-4, 1e-5, 1e-6)
+    )
+    report(
+        "Residual — P(>m errors/frame) and the m design rule",
+        table + "\nsmallest m meeting 1e-9/h (upper bound): " + recommendation,
+    )

@@ -1,0 +1,79 @@
+"""Engineering benchmarks of the simulation substrate itself.
+
+Not a paper artefact: these time the bit-level engine so regressions in
+the controller hot path are caught, and report the simulated-bit
+throughput that bounds every fault-injection campaign.
+"""
+
+from _artifacts import report
+
+from repro.can.controller import CanController
+from repro.can.encoding import encode_frame
+from repro.can.frame import data_frame
+from repro.can.parser import FrameParser
+from repro.core.majorcan import MajorCanController
+from repro.simulation.engine import SimulationEngine
+
+
+def _saturated_engine(factory, n_nodes=8):
+    controllers = [factory("n%d" % i) for i in range(n_nodes)]
+    engine = SimulationEngine(controllers, record_bits=False)
+    for index, controller in enumerate(controllers):
+        for seq in range(50):
+            controller.submit(
+                data_frame(0x100 + index, bytes([seq]), message_id="%d#%d" % (index, seq))
+            )
+    return engine
+
+
+def test_bench_engine_throughput_can(benchmark):
+    def run():
+        engine = _saturated_engine(CanController)
+        engine.run(4000)
+        return engine
+
+    engine = benchmark(run)
+    delivered = sum(len(node.deliveries) for node in engine.nodes)
+    assert delivered > 100
+    report(
+        "Engine throughput — 8-node saturated CAN bus",
+        "%d deliveries in 4000 simulated bit times" % delivered,
+    )
+
+
+def test_bench_engine_throughput_majorcan(benchmark):
+    def run():
+        engine = _saturated_engine(lambda name: MajorCanController(name))
+        engine.run(4000)
+        return engine
+
+    engine = benchmark(run)
+    assert sum(len(node.deliveries) for node in engine.nodes) > 100
+
+
+def test_bench_frame_encoding(benchmark):
+    frame = data_frame(0x2AA, bytes(range(8)))
+    wire = benchmark(encode_frame, frame)
+    assert len(wire.bits) > 100
+
+
+def test_bench_frame_parsing(benchmark):
+    frame = data_frame(0x2AA, bytes(range(8)))
+    wire = encode_frame(frame)
+    levels = []
+    for position, wire_bit in enumerate(wire.bits):
+        level = wire_bit.level
+        if position == wire.ack_slot_position:
+            from repro.can.bits import DOMINANT
+
+            level = DOMINANT
+        levels.append(level)
+
+    def parse():
+        parser = FrameParser()
+        for level in levels:
+            parser.feed(level)
+        return parser
+
+    parser = benchmark(parse)
+    assert parser.crc_ok

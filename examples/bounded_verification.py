@@ -1,0 +1,62 @@
+"""Bounded verification: exploring the protocol's entire error space.
+
+The paper's future work plans formal verification of the MajorCAN
+design.  This example performs the simulation analogue: it enumerates
+*every* placement of up to two view errors over the paper's error
+universe (the frame tail and the agreement window), runs each through
+the bit-level simulator, and prints the complete counterexample
+census — for standard CAN (whose only 2-error omissions turn out to be
+exactly the Fig. 3a pattern) and for MajorCAN_5 (none).  It then
+checks the Section 5 design arithmetic as executable invariants.
+
+Run with::
+
+    python examples/bounded_verification.py
+"""
+
+from collections import Counter
+
+from repro.analysis.geometry import geometry_report
+from repro.analysis.verification import header_sites, verify_consistency
+
+
+def census(protocol, **kwargs):
+    result = verify_consistency(protocol, **kwargs)
+    print(result.summary())
+    kinds = Counter(ce.kind for ce in result.counterexamples)
+    if kinds:
+        print("  by kind:", dict(kinds))
+        imos = [ce for ce in result.counterexamples if ce.kind == "imo"]
+        for counterexample in imos[:5]:
+            print("   ", counterexample)
+    print()
+    return result
+
+
+def main():
+    print("== standard CAN, <= 2 errors over the tail universe ==")
+    can = census("can", m=5, n_nodes=3, max_flips=2)
+    imos = [ce for ce in can.counterexamples if ce.kind == "imo"]
+    print("Every minimal omission is the Fig. 3a pattern: a transmitter")
+    print("masked at its last EOF bit plus one receiver disturbed at the")
+    print("last-but-one (%d such placements found).\n" % len(imos))
+
+    print("== MajorCAN_5, <= 2 errors over tail + sampling window ==")
+    census("majorcan", m=5, n_nodes=3, max_flips=2)
+
+    print("== MajorCAN_5, single errors over the frame header ==")
+    print("(outside the paper's universe: exposes finding F1)")
+    census(
+        "majorcan",
+        m=5,
+        n_nodes=3,
+        max_flips=1,
+        extra_sites=header_sites(["tx", "r1", "r2"]),
+    )
+
+    print("== Section 5 design arithmetic, checked ==")
+    print(geometry_report(5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Reproduction of *MajorCAN: A Modification to the Controller Area Network
+Protocol to Achieve Atomic Broadcast* (Proenza & Miro-Julia, ICDCS 2000).
+
+The package is organised in layers:
+
+``repro.simulation``
+    A bit-synchronous, discrete-event bus simulator with per-node bus
+    views (the paper's error model perturbs the *view* each node has of
+    a bus bit, not the bus itself).
+
+``repro.can``
+    A bit-accurate implementation of the standard CAN data-link layer:
+    frames, CRC-15, bit stuffing, arbitration, error detection and
+    signalling, fault confinement, and the (in)famous last-bit-of-EOF
+    rule that causes the inconsistencies studied by the paper.
+
+``repro.core``
+    The paper's contributions: the :class:`~repro.core.MinorCanController`
+    and the parametric :class:`~repro.core.MajorCanController`.
+
+``repro.faults``
+    Fault injection: random spatial bit-error model (``ber* = ber / N``)
+    and deterministic builders for every scenario figure in the paper.
+
+``repro.protocols``
+    The higher-level baseline protocols from Rufino et al. (FTCS'98):
+    EDCAN, RELCAN and TOTCAN.
+
+``repro.properties``
+    Executable checkers for the Atomic Broadcast properties AB1-AB5 and
+    the CAN properties CAN1-CAN6 / CAN2' / CAN6'.
+
+``repro.analysis``
+    The analytical probability model (equations 1-5), the Table 1
+    generator, exact pattern enumeration, and the overhead formulas.
+
+``repro.workload`` / ``repro.metrics``
+    Traffic generation matching the paper's evaluation profile, and
+    result collection/reporting.
+"""
+
+from repro._version import __version__
+from repro.can import (
+    CanController,
+    CanId,
+    ControllerConfig,
+    Frame,
+)
+from repro.core import MajorCanController, MinorCanController
+from repro.simulation import Bus, SimulationEngine, Trace
+
+__all__ = [
+    "__version__",
+    "Bus",
+    "CanController",
+    "CanId",
+    "ControllerConfig",
+    "Frame",
+    "MajorCanController",
+    "MinorCanController",
+    "SimulationEngine",
+    "Trace",
+]

@@ -1,0 +1,198 @@
+"""Exact validation of the probability model by pattern enumeration.
+
+Equation 4 counts specific error patterns at the frame tail.  For a
+small network, this module *enumerates every possible pattern of view
+errors over the last ``window`` EOF bits*, runs the bit-level
+simulator on each pattern, classifies the outcome (consistent,
+inconsistent omission, double reception...), and accumulates exact
+per-frame probabilities by weighting each pattern with its ``ber*``
+probability (times the probability that the rest of the frame is
+error-free for every node).
+
+This serves two purposes:
+
+* it validates that the closed-form equation 4 captures the dominant
+  IMO patterns — the enumerated IMO probability is bounded below by
+  equation 4's prediction and converges to it as ``ber* -> 0``;
+* it catalogues *all* tail patterns that break consistency at a given
+  window size, which the closed form does not enumerate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.can.controller import CanController
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.errors import AnalysisError
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+#: A pattern assigns flipped view bits as (node_index, eof_index) pairs.
+Pattern = Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class PatternOutcome:
+    """Simulation verdict for one tail error pattern."""
+
+    pattern: Pattern
+    consistent: bool
+    inconsistent_omission: bool
+    double_reception: bool
+    attempts: int
+
+
+@dataclass
+class EnumerationResult:
+    """Exact tail-window probabilities for one protocol and network."""
+
+    protocol: str
+    n_nodes: int
+    window: int
+    tau_data: int
+    ber_star: float
+    outcomes: List[PatternOutcome] = field(default_factory=list)
+
+    def _probability_of(self, flips: int) -> float:
+        """Probability of a specific pattern with ``flips`` flipped bits.
+
+        Every other (node, bit) view in the whole frame must be clean:
+        the tail window has ``N * window`` candidate bits, the rest of
+        the frame ``N * (tau - window)``.
+        """
+        b = self.ber_star
+        tail_bits = self.n_nodes * self.window
+        rest_bits = self.n_nodes * (self.tau_data - self.window)
+        return (b**flips) * ((1 - b) ** (tail_bits - flips)) * ((1 - b) ** rest_bits)
+
+    def probability(self, selector: Callable[[PatternOutcome], bool]) -> float:
+        """Exact per-frame probability of the outcomes matching ``selector``."""
+        return sum(
+            self._probability_of(len(outcome.pattern))
+            for outcome in self.outcomes
+            if selector(outcome)
+        )
+
+    @property
+    def p_inconsistent_omission(self) -> float:
+        """Exact per-frame IMO probability within the tail window."""
+        return self.probability(lambda o: o.inconsistent_omission)
+
+    @property
+    def p_double_reception(self) -> float:
+        return self.probability(lambda o: o.double_reception)
+
+    @property
+    def p_inconsistent(self) -> float:
+        return self.probability(lambda o: not o.consistent)
+
+    def imo_patterns(self) -> List[Pattern]:
+        """All tail patterns that produce an inconsistent omission."""
+        return [o.pattern for o in self.outcomes if o.inconsistent_omission]
+
+
+def enumerate_tail_patterns(
+    protocol: str = "can",
+    n_nodes: int = 3,
+    window: int = 2,
+    ber_star: float = 1e-6,
+    tau_data: int = 110,
+    m: int = 5,
+    max_flips: int = None,
+) -> EnumerationResult:
+    """Enumerate all view-error patterns over the last ``window`` EOF bits.
+
+    Parameters
+    ----------
+    protocol:
+        ``"can"``, ``"minorcan"`` or ``"majorcan"``.
+    n_nodes:
+        Network size (node 0 transmits).  Runtime is
+        ``2 ** (n_nodes * window)`` simulations, so keep it small.
+    window:
+        Number of trailing EOF bits in the fault universe.
+    ber_star:
+        Per-node per-bit error probability used for the weights.
+    max_flips:
+        Optionally skip patterns with more simultaneous errors (their
+        weight is ``O(ber*^flips)`` and rarely matters).
+    """
+    if n_nodes < 2:
+        raise AnalysisError("need at least a transmitter and a receiver")
+    probe = make_controller(protocol, "probe", m=m)
+    eof_length = probe.config.eof_length
+    if window > eof_length:
+        raise AnalysisError(
+            "window of %d bits exceeds the %d-bit EOF" % (window, eof_length)
+        )
+    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
+    sites = [
+        (node_index, eof_length - window + offset)
+        for node_index in range(n_nodes)
+        for offset in range(window)
+    ]
+    result = EnumerationResult(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        window=window,
+        tau_data=tau_data,
+        ber_star=ber_star,
+    )
+    for size in range(len(sites) + 1):
+        if max_flips is not None and size > max_flips:
+            break
+        for combo in itertools.combinations(sites, size):
+            outcome = _simulate_pattern(protocol, m, node_names, combo)
+            result.outcomes.append(outcome)
+    return result
+
+
+def _simulate_pattern(
+    protocol: str,
+    m: int,
+    node_names: Sequence[str],
+    combo: Sequence[Tuple[int, int]],
+) -> PatternOutcome:
+    nodes: List[CanController] = [
+        make_controller(protocol, name, m=m) for name in node_names
+    ]
+    faults = [
+        ViewFault(
+            node_names[node_index],
+            Trigger(field=EOF, index=eof_index),
+            force=None,  # flip: an error inverts the node's view
+        )
+        for node_index, eof_index in combo
+    ]
+    scenario = run_single_frame_scenario(
+        "pattern",
+        nodes,
+        ScriptedInjector(view_faults=faults),
+        frame=data_frame(0x123, b"\x55", message_id="m"),
+        record_bits=False,
+    )
+    return PatternOutcome(
+        pattern=tuple(combo),
+        consistent=scenario.consistent,
+        inconsistent_omission=scenario.inconsistent_omission,
+        double_reception=scenario.double_reception,
+        attempts=scenario.attempts,
+    )
+
+
+def equation4_tail_prediction(ber_star: float, n_nodes: int, tau_data: int) -> float:
+    """Equation 4 recomputed from ``ber*`` directly (helper for
+    comparing against :class:`EnumerationResult` values)."""
+    import math
+
+    b = ber_star
+    total = 0.0
+    affected = ((1 - b) ** (tau_data - 2)) * b
+    clean = (1 - b) ** (tau_data - 1)
+    for i in range(1, n_nodes - 1):
+        total += math.comb(n_nodes - 1, i) * affected**i * clean ** (n_nodes - 1 - i)
+    return total * ((1 - b) ** (tau_data - 1)) * b

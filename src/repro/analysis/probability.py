@@ -1,0 +1,111 @@
+"""The analytical probability model of Section 4 (equations 4 and 5).
+
+Both expressions share the same structure: at least one receiver (the
+X set) is affected by an error in the last-but-one frame bit while the
+remaining receivers (the Y set, at least one node) are unaffected.
+They differ in the final factor:
+
+* **Equation 4** (the *new* scenario, Fig. 3a): the transmitter
+  suffers an error in the last bit that masks X's error flag —
+  factor ``(1 - ber*)^(tau-1) * ber*``;
+* **Equation 5** (the *old* scenario, Fig. 1c, recast in the paper's
+  ber* model): the transmitter stays error-free but crashes inside the
+  vulnerability window before retransmitting — factor
+  ``(1 - ber*)^(tau-2) * (1 - exp(-lambda * dt))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.faults.crash import PAPER_DELTA_T_HOURS, PAPER_LAMBDA_PER_HOUR, crash_probability
+from repro.faults.models import ber_star
+
+
+def _validate(ber: float, n_nodes: int, tau_data: int) -> None:
+    if not 0.0 <= ber <= 1.0:
+        raise AnalysisError("ber must be a probability, got %r" % ber)
+    if n_nodes < 3:
+        raise AnalysisError(
+            "the scenario needs a transmitter plus at least two receivers "
+            "(got N=%d)" % n_nodes
+        )
+    if tau_data < 3:
+        raise AnalysisError("frames of %d bits are too short" % tau_data)
+
+
+def _receiver_split_sum(b: float, n_nodes: int, tau_data: int) -> float:
+    """The common receiver-partition factor of equations 4 and 5.
+
+    Sums over the size ``i`` of the affected set X (1 <= i <= N-2): the
+    ``i`` affected receivers each suffer exactly one error in the
+    last-but-one bit and none elsewhere; the ``N-1-i`` unaffected
+    receivers see every bit of the frame cleanly.
+    """
+    total = 0.0
+    affected_term = ((1.0 - b) ** (tau_data - 2)) * b
+    clean_term = (1.0 - b) ** (tau_data - 1)
+    for i in range(1, n_nodes - 1):
+        total += (
+            math.comb(n_nodes - 1, i)
+            * (affected_term**i)
+            * (clean_term ** (n_nodes - 1 - i))
+        )
+    return total
+
+
+def p_new_scenario_per_frame(ber: float, n_nodes: int, tau_data: int) -> float:
+    """Equation 4: probability per frame of the Fig. 3a scenario.
+
+    The transmitter sees the whole frame cleanly except for an error in
+    the last bit, which hides the error flag of the X set from it.
+    """
+    _validate(ber, n_nodes, tau_data)
+    b = ber_star(ber, n_nodes)
+    transmitter_term = ((1.0 - b) ** (tau_data - 1)) * b
+    return _receiver_split_sum(b, n_nodes, tau_data) * transmitter_term
+
+
+def p_old_scenario_per_frame(
+    ber: float,
+    n_nodes: int,
+    tau_data: int,
+    lambda_per_hour: float = PAPER_LAMBDA_PER_HOUR,
+    delta_t_hours: Optional[float] = None,
+) -> float:
+    """Equation 5: probability per frame of the Fig. 1c scenario,
+    re-derived in the paper's ber* model (the IMO* column of Table 1).
+
+    The transmitter is error-free through the frame but crashes within
+    the ``delta_t`` vulnerability window before it can retransmit.
+    """
+    _validate(ber, n_nodes, tau_data)
+    if delta_t_hours is None:
+        delta_t_hours = PAPER_DELTA_T_HOURS
+    b = ber_star(ber, n_nodes)
+    transmitter_term = ((1.0 - b) ** (tau_data - 2)) * crash_probability(
+        lambda_per_hour, delta_t_hours
+    )
+    return _receiver_split_sum(b, n_nodes, tau_data) * transmitter_term
+
+
+def dominant_term_ratio(ber: float, n_nodes: int, tau_data: int) -> float:
+    """Ratio of the i=1 term to the full sum of the receiver factor.
+
+    Quantifies how strongly the single-affected-receiver case dominates
+    equation 4 at realistic error rates (it is >0.999 for the paper's
+    parameters), justifying back-of-envelope estimates.
+    """
+    b = ber_star(ber, n_nodes)
+    full = _receiver_split_sum(b, n_nodes, tau_data)
+    if full == 0.0:
+        return 0.0
+    first = (
+        math.comb(n_nodes - 1, 1)
+        * ((1.0 - b) ** (tau_data - 2))
+        * b
+        * ((1.0 - b) ** (tau_data - 1)) ** (n_nodes - 2)
+    )
+    return first / full

@@ -1,0 +1,35 @@
+"""Converting per-frame probabilities into incidents per hour.
+
+The paper reports Table 1 as incidents/hour: the per-frame scenario
+probability multiplied by the number of frames the network transfers in
+an hour under the evaluation profile.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.workload.profiles import NetworkProfile
+
+
+def incidents_per_hour(p_per_frame: float, profile: NetworkProfile) -> float:
+    """Scale a per-frame probability by the hourly frame count."""
+    if p_per_frame < 0.0 or p_per_frame > 1.0:
+        raise AnalysisError("per-frame probability out of range: %r" % p_per_frame)
+    return p_per_frame * profile.frames_per_hour
+
+
+def hours_between_incidents(p_per_frame: float, profile: NetworkProfile) -> float:
+    """Mean time between incidents, in hours (inf when impossible)."""
+    rate = incidents_per_hour(p_per_frame, profile)
+    if rate == 0.0:
+        return float("inf")
+    return 1.0 / rate
+
+
+def meets_reference(rate_per_hour: float, reference: float = 1e-9) -> bool:
+    """Whether an incident rate meets a dependability target.
+
+    The paper's yardstick is the aerospace safety number of 1e-9
+    incidents/hour, being adopted by the automotive industry as well.
+    """
+    return rate_per_hour <= reference

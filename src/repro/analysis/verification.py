@@ -1,0 +1,219 @@
+"""Bounded exhaustive verification of the agreement machinery.
+
+The paper's future work plans "model checking on the VHDL description
+to achieve a formal verification".  This module provides the
+simulation analogue: *bounded* exhaustive exploration of every
+placement of up to ``max_flips`` view errors over a configurable site
+universe (frame-tail bits, the whole EOF, the sampling/extended-flag
+window, and optionally the frame header), classifying each run with
+the bit-level simulator and reporting all counterexamples to
+consistency.
+
+Two standing results of the reproduction come out of this harness:
+
+* with the site universe restricted to the paper's error model (the
+  EOF region and the agreement window), MajorCAN_m has **no**
+  counterexample with up to m flips at the explored network sizes;
+* extending the universe to the frame header exposes finding F1 (the
+  DLC desynchronisation channel) automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.can.fields import (
+    ACK_DELIM,
+    ACK_SLOT,
+    CRC_DELIM,
+    DATA,
+    DLC,
+    EOF,
+    SAMPLING,
+)
+from repro.can.frame import data_frame
+from repro.errors import AnalysisError
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+#: A fault site: (node name, field label, index within the field).
+Site = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A flip placement that broke a consistency property."""
+
+    sites: Tuple[Site, ...]
+    deliveries: Tuple[Tuple[str, int], ...]
+    attempts: int
+    kind: str  # "imo" | "double" | "inconsistent"
+
+    def __str__(self) -> str:
+        flips = ", ".join("%s@%s[%d]" % site for site in self.sites)
+        return "%s from {%s} -> %s" % (self.kind, flips, dict(self.deliveries))
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a bounded exhaustive exploration."""
+
+    protocol: str
+    m: int
+    n_nodes: int
+    max_flips: int
+    site_count: int
+    runs: int = 0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """Whether consistency held for every explored placement."""
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        verdict = (
+            "no counterexample"
+            if self.holds
+            else "%d counterexamples" % len(self.counterexamples)
+        )
+        return (
+            "%s (m=%d, N=%d): %d placements over %d sites, <=%d flips: %s"
+            % (
+                self.protocol,
+                self.m,
+                self.n_nodes,
+                self.runs,
+                self.site_count,
+                self.max_flips,
+                verdict,
+            )
+        )
+
+
+def tail_sites(
+    node_names: Sequence[str],
+    eof_length: int,
+    window_start: Optional[int] = None,
+    window_end: Optional[int] = None,
+    include_pre_eof: bool = True,
+) -> List[Site]:
+    """The paper's error universe: the frame tail and agreement window.
+
+    Covers the CRC/ACK delimiters and the ACK slot (errors whose flags
+    start at the first EOF bit), every EOF bit, and — when a sampling
+    window is given — every window bit (reached through the SAMPLING
+    position that MajorCAN nodes announce while quiet).
+    """
+    sites: List[Site] = []
+    for name in node_names:
+        if include_pre_eof:
+            sites.append((name, CRC_DELIM, 0))
+            sites.append((name, ACK_SLOT, 0))
+            sites.append((name, ACK_DELIM, 0))
+        for index in range(eof_length):
+            sites.append((name, EOF, index))
+        if window_start is not None and window_end is not None:
+            for position in range(window_start, window_end + 1):
+                sites.append((name, SAMPLING, position))
+    return sites
+
+
+def header_sites(node_names: Sequence[str], data_bits: int = 8) -> List[Site]:
+    """Frame-header sites that can desynchronise a receiver (finding F1)."""
+    sites: List[Site] = []
+    for name in node_names:
+        for index in range(4):
+            sites.append((name, DLC, index))
+        for index in range(data_bits):
+            sites.append((name, DATA, index))
+    return sites
+
+
+def verify_consistency(
+    protocol: str = "majorcan",
+    m: int = 5,
+    n_nodes: int = 3,
+    max_flips: int = 2,
+    extra_sites: Iterable[Site] = (),
+    include_window: bool = True,
+    stop_at_first: bool = False,
+    payload: bytes = b"\x55",
+) -> VerificationResult:
+    """Exhaustively explore every ≤ ``max_flips`` placement of view
+    errors over the chosen site universe.
+
+    A placement is a *counterexample* when the resulting execution is
+    inconsistent: some live node delivers the frame a different number
+    of times than another (inconsistent omission), or any node delivers
+    it twice (double reception).
+    """
+    if n_nodes < 2:
+        raise AnalysisError("need a transmitter and at least one receiver")
+    if max_flips < 1:
+        raise AnalysisError("max_flips must be at least 1")
+    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
+    probe = make_controller(protocol, "probe", m=m)
+    window_start = getattr(probe, "window_start", None) if include_window else None
+    window_end = getattr(probe, "window_end", None) if include_window else None
+    sites = tail_sites(
+        node_names,
+        probe.config.eof_length,
+        window_start=window_start,
+        window_end=window_end,
+    )
+    sites.extend(extra_sites)
+    result = VerificationResult(
+        protocol=protocol,
+        m=m,
+        n_nodes=n_nodes,
+        max_flips=max_flips,
+        site_count=len(sites),
+    )
+    for size in range(1, max_flips + 1):
+        for combo in itertools.combinations(sites, size):
+            outcome = _run_placement(protocol, m, node_names, combo, payload)
+            result.runs += 1
+            kind = None
+            if outcome.inconsistent_omission:
+                kind = "imo"
+            elif outcome.double_reception:
+                kind = "double"
+            elif not outcome.consistent:
+                kind = "inconsistent"
+            if kind is not None:
+                result.counterexamples.append(
+                    Counterexample(
+                        sites=tuple(combo),
+                        deliveries=tuple(sorted(outcome.deliveries.items())),
+                        attempts=outcome.attempts,
+                        kind=kind,
+                    )
+                )
+                if stop_at_first:
+                    return result
+    return result
+
+
+def _run_placement(
+    protocol: str,
+    m: int,
+    node_names: Sequence[str],
+    combo: Sequence[Site],
+    payload: bytes,
+):
+    nodes = [make_controller(protocol, name, m=m) for name in node_names]
+    faults = [
+        ViewFault(name, Trigger(field=field_name, index=index), force=None)
+        for name, field_name, index in combo
+    ]
+    return run_single_frame_scenario(
+        "verify",
+        nodes,
+        ScriptedInjector(view_faults=faults),
+        frame=data_frame(0x123, payload, message_id="m"),
+        record_bits=False,
+        max_bits=60000,
+    )

@@ -1,0 +1,74 @@
+"""Bit-accurate standard CAN data-link layer.
+
+Public entry points:
+
+* :class:`~repro.can.frame.Frame` / :class:`~repro.can.identifiers.CanId`
+  — the application-visible frame model;
+* :class:`~repro.can.controller.CanController` — the MAC state machine
+  attached to a simulated bus node;
+* :class:`~repro.can.controller_config.ControllerConfig` — per-node
+  configuration (EOF/delimiter lengths, dependability options);
+* :mod:`~repro.can.crc`, :mod:`~repro.can.stuffing`,
+  :mod:`~repro.can.encoding`, :mod:`~repro.can.parser` — the wire
+  format building blocks.
+"""
+
+from repro.can.bits import DOMINANT, RECESSIVE, Level, wired_and
+from repro.can.controller import (
+    CanController,
+    STATE_BUS_OFF,
+    STATE_ERROR_DELIM,
+    STATE_ERROR_FLAG,
+    STATE_ERROR_WAIT,
+    STATE_IDLE,
+    STATE_INTERMISSION,
+    STATE_OVERLOAD_FLAG,
+    STATE_RECEIVING,
+    STATE_SUSPEND,
+    STATE_TRANSMITTING,
+    TxJob,
+)
+from repro.can.controller_config import ControllerConfig
+from repro.can.encoding import WireFrame, encode_frame
+from repro.can.error_counters import ConfinementState, ErrorCounters
+from repro.can.events import Delivery, ErrorReason, Event, EventKind
+from repro.can.frame import Frame, data_frame, remote_frame
+from repro.can.identifiers import CanId
+from repro.can.parser import FrameParser
+from repro.can.timing import BitTiming, classic_1mbps, timing_for_bit_rate
+
+__all__ = [
+    "BitTiming",
+    "CanController",
+    "CanId",
+    "ConfinementState",
+    "ControllerConfig",
+    "Delivery",
+    "DOMINANT",
+    "ErrorCounters",
+    "ErrorReason",
+    "Event",
+    "EventKind",
+    "Frame",
+    "FrameParser",
+    "Level",
+    "RECESSIVE",
+    "STATE_BUS_OFF",
+    "STATE_ERROR_DELIM",
+    "STATE_ERROR_FLAG",
+    "STATE_ERROR_WAIT",
+    "STATE_IDLE",
+    "STATE_INTERMISSION",
+    "STATE_OVERLOAD_FLAG",
+    "STATE_RECEIVING",
+    "STATE_SUSPEND",
+    "STATE_TRANSMITTING",
+    "TxJob",
+    "WireFrame",
+    "classic_1mbps",
+    "data_frame",
+    "encode_frame",
+    "remote_frame",
+    "timing_for_bit_rate",
+    "wired_and",
+]

@@ -1,0 +1,815 @@
+"""The standard CAN controller state machine.
+
+:class:`CanController` implements the medium access control sublayer of
+ISO 11898 as a bit-synchronous finite-state machine: arbitration,
+transmission and reception with on-line destuffing, the five error
+detection mechanisms (bit, stuff, CRC, ACK, form), active and passive
+error signalling, overload frames, fault confinement, automatic
+retransmission — and, crucially for this reproduction, the special
+behaviour for errors detected in the **last bit of the end-of-frame
+field** that is the root cause of the inconsistencies the paper
+studies.
+
+The controller interacts with the simulation engine through a strict
+two-phase per-bit protocol:
+
+1. :meth:`drive` — return the level this node puts on the bus for the
+   current bit time, and publish :attr:`position` (the frame-relative
+   position of that bit) for the fault injector and the trace;
+2. :meth:`on_bit` — consume the level this node *observes* on the bus
+   (after wired-AND resolution and per-node view faults) and advance
+   the state machine.
+
+Protocol variants (MinorCAN, MajorCAN) subclass this machine and
+override the dedicated extension points, primarily
+:meth:`_rx_eof_bit` / :meth:`_tx_eof_bit` and the error-flag epilogue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.can.bits import DOMINANT, RECESSIVE, Level
+from repro.can.controller_config import ControllerConfig
+from repro.can.encoding import WireFrame, encode_frame
+from repro.can.error_counters import ConfinementState, ErrorCounters
+from repro.can.events import Delivery, ErrorReason, Event, EventKind
+from repro.can.fields import (
+    ACK_DELIM,
+    ACK_SLOT,
+    BUS_OFF_POSITION,
+    EOF,
+    ERROR_DELIM,
+    ERROR_FLAG,
+    ERROR_WAIT,
+    FLAG_LENGTH,
+    IDLE,
+    INTERMISSION,
+    INTERMISSION_LENGTH,
+    OVERLOAD_DELIM,
+    OVERLOAD_FLAG,
+    OVERLOAD_WAIT,
+    SUSPEND,
+    SUSPEND_LENGTH,
+)
+from repro.can.frame import Frame
+from repro.can.identifiers import CanId
+from repro.can.parser import FrameParser
+from repro.errors import SimulationError
+
+# ---------------------------------------------------------------------------
+# MAC states.  Plain strings so protocol subclasses can add their own.
+# ---------------------------------------------------------------------------
+
+STATE_IDLE = "idle"
+STATE_RECEIVING = "receiving"
+STATE_TRANSMITTING = "transmitting"
+STATE_ERROR_FLAG = "error_flag"
+STATE_PASSIVE_ERROR_FLAG = "passive_error_flag"
+STATE_ERROR_WAIT = "error_wait"
+STATE_ERROR_DELIM = "error_delim"
+STATE_OVERLOAD_FLAG = "overload_flag"
+STATE_OVERLOAD_WAIT = "overload_wait"
+STATE_OVERLOAD_DELIM = "overload_delim"
+STATE_INTERMISSION = "intermission"
+STATE_SUSPEND = "suspend"
+STATE_BUS_OFF = "bus_off"
+
+
+@dataclass
+class TxJob:
+    """A queued frame with its retransmission bookkeeping."""
+
+    frame: Frame
+    attempts: int = 0
+
+
+@dataclass
+class _DeferredDecision:
+    """Context of a postponed accept/reject decision (MinorCAN-style)."""
+
+    was_transmitter: bool
+    frame: Optional[Frame]
+
+
+class CanController:
+    """A bit-accurate standard CAN controller attached to one bus node.
+
+    Parameters
+    ----------
+    name:
+        Node name, used in events, traces and delivery ledgers.
+    config:
+        Static configuration (see :class:`ControllerConfig`).
+    """
+
+    #: Human-readable protocol label (overridden by subclasses).
+    protocol_name = "CAN"
+
+    def __init__(self, name: str, config: Optional[ControllerConfig] = None) -> None:
+        self.name = name
+        self.config = config or ControllerConfig()
+        self.counters = ErrorCounters()
+        self.now = 0
+        self.tx_queue: Deque[TxJob] = deque()
+        #: Every frame ever submitted for transmission (broadcast log).
+        self.submitted: List[Frame] = []
+        #: (bit time, frame) for every successful own transmission.
+        self.tx_successes: List[tuple] = []
+        self.deliveries: List[Delivery] = []
+        self.events: List[Event] = []
+        self.is_transmitter = False
+        self.crashed = False
+        self.disconnected = False
+        #: (field, index) of the bit currently on the bus, from this
+        #: node's perspective.  Published by :meth:`drive`.
+        self.position = (IDLE, 0)
+
+        self._state = STATE_IDLE
+        self._wire: Optional[WireFrame] = None
+        self._tx_pos = 0
+        self._parser: Optional[FrameParser] = None
+        self._parser_failed = False
+        self._driven: Level = RECESSIVE
+        self._flag_remaining = 0
+        self._wait_first_bit = False
+        self._wait_dominant_run = 0
+        self._delim_remaining = 0
+        self._intermission_pos = 0
+        self._suspend_remaining = 0
+        self._suspend_pending = False
+        self._overload_requests = 0
+        self._self_overloads_sent = 0
+        self._frame_open = False
+        self._rx_delivered = False
+        self._deferred: Optional[_DeferredDecision] = None
+        self._in_overload_epilogue = False
+        self._bus_off_recessive_run = 0
+        self._bus_off_sequences = 0
+        self._remote_responses: Dict[tuple, bytes] = {}
+
+        self._drive_handlers: Dict[str, Callable[[], Level]] = {
+            STATE_IDLE: self._drive_idle,
+            STATE_RECEIVING: self._drive_receiving,
+            STATE_TRANSMITTING: self._drive_transmitting,
+            STATE_ERROR_FLAG: self._drive_active_flag,
+            STATE_PASSIVE_ERROR_FLAG: self._drive_recessive,
+            STATE_ERROR_WAIT: self._drive_recessive,
+            STATE_ERROR_DELIM: self._drive_recessive,
+            STATE_OVERLOAD_FLAG: self._drive_active_flag,
+            STATE_OVERLOAD_WAIT: self._drive_recessive,
+            STATE_OVERLOAD_DELIM: self._drive_recessive,
+            STATE_INTERMISSION: self._drive_intermission,
+            STATE_SUSPEND: self._drive_recessive,
+            STATE_BUS_OFF: self._drive_recessive,
+        }
+        self._bit_handlers: Dict[str, Callable[[Level], None]] = {
+            STATE_IDLE: self._bit_idle,
+            STATE_RECEIVING: self._bit_receiving,
+            STATE_TRANSMITTING: self._bit_transmitting,
+            STATE_ERROR_FLAG: self._bit_flag,
+            STATE_PASSIVE_ERROR_FLAG: self._bit_flag,
+            STATE_ERROR_WAIT: self._bit_error_wait,
+            STATE_ERROR_DELIM: self._bit_error_delim,
+            STATE_OVERLOAD_FLAG: self._bit_flag,
+            STATE_OVERLOAD_WAIT: self._bit_overload_wait,
+            STATE_OVERLOAD_DELIM: self._bit_overload_delim,
+            STATE_INTERMISSION: self._bit_intermission,
+            STATE_SUSPEND: self._bit_suspend,
+            STATE_BUS_OFF: self._bit_bus_off,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current MAC state (one of the ``STATE_*`` constants)."""
+        return self._state
+
+    @property
+    def offline(self) -> bool:
+        """Whether this node no longer participates in the bus."""
+        return self.crashed or self.disconnected or self._state == STATE_BUS_OFF
+
+    @property
+    def pending_transmissions(self) -> int:
+        """Number of frames queued (including one being transmitted)."""
+        return len(self.tx_queue)
+
+    @property
+    def received_frames(self) -> List[Frame]:
+        """All frames delivered to this node, in delivery order."""
+        return [delivery.frame for delivery in self.deliveries]
+
+    def submit(self, frame: Frame) -> None:
+        """Queue a frame for transmission."""
+        self.submitted.append(frame)
+        self.tx_queue.append(TxJob(frame))
+
+    def crash(self) -> None:
+        """Fail-silent crash: stop driving and processing immediately."""
+        if not self.crashed:
+            self.crashed = True
+            self._log(EventKind.CRASHED)
+
+    def disconnect(self) -> None:
+        """Controlled disconnection (the paper's warning-limit switch-off)."""
+        if not self.disconnected:
+            self.disconnected = True
+            self._log(EventKind.DISCONNECTED)
+
+    def request_overload(self) -> None:
+        """Ask for an overload frame to delay the next frame (slow node)."""
+        self._overload_requests += 1
+
+    def register_remote_response(self, identifier: "CanId", data: bytes) -> None:
+        """Auto-answer remote (RTR) requests for ``identifier``.
+
+        Real CAN controllers can be configured to answer a remote frame
+        with a prepared data frame of the same identifier; when a
+        remote frame for a registered identifier is delivered, the
+        response is queued automatically.
+        """
+        self._remote_responses[(identifier.value, identifier.extended)] = data
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def drive(self) -> Level:
+        """Phase 1: return the level driven on the bus this bit time."""
+        if self.offline:
+            self.position = (BUS_OFF_POSITION if self._state == STATE_BUS_OFF else IDLE, 0)
+            return RECESSIVE
+        handler = self._drive_handlers.get(self._state)
+        if handler is None:  # pragma: no cover - defensive
+            raise SimulationError("no drive handler for state %r" % self._state)
+        self._driven = handler()
+        return self._driven
+
+    def on_bit(self, seen: Level) -> None:
+        """Phase 2: consume the level observed on the bus this bit time."""
+        if self.crashed or self.disconnected:
+            return
+        # A bus-off node still monitors the bus when the optional
+        # recovery sequence is enabled (see _bit_bus_off).
+        handler = self._bit_handlers.get(self._state)
+        if handler is None:  # pragma: no cover - defensive
+            raise SimulationError("no bit handler for state %r" % self._state)
+        handler(seen)
+
+    # ------------------------------------------------------------------
+    # Drive handlers
+    # ------------------------------------------------------------------
+
+    def _drive_idle(self) -> Level:
+        if self.tx_queue:
+            return self._start_transmission()
+        self.position = (IDLE, 0)
+        return RECESSIVE
+
+    def _drive_receiving(self) -> Level:
+        assert self._parser is not None
+        field, index, is_stuff = self._parser.upcoming
+        self.position = (field, index)
+        if field == ACK_SLOT and not is_stuff and self._should_ack():
+            return DOMINANT
+        return RECESSIVE
+
+    def _drive_transmitting(self) -> Level:
+        assert self._wire is not None
+        wire_bit = self._wire.bits[self._tx_pos]
+        self.position = (wire_bit.field, wire_bit.index)
+        return wire_bit.level
+
+    def _drive_active_flag(self) -> Level:
+        label = ERROR_FLAG if self._state == STATE_ERROR_FLAG else OVERLOAD_FLAG
+        self.position = (label, FLAG_LENGTH - self._flag_remaining)
+        return DOMINANT
+
+    def _drive_recessive(self) -> Level:
+        labels = {
+            STATE_PASSIVE_ERROR_FLAG: (ERROR_FLAG, FLAG_LENGTH - self._flag_remaining),
+            STATE_ERROR_WAIT: (ERROR_WAIT, 0),
+            STATE_ERROR_DELIM: (
+                ERROR_DELIM,
+                self.config.delimiter_length - self._delim_remaining,
+            ),
+            STATE_OVERLOAD_WAIT: (OVERLOAD_WAIT, 0),
+            STATE_OVERLOAD_DELIM: (
+                OVERLOAD_DELIM,
+                self.config.delimiter_length - self._delim_remaining,
+            ),
+            STATE_SUSPEND: (SUSPEND, SUSPEND_LENGTH - self._suspend_remaining),
+            STATE_BUS_OFF: (BUS_OFF_POSITION, 0),
+        }
+        self.position = labels.get(self._state, (self._state, 0))
+        return RECESSIVE
+
+    def _drive_intermission(self) -> Level:
+        self.position = (INTERMISSION, self._intermission_pos)
+        if (
+            self._intermission_pos == 0
+            and self._overload_requests > 0
+            and self._self_overloads_sent < 2
+        ):
+            # A slow node may delay the next frame with up to two
+            # self-initiated overload frames.
+            self._overload_requests -= 1
+            self._self_overloads_sent += 1
+            self._enter_overload(reactive=False)
+            return self._drive_active_flag()
+        return RECESSIVE
+
+    # ------------------------------------------------------------------
+    # Bit handlers
+    # ------------------------------------------------------------------
+
+    def _bit_noop(self, seen: Level) -> None:
+        return
+
+    def _bit_bus_off(self, seen: Level) -> None:
+        """Optionally monitor the recovery sequence while bus-off.
+
+        ISO 11898 lets a bus-off node return to error-active (with
+        cleared counters) after it monitors 128 occurrences of 11
+        consecutive recessive bits.
+        """
+        if not self.config.bus_off_recovery:
+            return
+        if seen is RECESSIVE:
+            self._bus_off_recessive_run += 1
+            if self._bus_off_recessive_run == 11:
+                self._bus_off_recessive_run = 0
+                self._bus_off_sequences += 1
+                if self._bus_off_sequences >= 128:
+                    self._bus_off_sequences = 0
+                    self.counters.reset()
+                    self._state = STATE_IDLE
+                    self._log(EventKind.BUS_OFF_RECOVERED)
+        else:
+            self._bus_off_recessive_run = 0
+
+    def _bit_idle(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            self._start_reception(seen)
+
+    def _bit_receiving(self, seen: Level) -> None:
+        assert self._parser is not None
+        step = self._parser.feed(seen)
+        if step.stuff_violation:
+            self._enter_error(ErrorReason.STUFF)
+            return
+        if step.form_violation:
+            self._enter_error(ErrorReason.FORM)
+            return
+        if step.field == ACK_DELIM and self._parser.crc_ok is False:
+            # CRC error: by specification the error flag starts at the
+            # bit following the ACK delimiter, i.e. the first EOF bit.
+            self._enter_error(ErrorReason.CRC)
+            return
+        if step.field == EOF:
+            self._rx_eof_bit(step.index, seen)
+
+    def _bit_transmitting(self, seen: Level) -> None:
+        assert self._wire is not None
+        wire_bit = self._wire.bits[self._tx_pos]
+        self._feed_parser_quietly(seen)
+        if wire_bit.field == EOF:
+            if self._tx_eof_bit(wire_bit.index, seen):
+                return
+            self._advance_tx()
+            return
+        if wire_bit.field == ACK_SLOT:
+            if seen is not DOMINANT:
+                self._enter_error(ErrorReason.ACK)
+                return
+            self._advance_tx()
+            return
+        if seen is not wire_bit.level:
+            lost_arbitration = (
+                wire_bit.in_arbitration
+                and wire_bit.level is RECESSIVE
+                and seen is DOMINANT
+                and not wire_bit.is_stuff
+            )
+            if lost_arbitration:
+                self._log(
+                    EventKind.ARBITRATION_LOST,
+                    field=wire_bit.field,
+                    index=wire_bit.index,
+                )
+                self.is_transmitter = False
+                self._wire = None
+                self._state = STATE_RECEIVING
+                return
+            self._enter_error(ErrorReason.BIT, field=wire_bit.field)
+            return
+        self._advance_tx()
+
+    def _bit_flag(self, seen: Level) -> None:
+        self._flag_remaining -= 1
+        if self._flag_remaining <= 0:
+            self._after_flag_complete()
+
+    def _bit_error_wait(self, seen: Level) -> None:
+        if self._wait_first_bit:
+            self._wait_first_bit = False
+            primary = seen is DOMINANT
+            if primary:
+                self._log(EventKind.PRIMARY_ERROR)
+            if self._deferred is not None:
+                # MinorCAN semantics: being first to flag means nobody
+                # has rejected the frame yet, so accept; otherwise some
+                # node already rejected, so reject too.
+                self._resolve_deferred(accept=primary)
+            elif primary and not self.is_transmitter:
+                self.counters.on_receiver_error(primary=True)
+                self._confinement_check()
+        if seen is DOMINANT:
+            self._wait_dominant_run += 1
+            if self._wait_dominant_run and self._wait_dominant_run % 8 == 0:
+                self.counters.on_stuck_dominant_octet(self.is_transmitter)
+                self._confinement_check()
+            return
+        # First recessive bit: delimiter bit 1.
+        self._delim_remaining = self.config.delimiter_length - 1
+        self._state = STATE_ERROR_DELIM
+
+    def _bit_error_delim(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            if self._delim_remaining <= 1:
+                # Dominant at the last delimiter bit: overload condition.
+                self._enter_overload(reactive=True)
+            else:
+                self._enter_error(ErrorReason.DELIMITER)
+            return
+        self._delim_remaining -= 1
+        if self._delim_remaining <= 0:
+            self._end_frame_slot()
+
+    def _bit_overload_wait(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            return
+        self._delim_remaining = self.config.delimiter_length - 1
+        self._state = STATE_OVERLOAD_DELIM
+
+    def _bit_overload_delim(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            if self._delim_remaining <= 1:
+                self._enter_overload(reactive=True)
+            else:
+                self._enter_error(ErrorReason.DELIMITER)
+            return
+        self._delim_remaining -= 1
+        if self._delim_remaining <= 0:
+            self._end_frame_slot()
+
+    def _bit_intermission(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            if self._intermission_pos < INTERMISSION_LENGTH - 1:
+                self._enter_overload(reactive=True)
+                return
+            # Dominant at the third intermission bit: interpreted as a
+            # start of frame.  A waiting transmitter joins without
+            # sending its own SOF bit (it starts with the identifier).
+            if self.tx_queue and not self._suspend_pending:
+                self._start_transmission(skip_sof=True, observed_sof=seen)
+            else:
+                self._start_reception(seen)
+            return
+        self._intermission_pos += 1
+        if self._intermission_pos >= INTERMISSION_LENGTH:
+            self._self_overloads_sent = 0
+            if self._suspend_pending:
+                self._suspend_pending = False
+                self._suspend_remaining = SUSPEND_LENGTH
+                self._state = STATE_SUSPEND
+            else:
+                self._state = STATE_IDLE
+            self.is_transmitter = False
+
+    def _bit_suspend(self, seen: Level) -> None:
+        if seen is DOMINANT:
+            self._start_reception(seen)
+            return
+        self._suspend_remaining -= 1
+        if self._suspend_remaining <= 0:
+            self._state = STATE_IDLE
+
+    # ------------------------------------------------------------------
+    # Frame start/stop helpers
+    # ------------------------------------------------------------------
+
+    def _start_transmission(self, skip_sof: bool = False, observed_sof: Optional[Level] = None) -> Level:
+        job = self.tx_queue[0]
+        job.attempts += 1
+        self._wire = encode_frame(job.frame, eof_length=self.config.eof_length)
+        self._tx_pos = 1 if skip_sof else 0
+        self._parser = FrameParser(eof_length=self.config.eof_length)
+        self._parser_failed = False
+        if skip_sof and observed_sof is not None:
+            self._parser.feed(observed_sof)
+        self.is_transmitter = True
+        self._frame_open = True
+        self._rx_delivered = False
+        self._state = STATE_TRANSMITTING
+        self._log(
+            EventKind.TX_START,
+            frame=str(job.frame),
+            attempt=job.attempts,
+            message_id=job.frame.message_id,
+        )
+        wire_bit = self._wire.bits[self._tx_pos]
+        self.position = (wire_bit.field, wire_bit.index)
+        return wire_bit.level
+
+    def _start_reception(self, sof_level: Level) -> None:
+        self._parser = FrameParser(eof_length=self.config.eof_length)
+        self._parser_failed = False
+        self._parser.feed(sof_level)
+        self.is_transmitter = False
+        self._frame_open = True
+        self._rx_delivered = False
+        self._state = STATE_RECEIVING
+        self._log(EventKind.RX_START)
+
+    def _advance_tx(self) -> None:
+        assert self._wire is not None
+        self._tx_pos += 1
+        if self._tx_pos >= len(self._wire.bits):
+            self._tx_success()
+
+    def _tx_success(self) -> None:
+        job = self.tx_queue.popleft()
+        self.tx_successes.append((self.now, job.frame))
+        self.counters.on_transmit_success()
+        self._frame_open = False
+        self._log(
+            EventKind.TX_SUCCESS,
+            frame=str(job.frame),
+            attempt=job.attempts,
+            message_id=job.frame.message_id,
+        )
+        if self.config.self_delivery:
+            self._record_delivery(job.frame, attempt=job.attempts)
+        self._wire = None
+        self._enter_intermission()
+
+    def _should_ack(self) -> bool:
+        assert self._parser is not None
+        return bool(self._parser.header_complete and self._parser.crc_ok)
+
+    def _deliver_received_frame(self) -> None:
+        """Deliver the frame currently held by the receive parser."""
+        assert self._parser is not None
+        frame = self._parser.frame()
+        self._rx_delivered = True
+        self._frame_open = False
+        self.counters.on_receive_success()
+        self._record_delivery(frame)
+
+    def _record_delivery(self, frame: Frame, attempt: Optional[int] = None) -> None:
+        delivery = Delivery(frame=frame, time=self.now, node=self.name, attempt=attempt)
+        self.deliveries.append(delivery)
+        self._log(
+            EventKind.FRAME_DELIVERED,
+            frame=str(frame),
+            message_id=frame.message_id,
+            attempt=attempt,
+        )
+        if frame.remote and attempt is None:
+            key = (frame.can_id.value, frame.can_id.extended)
+            data = self._remote_responses.get(key)
+            if data is not None:
+                self.submit(Frame(can_id=frame.can_id, data=data))
+
+    def _reject_received_frame(self, reason: str) -> None:
+        if self._frame_open and not self.is_transmitter:
+            self._frame_open = False
+            self._log(EventKind.FRAME_REJECTED, reason=reason)
+
+    def _enter_intermission(self) -> None:
+        self._intermission_pos = 0
+        if (
+            self.is_transmitter
+            and self.counters.state is ConfinementState.ERROR_PASSIVE
+        ):
+            self._suspend_pending = True
+        self._state = STATE_INTERMISSION
+
+    def _end_frame_slot(self) -> None:
+        """Called when an error/overload delimiter completes."""
+        self._enter_intermission()
+
+    # ------------------------------------------------------------------
+    # Error and overload signalling
+    # ------------------------------------------------------------------
+
+    def _enter_error(
+        self,
+        reason: str,
+        deferred: bool = False,
+        **extra: object,
+    ) -> None:
+        """Start error signalling; the flag begins at the next bit time."""
+        self._log(
+            EventKind.ERROR_DETECTED,
+            reason=reason,
+            position="%s[%d]" % self.position,
+            deferred=deferred,
+            **extra,
+        )
+        if deferred:
+            frame = None
+            if not self.is_transmitter and self._parser is not None:
+                if self._parser.header_complete:
+                    frame = self._parser.frame()
+            self._deferred = _DeferredDecision(
+                was_transmitter=self.is_transmitter, frame=frame
+            )
+        else:
+            if self.is_transmitter:
+                self.counters.on_transmitter_error()
+                self._schedule_retransmission()
+            else:
+                self.counters.on_receiver_error(primary=False)
+                self._reject_received_frame(reason)
+            self._confinement_check()
+            if self._state == STATE_BUS_OFF:
+                return
+        self._flag_remaining = FLAG_LENGTH
+        self._wait_first_bit = True
+        self._wait_dominant_run = 0
+        if self.counters.state is ConfinementState.ERROR_PASSIVE:
+            self._state = STATE_PASSIVE_ERROR_FLAG
+        else:
+            self._state = STATE_ERROR_FLAG
+        self._log(
+            EventKind.ERROR_FLAG_START,
+            passive=self._state == STATE_PASSIVE_ERROR_FLAG,
+        )
+
+    def _schedule_retransmission(self) -> None:
+        if not self.tx_queue:
+            return
+        job = self.tx_queue[0]
+        limit = self.config.max_retransmissions
+        if limit is not None and job.attempts > limit:
+            self.tx_queue.popleft()
+            self._log(
+                EventKind.TX_ABANDONED,
+                frame=str(job.frame),
+                attempts=job.attempts,
+            )
+            return
+        self._log(
+            EventKind.TX_RETRANSMIT_SCHEDULED,
+            frame=str(job.frame),
+            attempt=job.attempts,
+        )
+
+    def _resolve_deferred(self, accept: bool) -> None:
+        """Apply a postponed accept/reject decision (MinorCAN-style)."""
+        decision = self._deferred
+        assert decision is not None
+        self._deferred = None
+        if accept:
+            self._log(EventKind.DEFERRED_ACCEPT)
+            if decision.was_transmitter:
+                self._tx_success_during_error_frame()
+            elif decision.frame is not None:
+                self._rx_delivered = True
+                self._frame_open = False
+                self.counters.on_receive_success()
+                self._record_delivery(decision.frame)
+        else:
+            self._log(EventKind.DEFERRED_REJECT)
+            if decision.was_transmitter:
+                self.counters.on_transmitter_error()
+                self._schedule_retransmission()
+            else:
+                self.counters.on_receiver_error(primary=False)
+                self._reject_received_frame(ErrorReason.EOF_LAST_BIT)
+            self._confinement_check()
+
+    def _tx_success_during_error_frame(self) -> None:
+        """Count the queued frame as transmitted while signalling ends."""
+        job = self.tx_queue.popleft()
+        self.tx_successes.append((self.now, job.frame))
+        self.counters.on_transmit_success()
+        self._frame_open = False
+        self._log(
+            EventKind.TX_SUCCESS,
+            frame=str(job.frame),
+            attempt=job.attempts,
+            message_id=job.frame.message_id,
+            during_error_frame=True,
+        )
+        if self.config.self_delivery:
+            self._record_delivery(job.frame, attempt=job.attempts)
+        self._wire = None
+
+    def _enter_overload(self, reactive: bool) -> None:
+        self._log(EventKind.OVERLOAD_FLAG_START, reactive=reactive)
+        self._flag_remaining = FLAG_LENGTH
+        self._state = STATE_OVERLOAD_FLAG
+
+    def _after_flag_complete(self) -> None:
+        """The 6 flag bits are out; move to the wait-for-recessive phase."""
+        if self._state in (STATE_ERROR_FLAG, STATE_PASSIVE_ERROR_FLAG):
+            self._state = STATE_ERROR_WAIT
+        else:
+            self._state = STATE_OVERLOAD_WAIT
+
+    # ------------------------------------------------------------------
+    # EOF policies (the extension points where the protocols differ)
+    # ------------------------------------------------------------------
+
+    def _rx_eof_bit(self, index: int, seen: Level) -> None:
+        """Standard CAN receiver EOF rule.
+
+        The frame becomes valid for a receiver once the last-but-one
+        EOF bit has been observed without error; a dominant level at
+        the *last* EOF bit is treated as an overload condition and the
+        frame is kept (the "last bit rule" of ISO 11898, responsible
+        for the double receptions and inconsistent omissions that the
+        paper analyses).
+        """
+        last = self.config.eof_length - 1
+        if index < last:
+            if seen is DOMINANT:
+                self._enter_error(ErrorReason.EOF)
+                return
+            if index == last - 1:
+                self._deliver_received_frame()
+            return
+        # Last EOF bit.
+        if seen is DOMINANT:
+            self._enter_overload(reactive=True)
+        else:
+            self._state = STATE_INTERMISSION
+            self._intermission_pos = 0
+            self.is_transmitter = False
+
+    def _tx_eof_bit(self, index: int, seen: Level) -> bool:
+        """Standard CAN transmitter EOF rule.
+
+        Any dominant bit seen anywhere in the EOF — including the last
+        bit — is an error: the transmitter signals and retransmits.
+        Returns ``True`` when error handling was started (the caller
+        must not advance the transmit position).
+        """
+        if seen is DOMINANT:
+            self._enter_error(ErrorReason.EOF, index=index)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _feed_parser_quietly(self, seen: Level) -> None:
+        """Keep the parallel receive parser in sync while transmitting.
+
+        The parser lets the transmitter continue as a receiver after
+        losing arbitration; once it has desynchronised (which can only
+        happen in error situations the transmitter detects itself) it
+        is simply abandoned.
+        """
+        if self._parser is None or self._parser_failed:
+            return
+        if self._parser.complete:
+            return
+        try:
+            step = self._parser.feed(seen)
+        except Exception:
+            self._parser_failed = True
+            return
+        if step.stuff_violation:
+            self._parser_failed = True
+
+    def _confinement_check(self) -> None:
+        if self.counters.state is ConfinementState.BUS_OFF:
+            self._state = STATE_BUS_OFF
+            self._log(EventKind.BUS_OFF)
+            return
+        if self.config.disconnect_on_warning and self.counters.warning:
+            self._log(EventKind.WARNING_RAISED, tec=self.counters.tec, rec=self.counters.rec)
+            self.disconnect()
+
+    def _log(self, kind: str, **data: object) -> None:
+        self.events.append(Event(time=self.now, node=self.name, kind=kind, data=data))
+
+    def __repr__(self) -> str:
+        return "<%s %r state=%s tec=%d rec=%d>" % (
+            type(self).__name__,
+            self.name,
+            self._state,
+            self.counters.tec,
+            self.counters.rec,
+        )

@@ -1,0 +1,132 @@
+"""Transmitter-side frame serialisation.
+
+:func:`encode_frame` turns a :class:`~repro.can.frame.Frame` into a
+:class:`WireFrame`: the exact sequence of bus levels a transmitter
+drives, each annotated with its field name, its index within the field,
+whether it is a stuff bit, and whether it belongs to the arbitration
+region (where observing dominant while driving recessive means a lost
+arbitration instead of a bit error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.can.bits import Level
+from repro.can.fields import (
+    ACK_SLOT,
+    ARBITRATION_FIELDS,
+    EOF,
+    STANDARD_EOF_LENGTH,
+    FieldSegment,
+    header_segments,
+    tail_segments,
+)
+from repro.can.frame import Frame
+from repro.can.stuffing import STUFF_WIDTH
+
+
+@dataclass(frozen=True)
+class WireBit:
+    """One bit of a serialised frame, as driven by the transmitter."""
+
+    level: Level
+    field: str
+    index: int
+    is_stuff: bool
+    in_arbitration: bool
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """A fully serialised frame ready for bit-by-bit transmission."""
+
+    frame: Frame
+    bits: Tuple[WireBit, ...]
+    eof_length: int
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    @property
+    def ack_slot_position(self) -> int:
+        """Index of the ACK slot within :attr:`bits`."""
+        for position, wire_bit in enumerate(self.bits):
+            if wire_bit.field == ACK_SLOT:
+                return position
+        raise AssertionError("every wire frame has an ACK slot")
+
+    @property
+    def eof_start(self) -> int:
+        """Index of the first EOF bit within :attr:`bits`."""
+        for position, wire_bit in enumerate(self.bits):
+            if wire_bit.field == EOF:
+                return position
+        raise AssertionError("every wire frame has an EOF field")
+
+    def field_positions(self, field: str) -> List[int]:
+        """All stream positions whose field name equals ``field``."""
+        return [
+            position
+            for position, wire_bit in enumerate(self.bits)
+            if wire_bit.field == field
+        ]
+
+    def levels(self) -> List[Level]:
+        """The raw level sequence (useful for tests and traces)."""
+        return [wire_bit.level for wire_bit in self.bits]
+
+
+def encode_frame(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> WireFrame:
+    """Serialise ``frame`` into the bit sequence driven on the bus.
+
+    Stuffing covers SOF through the CRC sequence, including a trailing
+    stuff bit when the final five CRC bits form a run (the encoder and
+    the parser agree on this convention; see DESIGN.md).
+    """
+    wire_bits: List[WireBit] = []
+    run_value: Optional[int] = None
+    run_length = 0
+    for segment in header_segments(frame):
+        in_arbitration = segment.name in ARBITRATION_FIELDS
+        for index, bit in enumerate(segment.bits):
+            wire_bits.append(
+                WireBit(
+                    level=Level(bit),
+                    field=segment.name,
+                    index=index,
+                    is_stuff=False,
+                    in_arbitration=in_arbitration,
+                )
+            )
+            if bit == run_value:
+                run_length += 1
+            else:
+                run_value = bit
+                run_length = 1
+            if run_length == STUFF_WIDTH:
+                stuff_bit = 1 - bit
+                wire_bits.append(
+                    WireBit(
+                        level=Level(stuff_bit),
+                        field=segment.name,
+                        index=index,
+                        is_stuff=True,
+                        in_arbitration=in_arbitration,
+                    )
+                )
+                run_value = stuff_bit
+                run_length = 1
+    for segment in tail_segments(eof_length):
+        for index, bit in enumerate(segment.bits):
+            wire_bits.append(
+                WireBit(
+                    level=Level(bit),
+                    field=segment.name,
+                    index=index,
+                    is_stuff=False,
+                    in_arbitration=False,
+                )
+            )
+    return WireFrame(frame=frame, bits=tuple(wire_bits), eof_length=eof_length)

@@ -1,0 +1,120 @@
+"""Fault confinement: transmit/receive error counters.
+
+Every CAN node keeps a transmit error counter (TEC) and a receive error
+counter (REC).  Crossing 127 moves the node to the *error-passive*
+state, in which its error flags are recessive and therefore invisible
+to the other nodes — the first Atomic Broadcast impairment discussed in
+Section 2 of the paper.  Crossing 255 on the TEC disconnects the node
+(*bus-off*).  Reaching 96 on either counter raises the *error warning*
+notification, which the paper (following common practice) uses to
+switch a node off **before** it can become error-passive, so that
+"every node is either helping to achieve data consistency or
+disconnected".
+
+The counting rules implemented here are the primary rules of ISO 11898
+(receiver +1 on error, +8 when it detects the primary error;
+transmitter +8; −1 on successful transmission/reception).  The rarely
+exercised exception clauses are deliberately simplified; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Counter value at which the error warning notification is raised.
+WARNING_LIMIT = 96
+#: Counter value at which a node becomes error-passive.
+PASSIVE_LIMIT = 128
+#: TEC value at which a node goes bus-off.
+BUS_OFF_LIMIT = 256
+
+
+class ConfinementState(enum.Enum):
+    """Fault-confinement state of a CAN node."""
+
+    ERROR_ACTIVE = "error-active"
+    ERROR_PASSIVE = "error-passive"
+    BUS_OFF = "bus-off"
+
+
+@dataclass
+class ErrorCounters:
+    """TEC/REC pair with the ISO 11898 primary counting rules."""
+
+    tec: int = 0
+    rec: int = 0
+    #: Number of times the warning threshold was newly crossed.
+    warnings_raised: int = field(default=0)
+    _warned: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def on_receiver_error(self, primary: bool = False) -> None:
+        """A receiver detected an error (+1, or +8 if it was primary).
+
+        ``primary`` means the node observed a dominant bit right after
+        sending its own error flag — it was the first to signal.
+        """
+        self.rec += 8 if primary else 1
+        self._check_warning()
+
+    def on_transmitter_error(self) -> None:
+        """The transmitter sent an error flag (+8)."""
+        self.tec += 8
+        self._check_warning()
+
+    def on_transmit_success(self) -> None:
+        """A frame was transmitted successfully (TEC −1, floor 0)."""
+        if self.tec > 0:
+            self.tec -= 1
+
+    def on_receive_success(self) -> None:
+        """A frame was received successfully (REC −1, floor 0)."""
+        if self.rec > 0:
+            self.rec -= 1
+
+    def on_stuck_dominant_octet(self, transmitter: bool) -> None:
+        """Eight consecutive dominant bits followed an error flag.
+
+        ISO 11898 increments the relevant counter by 8 for every such
+        octet, confining nodes stuck on a jammed bus.
+        """
+        if transmitter:
+            self.tec += 8
+        else:
+            self.rec += 8
+        self._check_warning()
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> ConfinementState:
+        """Current fault-confinement state."""
+        if self.tec >= BUS_OFF_LIMIT:
+            return ConfinementState.BUS_OFF
+        if self.tec >= PASSIVE_LIMIT or self.rec >= PASSIVE_LIMIT:
+            return ConfinementState.ERROR_PASSIVE
+        return ConfinementState.ERROR_ACTIVE
+
+    @property
+    def warning(self) -> bool:
+        """Whether either counter is at or above the warning limit."""
+        return self.tec >= WARNING_LIMIT or self.rec >= WARNING_LIMIT
+
+    def _check_warning(self) -> None:
+        if self.warning and not self._warned:
+            self._warned = True
+            self.warnings_raised += 1
+        elif not self.warning:
+            self._warned = False
+
+    def reset(self) -> None:
+        """Reset both counters (e.g. after a bus-off recovery)."""
+        self.tec = 0
+        self.rec = 0
+        self._warned = False

@@ -1,0 +1,103 @@
+"""CAN identifiers and their arbitration semantics.
+
+CAN identifiers double as message priorities: during the arbitration
+field every transmitter sends its identifier MSB-first while monitoring
+the bus.  A node that sends recessive but observes dominant has lost
+arbitration and withdraws.  Numerically *lower* identifiers therefore
+have *higher* priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.can.bits import bits_from_int
+from repro.errors import FrameError
+
+#: Highest valid 11-bit (base format) identifier.
+MAX_STANDARD_ID = 0x7FF
+#: Highest valid 29-bit (extended format) identifier.
+MAX_EXTENDED_ID = 0x1FFFFFFF
+
+
+@dataclass(frozen=True, order=False)
+class CanId:
+    """A CAN identifier in base (11-bit) or extended (29-bit) format.
+
+    Parameters
+    ----------
+    value:
+        The numeric identifier.
+    extended:
+        ``True`` for the 29-bit extended format introduced by CAN 2.0B.
+    """
+
+    value: int
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+        if not 0 <= self.value <= limit:
+            raise FrameError(
+                "identifier %#x out of range for %s format (max %#x)"
+                % (self.value, "extended" if self.extended else "base", limit)
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of identifier bits (11 or 29)."""
+        return 29 if self.extended else 11
+
+    def id_bits(self) -> List[int]:
+        """The identifier bits, most significant first."""
+        return bits_from_int(self.value, self.width)
+
+    def base_part(self) -> List[int]:
+        """The 11 most significant identifier bits (ID-A / base id)."""
+        if self.extended:
+            return bits_from_int(self.value >> 18, 11)
+        return bits_from_int(self.value, 11)
+
+    def extension_part(self) -> List[int]:
+        """The 18 least significant bits of an extended identifier."""
+        if not self.extended:
+            raise FrameError("base-format identifiers have no extension part")
+        return bits_from_int(self.value & 0x3FFFF, 18)
+
+    def outranks(self, other: "CanId") -> bool:
+        """Whether this identifier wins CAN arbitration against ``other``.
+
+        The comparison follows the on-the-wire bit order, which means a
+        base-format frame outranks an extended-format frame with the
+        same leading 11 bits (its SRR/IDE bits are recessive later).
+        """
+        return arbitration_sort_key(self) < arbitration_sort_key(other)
+
+    def __str__(self) -> str:
+        kind = "x" if self.extended else "s"
+        return "CanId(%#x/%s)" % (self.value, kind)
+
+
+def arbitration_sort_key(can_id: CanId) -> tuple:
+    """A sort key that orders identifiers by decreasing bus priority.
+
+    CAN arbitration compares the transmitted bit sequences; mapping the
+    arbitration field to a tuple of bits gives the exact wire ordering.
+    Base frames transmit ``ID(11) RTR`` and extended frames transmit
+    ``ID-A(11) SRR(=1) IDE(=1) ID-B(18) RTR``; a data frame's RTR is
+    dominant, so data frames beat remote frames with the same id.  The
+    key here covers the identifier portion only (RTR handled by caller
+    when comparing full frames, see :func:`frame_arbitration_key`).
+    """
+    if can_id.extended:
+        # Base part, then recessive SRR and IDE, then the extension.
+        return tuple(can_id.base_part()) + (1, 1) + tuple(can_id.extension_part())
+    return tuple(can_id.id_bits())
+
+
+def highest_priority(ids: List[CanId]) -> CanId:
+    """Return the identifier that would win arbitration among ``ids``."""
+    if not ids:
+        raise FrameError("cannot pick the highest priority of no identifiers")
+    return min(ids, key=arbitration_sort_key)

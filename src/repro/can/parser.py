@@ -1,0 +1,320 @@
+"""Receiver-side incremental frame parser.
+
+The :class:`FrameParser` consumes one observed bus level per bit time
+and tracks the position inside the frame (field name + index), removes
+stuff bits, computes the CRC incrementally, validates the fixed-form
+delimiter bits and reconstructs the transmitted
+:class:`~repro.can.frame.Frame`.
+
+The parser deliberately does *not* decide what an error means: stuff
+violations, form violations and CRC mismatches are reported as fields
+of the returned :class:`ParserStep`, and the controller maps them to
+the protocol's error-signalling behaviour (which is exactly where
+standard CAN, MinorCAN and MajorCAN differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Tuple
+
+from repro.can.bits import Level, int_from_bits
+from repro.can.crc import CRC_WIDTH, Crc15Register
+from repro.can.fields import (
+    ACK_DELIM,
+    ACK_SLOT,
+    CRC,
+    CRC_DELIM,
+    DATA,
+    DLC,
+    EOF,
+    ID_A,
+    ID_B,
+    IDE,
+    R0,
+    R1,
+    RTR,
+    SOF,
+    SRR,
+    STANDARD_EOF_LENGTH,
+)
+from repro.can.frame import Frame
+from repro.can.identifiers import CanId
+from repro.can.stuffing import Destuffer, StuffResult
+from repro.errors import DecodingError
+
+
+@dataclass(frozen=True)
+class ParserStep:
+    """Outcome of feeding one bit to the parser."""
+
+    field: str
+    index: int
+    level: Level
+    is_stuff: bool = False
+    stuff_violation: bool = False
+    form_violation: bool = False
+    #: Set once the CRC sequence (and trailing stuff bit, if any) has
+    #: been consumed; from then on :attr:`FrameParser.crc_ok` is valid.
+    header_complete: bool = False
+    #: Set when the final EOF bit has been consumed.
+    frame_complete: bool = False
+
+
+@dataclass
+class _FieldCursor:
+    """Internal cursor over the dynamically discovered field sequence."""
+
+    name: str
+    length: int
+    consumed: int = 0
+    bits: List[int] = dataclass_field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.consumed >= self.length
+
+
+class FrameParser:
+    """Parse a CAN frame bit by bit from observed bus levels.
+
+    Parameters
+    ----------
+    eof_length:
+        Length of the end-of-frame field; 7 for standard CAN and
+        MinorCAN, ``2 * m`` for MajorCAN_m.
+    """
+
+    #: Fields covered by bit stuffing (SOF through CRC).
+    _STUFFED_FIELDS = frozenset(
+        {SOF, ID_A, SRR, IDE, ID_B, RTR, R1, R0, DLC, DATA, CRC}
+    )
+
+    def __init__(self, eof_length: int = STANDARD_EOF_LENGTH) -> None:
+        if eof_length < 2:
+            raise DecodingError("EOF must be at least 2 bits long")
+        self.eof_length = eof_length
+        self._destuffer = Destuffer()
+        self._crc = Crc15Register()
+        self._fields: dict = {}
+        self._cursor = _FieldCursor(SOF, 1)
+        self._extended: Optional[bool] = None
+        self._remote: Optional[bool] = None
+        self._crc_ok: Optional[bool] = None
+        self._header_complete = False
+        self._complete = False
+        self._failed = False
+        self._pending_header_complete = False
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+
+    @property
+    def crc_ok(self) -> Optional[bool]:
+        """CRC verdict; ``None`` until the CRC sequence has arrived."""
+        return self._crc_ok
+
+    @property
+    def header_complete(self) -> bool:
+        """Whether everything up to (and including) the CRC was consumed."""
+        return self._header_complete
+
+    @property
+    def complete(self) -> bool:
+        """Whether the entire frame, including EOF, was consumed."""
+        return self._complete
+
+    @property
+    def upcoming(self) -> Tuple[str, int, bool]:
+        """``(field, index, is_stuff)`` of the *next* bit to be fed.
+
+        Controllers use this to know, one bit ahead, that the ACK slot
+        is about to arrive (so they can drive a dominant acknowledgement)
+        and to announce their current position to the fault injector.
+        """
+        if self._complete or self._failed:
+            return (EOF, self.eof_length - 1, False)
+        if self._in_stuffed_region() and self._destuffer.next_is_stuff:
+            if self._cursor.name == CRC_DELIM:
+                return (CRC, CRC_WIDTH - 1, True)
+            return (self._cursor.name, max(self._cursor.consumed - 1, 0), True)
+        return (self._cursor.name, self._cursor.consumed, False)
+
+    def frame(self) -> Frame:
+        """Reconstruct the received frame (valid once the header is in)."""
+        if not self._header_complete:
+            raise DecodingError("frame not yet fully received")
+        identifier = self._identifier()
+        remote = bool(self._remote)
+        dlc = int_from_bits(self._fields[DLC])
+        data = bytes(
+            int_from_bits(self._fields.get(DATA, [])[position : position + 8])
+            for position in range(0, len(self._fields.get(DATA, [])), 8)
+        )
+        return Frame(can_id=identifier, data=data, remote=remote, dlc=dlc)
+
+    # ------------------------------------------------------------------
+    # Bit consumption
+    # ------------------------------------------------------------------
+
+    def feed(self, level: Level) -> ParserStep:
+        """Consume one observed bus level and report what it was."""
+        if self._complete:
+            raise DecodingError("parser fed past the end of the frame")
+        if self._failed:
+            raise DecodingError("parser fed after an unrecoverable violation")
+        bit = int(level)
+        field_name = self._cursor.name
+        index = self._cursor.consumed
+        if self._in_stuffed_region():
+            result = self._destuffer.feed(bit)
+            if result == StuffResult.VIOLATION:
+                self._failed = True
+                return ParserStep(
+                    field=field_name,
+                    index=max(index - 1, 0),
+                    level=level,
+                    is_stuff=True,
+                    stuff_violation=True,
+                )
+            if result == StuffResult.STUFF:
+                if field_name == CRC_DELIM:
+                    # Trailing stuff bit after the final CRC bit: it
+                    # belongs to the CRC sequence, not the delimiter.
+                    field_name, index = CRC, CRC_WIDTH
+                return ParserStep(
+                    field=field_name,
+                    index=max(index - 1, 0),
+                    level=level,
+                    is_stuff=True,
+                    header_complete=self._maybe_finish_header(),
+                )
+            self._consume_data_bit(bit)
+            return ParserStep(
+                field=field_name,
+                index=index,
+                level=level,
+                header_complete=self._maybe_finish_header(),
+            )
+        # Fixed-form region: CRC delimiter, ACK field, EOF.
+        return self._consume_tail_bit(field_name, index, level)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _in_stuffed_region(self) -> bool:
+        if self._cursor.name in self._STUFFED_FIELDS:
+            return True
+        # A trailing stuff bit may be pending right after the last CRC bit.
+        return self._cursor.name == CRC_DELIM and self._destuffer.next_is_stuff
+
+    def _consume_data_bit(self, bit: int) -> None:
+        cursor = self._cursor
+        cursor.bits.append(bit)
+        cursor.consumed += 1
+        if cursor.name != CRC:
+            self._crc.feed(bit)
+        if cursor.done:
+            self._fields[cursor.name] = list(cursor.bits)
+            self._advance_after(cursor.name)
+
+    def _maybe_finish_header(self) -> bool:
+        """Mark the header complete once CRC plus pending stuff is in."""
+        if self._pending_header_complete and not self._destuffer.next_is_stuff:
+            self._pending_header_complete = False
+            self._header_complete = True
+            received = int_from_bits(self._fields[CRC])
+            self._crc_ok = received == self._crc.value
+            return True
+        return False
+
+    def _advance_after(self, finished: str) -> None:
+        if finished == SOF:
+            self._cursor = _FieldCursor(ID_A, 11)
+        elif finished == ID_A:
+            # The next bit is RTR (base) or SRR (extended); we cannot
+            # know which until the IDE bit arrives, so parse it under
+            # the provisional name RTR and fix it up if IDE is recessive.
+            self._cursor = _FieldCursor(RTR, 1)
+        elif finished == RTR and self._extended is None:
+            self._cursor = _FieldCursor(IDE, 1)
+        elif finished == IDE:
+            ide_bit = self._fields[IDE][0]
+            if ide_bit == 1:
+                # Extended format: the bit parsed as RTR was really SRR.
+                self._extended = True
+                self._fields[SRR] = self._fields.pop(RTR)
+                self._cursor = _FieldCursor(ID_B, 18)
+            else:
+                self._extended = False
+                self._remote = self._fields[RTR][0] == 1
+                self._cursor = _FieldCursor(R0, 1)
+        elif finished == ID_B:
+            self._cursor = _FieldCursor(RTR, 1)
+            self._extended = True
+        elif finished == RTR and self._extended:
+            self._remote = self._fields[RTR][0] == 1
+            self._cursor = _FieldCursor(R1, 1)
+        elif finished == R1:
+            self._cursor = _FieldCursor(R0, 1)
+        elif finished == R0:
+            self._cursor = _FieldCursor(DLC, 4)
+        elif finished == DLC:
+            dlc = int_from_bits(self._fields[DLC])
+            data_bits = 0 if self._remote else 8 * min(dlc, 8)
+            if data_bits:
+                self._cursor = _FieldCursor(DATA, data_bits)
+            else:
+                self._cursor = _FieldCursor(CRC, CRC_WIDTH)
+        elif finished == DATA:
+            self._cursor = _FieldCursor(CRC, CRC_WIDTH)
+        elif finished == CRC:
+            self._cursor = _FieldCursor(CRC_DELIM, 1)
+            self._pending_header_complete = True
+        elif finished == CRC_DELIM:
+            self._cursor = _FieldCursor(ACK_SLOT, 1)
+        elif finished == ACK_SLOT:
+            self._cursor = _FieldCursor(ACK_DELIM, 1)
+        elif finished == ACK_DELIM:
+            self._cursor = _FieldCursor(EOF, self.eof_length)
+        elif finished == EOF:
+            self._complete = True
+        else:  # pragma: no cover - defensive
+            raise DecodingError("parser reached unknown field %r" % finished)
+
+    def _consume_tail_bit(self, field_name: str, index: int, level: Level) -> ParserStep:
+        cursor = self._cursor
+        cursor.bits.append(int(level))
+        cursor.consumed += 1
+        header_complete = False
+        if field_name == CRC_DELIM and not self._header_complete:
+            # No trailing stuff bit was pending; the header finished with
+            # the last CRC data bit, so finalise the CRC verdict now.
+            self._pending_header_complete = False
+            self._header_complete = True
+            received = int_from_bits(self._fields[CRC])
+            self._crc_ok = received == self._crc.value
+            header_complete = True
+        form_violation = False
+        if field_name in (CRC_DELIM, ACK_DELIM) and level is Level.DOMINANT:
+            form_violation = True
+        if cursor.done:
+            self._fields[field_name] = list(cursor.bits)
+            self._advance_after(field_name)
+        return ParserStep(
+            field=field_name,
+            index=index,
+            level=level,
+            form_violation=form_violation,
+            header_complete=header_complete,
+            frame_complete=self._complete,
+        )
+
+    def _identifier(self) -> CanId:
+        base = int_from_bits(self._fields[ID_A])
+        if self._extended:
+            extension = int_from_bits(self._fields[ID_B])
+            return CanId((base << 18) | extension, extended=True)
+        return CanId(base, extended=False)

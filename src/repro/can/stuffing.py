@@ -1,0 +1,143 @@
+"""Bit stuffing and destuffing.
+
+CAN frames are NRZ-coded; to guarantee enough signal edges for
+resynchronisation, the transmitter inserts a complementary *stuff bit*
+after every run of five identical bits between the start of frame and
+the end of the CRC sequence.  Receivers remove the stuff bits; a sixth
+identical consecutive bit in the stuffed region is a *stuff error* —
+which is exactly the mechanism by which the six-dominant-bit error flag
+is guaranteed to be noticed by every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import StuffingError
+
+#: Run length after which a complementary stuff bit must be inserted.
+STUFF_WIDTH = 5
+
+
+def stuff(bits: Sequence[int]) -> List[int]:
+    """Insert stuff bits into a logical bit sequence.
+
+    After any run of :data:`STUFF_WIDTH` identical bits (runs may include
+    previously inserted stuff bits), the complementary bit is inserted.
+
+    >>> stuff([0, 0, 0, 0, 0])
+    [0, 0, 0, 0, 0, 1]
+    """
+    out: List[int] = []
+    run_value: Optional[int] = None
+    run_length = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError("bits must be 0 or 1, got %r" % (bit,))
+        out.append(bit)
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == STUFF_WIDTH:
+            stuff_bit = 1 - bit
+            out.append(stuff_bit)
+            run_value = stuff_bit
+            run_length = 1
+    return out
+
+
+def destuff(bits: Sequence[int]) -> List[int]:
+    """Remove stuff bits from a stuffed sequence.
+
+    Raises
+    ------
+    StuffingError
+        If a run of six identical bits is found (a stuff violation), or
+        if the sequence ends where a stuff bit was expected.
+    """
+    out: List[int] = []
+    destuffer = Destuffer()
+    for index, bit in enumerate(bits):
+        result = destuffer.feed(bit)
+        if result is StuffResult.VIOLATION:
+            raise StuffingError("stuff violation at stuffed index %d" % index)
+        if result is StuffResult.DATA:
+            out.append(bit)
+    return out
+
+
+def stuffed_length(bits: Sequence[int]) -> int:
+    """Length of ``bits`` after stuffing, without building the list."""
+    return len(stuff(list(bits)))
+
+
+def worst_case_stuffed_length(unstuffed: int) -> int:
+    """Upper bound on the stuffed length of ``unstuffed`` bits.
+
+    The worst case inserts one stuff bit per four payload bits after the
+    first run of five: ``unstuffed + floor((unstuffed - 1) / 4)``.
+    """
+    if unstuffed <= 0:
+        return 0
+    return unstuffed + (unstuffed - 1) // 4
+
+
+class StuffResult:
+    """Classification of one stuffed bit fed to :class:`Destuffer`."""
+
+    DATA = "data"
+    STUFF = "stuff"
+    VIOLATION = "violation"
+
+
+@dataclass
+class Destuffer:
+    """Incremental destuffer used by the on-line frame parser.
+
+    ``feed`` classifies each incoming bit as payload data, an expected
+    stuff bit, or a stuff violation (six identical consecutive bits).
+    After a violation, the instance must be reset before reuse.
+    """
+
+    _run_value: Optional[int] = None
+    _run_length: int = 0
+    _expect_stuff: bool = False
+    _violated: bool = False
+
+    def feed(self, bit: int) -> str:
+        """Classify one bit; returns a :class:`StuffResult` constant."""
+        if self._violated:
+            raise StuffingError("destuffer used after a stuff violation")
+        if bit not in (0, 1):
+            raise ValueError("bits must be 0 or 1, got %r" % (bit,))
+        if self._expect_stuff:
+            self._expect_stuff = False
+            if bit == self._run_value:
+                self._violated = True
+                return StuffResult.VIOLATION
+            self._run_value = bit
+            self._run_length = 1
+            return StuffResult.STUFF
+        if bit == self._run_value:
+            self._run_length += 1
+        else:
+            self._run_value = bit
+            self._run_length = 1
+        if self._run_length == STUFF_WIDTH:
+            self._expect_stuff = True
+        return StuffResult.DATA
+
+    @property
+    def next_is_stuff(self) -> bool:
+        """Whether the next fed bit will be interpreted as a stuff bit."""
+        return self._expect_stuff
+
+    def reset(self) -> None:
+        """Restore the initial state (start of a new frame)."""
+        self._run_value = None
+        self._run_length = 0
+        self._expect_stuff = False
+        self._violated = False

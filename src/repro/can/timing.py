@@ -1,0 +1,178 @@
+"""CAN bit-timing configuration.
+
+The simulator operates at whole-bit granularity (the paper's scenarios
+are whole-bit phenomena), but any deployable CAN/MajorCAN stack must
+also configure the *intra*-bit timing: a nominal bit time is divided
+into time quanta spread over four segments::
+
+    | SYNC_SEG | PROP_SEG | PHASE_SEG1 | PHASE_SEG2 |
+                                       ^ sample point
+
+This module validates timing parameter sets against the ISO 11898
+constraints, derives the quantities designers care about (bit rate,
+sample-point position, resynchronisation limits) and checks a
+configuration against a bus length (the propagation segment must cover
+the round-trip delay).  It documents the physical envelope in which
+the whole-bit simulation model of this reproduction is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Speed of signal propagation on a CAN bus line, metres per second
+#: (roughly 2/3 of the speed of light; includes transceiver margins).
+PROPAGATION_SPEED_M_PER_S = 2.0e8
+
+#: ISO 11898 limit on the number of time quanta per bit.
+MIN_QUANTA_PER_BIT = 8
+MAX_QUANTA_PER_BIT = 25
+
+
+@dataclass(frozen=True)
+class BitTiming:
+    """One CAN bit-timing parameter set.
+
+    Parameters
+    ----------
+    f_clock_hz:
+        Controller clock frequency.
+    brp:
+        Baud-rate prescaler: one time quantum is ``brp`` clock periods.
+    prop_seg, phase_seg1, phase_seg2:
+        Segment lengths in time quanta (SYNC_SEG is always 1).
+    sjw:
+        Synchronisation jump width in quanta.
+    """
+
+    f_clock_hz: float
+    brp: int
+    prop_seg: int
+    phase_seg1: int
+    phase_seg2: int
+    sjw: int = 1
+
+    def __post_init__(self) -> None:
+        if self.f_clock_hz <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+        if self.brp < 1:
+            raise ConfigurationError("prescaler must be at least 1")
+        for name in ("prop_seg", "phase_seg1", "phase_seg2"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError("%s must be at least 1 quantum" % name)
+        if not MIN_QUANTA_PER_BIT <= self.quanta_per_bit <= MAX_QUANTA_PER_BIT:
+            raise ConfigurationError(
+                "bit time must span %d..%d quanta, got %d"
+                % (MIN_QUANTA_PER_BIT, MAX_QUANTA_PER_BIT, self.quanta_per_bit)
+            )
+        if self.sjw < 1 or self.sjw > min(4, self.phase_seg1, self.phase_seg2):
+            raise ConfigurationError(
+                "SJW must be in [1, min(4, phase_seg1, phase_seg2)]"
+            )
+        if self.phase_seg2 < 2:
+            # Information processing time: >= 2 quanta after the sample
+            # point are required by typical controller implementations.
+            raise ConfigurationError("phase_seg2 must be at least 2 quanta")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def quanta_per_bit(self) -> int:
+        """Total quanta per bit, including the 1-quantum SYNC_SEG."""
+        return 1 + self.prop_seg + self.phase_seg1 + self.phase_seg2
+
+    @property
+    def time_quantum_s(self) -> float:
+        """Duration of one time quantum in seconds."""
+        return self.brp / self.f_clock_hz
+
+    @property
+    def bit_time_s(self) -> float:
+        """Nominal bit time in seconds."""
+        return self.quanta_per_bit * self.time_quantum_s
+
+    @property
+    def bit_rate_bps(self) -> float:
+        """Nominal bit rate in bits per second."""
+        return 1.0 / self.bit_time_s
+
+    @property
+    def sample_point(self) -> float:
+        """Sample-point position as a fraction of the bit time.
+
+        Conventional designs target 75-87.5 %.
+        """
+        return (1 + self.prop_seg + self.phase_seg1) / self.quanta_per_bit
+
+    def max_bus_length_m(self, node_delay_s: float = 200e-9) -> float:
+        """Bus length whose round-trip delay the PROP_SEG still covers.
+
+        Arbitration and in-slot acknowledgement require every node to
+        see every other node's bit within the propagation segment:
+        ``prop_seg * tq >= 2 * (line_delay + node_delay)``.
+        """
+        budget = self.prop_seg * self.time_quantum_s / 2.0 - node_delay_s
+        if budget <= 0:
+            return 0.0
+        return budget * PROPAGATION_SPEED_M_PER_S
+
+
+def classic_1mbps(f_clock_hz: float = 16e6) -> BitTiming:
+    """The paper's 1 Mbps operating point on a 16 MHz controller clock.
+
+    16 quanta per bit, sample point at 81.25 % — a conventional
+    high-speed configuration.
+    """
+    return BitTiming(
+        f_clock_hz=f_clock_hz,
+        brp=1,
+        prop_seg=7,
+        phase_seg1=5,
+        phase_seg2=3,
+        sjw=1,
+    )
+
+
+def timing_for_bit_rate(
+    bit_rate_bps: float,
+    f_clock_hz: float = 16e6,
+    sample_point_target: float = 0.8,
+) -> BitTiming:
+    """Find a valid parameter set for a requested bit rate.
+
+    Scans prescaler values and splits the remaining quanta to approach
+    the target sample point.  Raises if no exact integer solution
+    exists (standard CAN practice: pick a clock that divides evenly).
+    """
+    if bit_rate_bps <= 0:
+        raise ConfigurationError("bit rate must be positive")
+    for brp in range(1, 65):
+        quanta = f_clock_hz / (brp * bit_rate_bps)
+        if abs(quanta - round(quanta)) > 1e-9:
+            continue
+        quanta = int(round(quanta))
+        if not MIN_QUANTA_PER_BIT <= quanta <= MAX_QUANTA_PER_BIT:
+            continue
+        before_sample = max(2, min(quanta - 2, round(sample_point_target * quanta) - 1))
+        phase_seg2 = quanta - 1 - before_sample
+        if phase_seg2 < 2:
+            continue
+        phase_seg1 = max(1, before_sample // 2)
+        prop_seg = before_sample - phase_seg1
+        if prop_seg < 1:
+            continue
+        return BitTiming(
+            f_clock_hz=f_clock_hz,
+            brp=brp,
+            prop_seg=prop_seg,
+            phase_seg1=phase_seg1,
+            phase_seg2=phase_seg2,
+            sjw=min(4, phase_seg1, phase_seg2),
+        )
+    raise ConfigurationError(
+        "no valid bit timing for %.0f bps at %.0f Hz" % (bit_rate_bps, f_clock_hz)
+    )

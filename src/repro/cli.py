@@ -1,0 +1,326 @@
+"""Command-line entry point: ``majorcan-repro <command>``.
+
+Each sub-command regenerates one of the paper's artefacts:
+
+* ``table1``      — Table 1 (analytical IMO rates per hour);
+* ``scenarios``   — Fig. 1/2/3/5 deterministic scenario outcomes;
+* ``fig4``        — the MajorCAN_m per-bit behaviour table;
+* ``matrix``      — the Atomic Broadcast property matrices;
+* ``overhead``    — the 2m-7 / 4m-9 overhead arithmetic, measured;
+* ``enumerate``   — exact tail-pattern enumeration vs. equation 4;
+* ``montecarlo``  — stochastic validation of the model;
+* ``verify``      — bounded exhaustive consistency verification;
+* ``geometry``    — the Section 5 frame-end geometry, derived/checked;
+* ``ablation``    — the m-choice ablation and the CAN6' revision;
+* ``campaign``    — seeded multi-round attack campaigns;
+* ``reliability`` — Table 1 restated as mission survival.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.table1 import generate_table1, render_table1
+
+    print(render_table1(generate_table1()))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIOS, fig3, fig5
+
+    protocols = [args.protocol] if args.protocol else ["can", "minorcan", "majorcan"]
+    for name in ("fig1a", "fig1b", "fig1c"):
+        for protocol in protocols:
+            print(SCENARIOS[name](protocol, m=args.m).summary())
+    for protocol in protocols:
+        print(fig3(protocol, m=args.m).summary())
+    if args.protocol in (None, "majorcan"):
+        print(fig5(m=args.m).summary())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import fig4_behaviour
+
+    print("Behaviour of a MajorCAN_%d node:" % args.m)
+    for row in fig4_behaviour(args.m):
+        print("  " + row.render())
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.properties.matrix import core_matrix, hlp_matrix, render_matrix
+
+    print("Link-layer protocols:")
+    print(render_matrix(core_matrix(m=args.m)))
+    print()
+    print("Higher-level protocols (Rufino et al.):")
+    print(render_matrix(hlp_matrix()))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.analysis.overhead import (
+        best_case_overhead_bits,
+        measured_overhead,
+        worst_case_overhead_bits,
+    )
+
+    m = args.m
+    print("MajorCAN_%d overhead vs standard CAN" % m)
+    print("  formula : best %d bits, worst %d bits"
+          % (best_case_overhead_bits(m), worst_case_overhead_bits(m)))
+    if 3 <= m <= 5:
+        measured = measured_overhead(m)
+        print("  measured: best %d bits, worst %d bits"
+              % (measured.best_case, measured.worst_case))
+    else:
+        print("  measured: (worst-case measurement defined for m in [3, 5])")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    from repro.analysis.enumeration import (
+        enumerate_tail_patterns,
+        equation4_tail_prediction,
+    )
+
+    result = enumerate_tail_patterns(
+        protocol=args.protocol or "can",
+        n_nodes=args.nodes,
+        window=args.window,
+        ber_star=args.ber_star,
+    )
+    print("protocol=%s nodes=%d window=%d patterns=%d"
+          % (result.protocol, result.n_nodes, result.window, len(result.outcomes)))
+    print("  P(IMO) enumerated : %.6e" % result.p_inconsistent_omission)
+    print("  P(IMO) equation 4 : %.6e"
+          % equation4_tail_prediction(args.ber_star, args.nodes, result.tau_data))
+    print("  P(double)         : %.6e" % result.p_double_reception)
+    print("  IMO patterns      : %d" % len(result.imo_patterns()))
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.analysis.montecarlo import monte_carlo_tail
+
+    result = monte_carlo_tail(
+        protocol=args.protocol or "can",
+        n_nodes=args.nodes,
+        ber_star=args.ber_star,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    low, high = result.imo_confidence_interval()
+    print("trials=%d flips=%d" % (result.trials, result.flips_total))
+    print("  P(IMO)  : %.4f  (95%% CI [%.4f, %.4f])" % (result.p_imo, low, high))
+    print("  P(incons): %.4f" % result.p_inconsistent)
+    return 0
+
+
+def _cmd_geometry(args: argparse.Namespace) -> int:
+    from repro.analysis.geometry import geometry_report
+
+    print(geometry_report(args.m))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.faults.campaigns import compare_protocols
+    from repro.metrics.report import render_table
+
+    outcomes = compare_protocols(
+        rounds=args.rounds,
+        attack_probability=args.attack,
+        noise_ber_star=args.noise,
+        seed=args.seed,
+    )
+    print(
+        render_table(
+            [outcome.as_row() for outcome in outcomes],
+            columns=[
+                "protocol",
+                "rounds",
+                "attacked",
+                "consistent",
+                "imo",
+                "double",
+                "errors",
+            ],
+            title="Consistency campaign (Fig. 3a attacks + optional noise)",
+        )
+    )
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro.analysis.reliability import reliability_comparison
+
+    rows = reliability_comparison(args.ber, mission_hours=(1.0, 8760.0))
+    print("Channel-error IMO reliability at ber=%.0e (paper profile):" % args.ber)
+    for row in rows:
+        print(
+            "  %-9s rate=%.3e /h  MTTF=%s h  P(survive 1 year)=%.6f"
+            % (
+                row.protocol,
+                row.imo_rate_per_hour,
+                "inf" if row.mttf_hours == float("inf") else "%.3e" % row.mttf_hours,
+                row.mission_survival[8760.0],
+            )
+        )
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import m_ablation, omission_degree_revision
+    from repro.metrics.report import render_table
+
+    rows = m_ablation(m_values=tuple(args.m_values), tail_flips=args.flips)
+    print(
+        render_table(
+            [
+                {
+                    "m": row.m,
+                    "best bits": row.best_case_bits,
+                    "worst bits": row.worst_case_bits,
+                    "tail ok": row.tail_consistent,
+                    "F1 closed": row.f1_channel_closed,
+                }
+                for row in rows
+            ],
+            columns=["m", "best bits", "worst bits", "tail ok", "F1 closed"],
+            title="Choice of m — overhead vs verified robustness",
+        )
+    )
+    print()
+    for ber in (1e-4, 1e-5, 1e-6):
+        revision = omission_degree_revision(ber)
+        print(
+            "CAN6' at ber=%.0e: j=%.2e  j'=%.2e  (x%.0f)"
+            % (ber, revision.j_old_scenarios, revision.j_prime_with_new, revision.inflation)
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verification import header_sites, verify_consistency
+
+    extra = ()
+    if args.include_header:
+        names = ["tx"] + ["r%d" % i for i in range(1, args.nodes)]
+        extra = header_sites(names)
+    result = verify_consistency(
+        protocol=args.protocol or "majorcan",
+        m=args.m,
+        n_nodes=args.nodes,
+        max_flips=args.flips,
+        extra_sites=extra,
+    )
+    print(result.summary())
+    for counterexample in result.counterexamples[:20]:
+        print("  " + str(counterexample))
+    if len(result.counterexamples) > 20:
+        print("  ... and %d more" % (len(result.counterexamples) - 20))
+    return 0 if result.holds else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="majorcan-repro",
+        description="MajorCAN (ICDCS 2000) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("scenarios", help="run the figure scenarios")
+    p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])
+    p.add_argument("--m", type=int, default=5)
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser("fig4", help="MajorCAN per-bit behaviour table")
+    p.add_argument("--m", type=int, default=5)
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("matrix", help="Atomic Broadcast property matrices")
+    p.add_argument("--m", type=int, default=5)
+    p.set_defaults(func=_cmd_matrix)
+
+    p = sub.add_parser("overhead", help="MajorCAN overhead arithmetic")
+    p.add_argument("--m", type=int, default=5)
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("enumerate", help="exact tail-pattern enumeration")
+    p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--window", type=int, default=2)
+    p.add_argument("--ber-star", type=float, default=1e-4, dest="ber_star")
+    p.set_defaults(func=_cmd_enumerate)
+
+    p = sub.add_parser("geometry", help="MajorCAN frame-end geometry report")
+    p.add_argument("--m", type=int, default=5)
+    p.set_defaults(func=_cmd_geometry)
+
+    p = sub.add_parser("campaign", help="multi-round consistency campaign")
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--attack", type=float, default=0.3)
+    p.add_argument("--noise", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("reliability", help="mission reliability comparison")
+    p.add_argument("--ber", type=float, default=1e-4)
+    p.set_defaults(func=_cmd_reliability)
+
+    p = sub.add_parser("ablation", help="m-choice ablation and CAN6' revision")
+    p.add_argument(
+        "--m-values",
+        type=int,
+        nargs="+",
+        default=[3, 4, 5, 6, 7],
+        dest="m_values",
+    )
+    p.add_argument("--flips", type=int, default=1)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser(
+        "verify", help="bounded exhaustive consistency verification"
+    )
+    p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])
+    p.add_argument("--m", type=int, default=5)
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--flips", type=int, default=2)
+    p.add_argument(
+        "--include-header",
+        action="store_true",
+        help="add DLC/DATA sites (exposes finding F1)",
+    )
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("montecarlo", help="stochastic model validation")
+    p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--trials", type=int, default=500)
+    p.add_argument("--ber-star", type=float, default=0.05, dest="ber_star")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_montecarlo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's protocol modifications: MinorCAN and MajorCAN_m."""
+
+from repro.core.majorcan import (
+    DEFAULT_M,
+    MajorCanController,
+    STATE_MAJOR_EXTENDED_FLAG,
+    STATE_MAJOR_FLAG,
+    STATE_MAJOR_QUIET,
+    majorcan_config,
+)
+from repro.core.minorcan import MinorCanController
+
+__all__ = [
+    "DEFAULT_M",
+    "MajorCanController",
+    "MinorCanController",
+    "STATE_MAJOR_EXTENDED_FLAG",
+    "STATE_MAJOR_FLAG",
+    "STATE_MAJOR_QUIET",
+    "majorcan_config",
+]

@@ -1,0 +1,111 @@
+"""Random bit-error injection following the paper's spatial model.
+
+Every node's view of every bus bit is flipped independently with
+probability ``ber*`` (:func:`repro.faults.models.ber_star`).  This is
+the stochastic counterpart of the deterministic scenario scripts and
+drives the Monte-Carlo validation of the analytical model (experiment
+E-MC in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.can.bits import Level
+from repro.can.controller import CanController
+from repro.errors import ConfigurationError
+from repro.simulation.engine import FaultInjector
+from repro.simulation.rng import SeedLike, make_rng
+
+
+class RandomViewErrorInjector(FaultInjector):
+    """Flip each node's view of each bit with probability ``ber_star``.
+
+    Parameters
+    ----------
+    ber_star:
+        Per-node, per-bit flip probability (``ber / N`` in the paper's
+        model).
+    seed:
+        Seed or generator for reproducibility.
+    only_nodes:
+        Optional restriction of the fault universe to some node names
+        (useful to keep a reference observer fault-free).
+    """
+
+    def __init__(
+        self,
+        ber_star: float,
+        seed: SeedLike = None,
+        only_nodes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not 0.0 <= ber_star <= 1.0:
+            raise ConfigurationError("ber_star must be a probability")
+        self.ber_star = ber_star
+        self.rng = make_rng(seed)
+        self.only_nodes = set(only_nodes) if only_nodes is not None else None
+        self.injected = 0
+        self.injected_by_node: Counter = Counter()
+        self.injections: list = []
+
+    def perturb_view(self, node: CanController, time: int, bus_level: Level) -> Level:
+        if self.only_nodes is not None and node.name not in self.only_nodes:
+            return bus_level
+        if self.rng.random() >= self.ber_star:
+            return bus_level
+        self.injected += 1
+        self.injected_by_node[node.name] += 1
+        self.injections.append((time, node.name, node.position))
+        return bus_level.flipped()
+
+
+class BurstViewErrorInjector(FaultInjector):
+    """Flip a contiguous burst of one node's view bits.
+
+    Used by the CRC robustness tests: CAN's CRC-15 detects any burst
+    shorter than 15 bits, so a burst injector exercises exactly that
+    guarantee.
+    """
+
+    def __init__(self, node: str, start_time: int, length: int) -> None:
+        if length < 1:
+            raise ConfigurationError("burst length must be positive")
+        self.node = node
+        self.start_time = start_time
+        self.length = length
+        self.injected = 0
+
+    def perturb_view(self, node: CanController, time: int, bus_level: Level) -> Level:
+        if node.name != self.node:
+            return bus_level
+        if self.start_time <= time < self.start_time + self.length:
+            self.injected += 1
+            return bus_level.flipped()
+        return bus_level
+
+
+class ErrorBudgetInjector(FaultInjector):
+    """Flip an exact set of (time, node) view bits.
+
+    The property-based MajorCAN consistency tests use this to place a
+    bounded number of random errors (``<= m``) at arbitrary positions
+    relative to the frame end.
+    """
+
+    def __init__(self, flips: Sequence[Tuple[int, str]]) -> None:
+        self._flips: Dict[Tuple[int, str], bool] = {
+            (int(time), name): False for time, name in flips
+        }
+
+    def perturb_view(self, node: CanController, time: int, bus_level: Level) -> Level:
+        key = (time, node.name)
+        if key in self._flips:
+            self._flips[key] = True
+            return bus_level.flipped()
+        return bus_level
+
+    @property
+    def applied(self) -> int:
+        """Number of scheduled flips that actually happened."""
+        return sum(1 for fired in self._flips.values() if fired)

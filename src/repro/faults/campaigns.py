@@ -1,0 +1,170 @@
+"""Structured fault-injection campaigns.
+
+A campaign runs many independent *rounds*: in each round a critical
+message is broadcast over background traffic while a configurable mix
+of disturbances strikes — the paper's deterministic tail patterns
+(with some probability per round) and uniform random view noise.  The
+automotive example in ``examples/automotive_network.py`` is a thin
+wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.errors import ConfigurationError
+from repro.faults.bit_errors import RandomViewErrorInjector
+from repro.faults.injector import (
+    CompositeInjector,
+    ScriptedInjector,
+    Trigger,
+    ViewFault,
+)
+from repro.faults.scenarios import make_controller
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Parameters of a consistency campaign."""
+
+    protocol: str = "can"
+    m: int = 5
+    n_nodes: int = 4
+    rounds: int = 50
+    #: Probability that a round suffers the Fig. 3a tail pattern.
+    attack_probability: float = 0.3
+    #: Uniform per-node per-bit view noise (0 disables).
+    noise_ber_star: float = 0.0
+    #: Background frames per non-critical node per round.
+    background_frames: int = 1
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 3:
+            raise ConfigurationError("campaigns need at least 3 nodes")
+        if not 0.0 <= self.attack_probability <= 1.0:
+            raise ConfigurationError("attack_probability is a probability")
+        if self.rounds < 1:
+            raise ConfigurationError("at least one round required")
+
+
+@dataclass
+class CampaignOutcome:
+    """Aggregated round classifications."""
+
+    spec: CampaignSpec
+    rounds: int = 0
+    attacked_rounds: int = 0
+    consistent: int = 0
+    omissions: int = 0
+    duplications: int = 0
+    errors_injected: int = 0
+    omission_rounds: List[int] = field(default_factory=list)
+
+    @property
+    def omission_rate(self) -> float:
+        """Fraction of rounds ending in an inconsistent omission."""
+        return self.omissions / self.rounds if self.rounds else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.spec.protocol,
+            "rounds": self.rounds,
+            "attacked": self.attacked_rounds,
+            "consistent": self.consistent,
+            "imo": self.omissions,
+            "double": self.duplications,
+            "errors": self.errors_injected,
+        }
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignOutcome:
+    """Run the campaign described by ``spec``."""
+    rng = make_rng(spec.seed)
+    outcome = CampaignOutcome(spec=spec)
+    node_names = ["critical"] + ["bg%d" % i for i in range(1, spec.n_nodes)]
+    for round_index in range(spec.rounds):
+        attacked = bool(rng.random() < spec.attack_probability)
+        victim = node_names[1 + int(rng.integers(0, spec.n_nodes - 1))]
+        counts, injected = _run_round(spec, node_names, attacked, victim, rng)
+        outcome.rounds += 1
+        outcome.attacked_rounds += int(attacked)
+        outcome.errors_injected += injected
+        if any(count == 0 for count in counts) and any(count > 0 for count in counts):
+            outcome.omissions += 1
+            outcome.omission_rounds.append(round_index)
+        elif any(count > 1 for count in counts):
+            outcome.duplications += 1
+        else:
+            outcome.consistent += 1
+    return outcome
+
+
+def _run_round(
+    spec: CampaignSpec,
+    node_names: Sequence[str],
+    attacked: bool,
+    victim: str,
+    rng,
+):
+    controllers = [
+        make_controller(spec.protocol, name, m=spec.m) for name in node_names
+    ]
+    eof_last = controllers[0].config.eof_length - 1
+    faults = []
+    if attacked:
+        faults = [
+            ViewFault(victim, Trigger(field=EOF, index=eof_last - 1), force=DOMINANT),
+            ViewFault(
+                "critical", Trigger(field=EOF, index=eof_last), force=RECESSIVE
+            ),
+        ]
+    scripted = ScriptedInjector(view_faults=faults)
+    injector = scripted
+    noise: Optional[RandomViewErrorInjector] = None
+    if spec.noise_ber_star > 0.0:
+        noise = RandomViewErrorInjector(spec.noise_ber_star, seed=rng)
+        injector = CompositeInjector([scripted, noise])
+    engine = SimulationEngine(controllers, injector=injector, record_bits=False)
+    command = data_frame(0x010, b"\xc0\x01", message_id="critical")
+    controllers[0].submit(command)
+    for index, controller in enumerate(controllers[1:], start=1):
+        for seq in range(spec.background_frames):
+            controller.submit(
+                data_frame(0x100 + index, bytes([index, seq]))
+            )
+    try:
+        engine.run_until_idle(120000)
+    except Exception:
+        pass  # extreme noise may keep a node retrying; classify anyway
+    key = (
+        command.can_id.value,
+        command.can_id.extended,
+        command.remote,
+        command.dlc,
+        command.data,
+    )
+    counts = [
+        sum(1 for d in controller.deliveries if d.wire_key() == key)
+        for controller in controllers
+        if not controller.offline
+    ]
+    injected = scripted.total_fired + (noise.injected if noise else 0)
+    return counts, injected
+
+
+def compare_protocols(
+    protocols: Sequence[str] = ("can", "minorcan", "majorcan"),
+    **spec_kwargs: object,
+) -> List[CampaignOutcome]:
+    """Run the same campaign (same seed) for several protocols."""
+    return [
+        run_campaign(CampaignSpec(protocol=protocol, **spec_kwargs))  # type: ignore[arg-type]
+        for protocol in protocols
+    ]

@@ -1,0 +1,39 @@
+"""The spatial bit-error model of Section 4 (equations 1-3).
+
+Rufino et al. model channel errors with a network-wide *bit error
+rate* (``ber``).  The paper refines this with Charzinski's spatial
+distribution: ``p_eff`` is the probability that a bit error occurring
+somewhere in the network is effective at (affects the view of) a given
+node.  With errors randomly distributed over the nodes,
+``p_eff = 1 / N`` and the per-node, per-bit error probability is::
+
+    ber* = ber / N                                            (eq. 3)
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+#: The ber values tabulated in Table 1 of the paper.
+TABLE1_BER_VALUES = (1e-4, 1e-5, 1e-6)
+
+#: The aerospace (and, increasingly, automotive) dependability target
+#: the paper compares against: 1e-9 incidents per hour.
+REFERENCE_INCIDENT_RATE = 1e-9
+
+
+def p_eff(n_nodes: int) -> float:
+    """Charzinski's effectivity: P{error affects node | error occurred}.
+
+    Errors are assumed randomly distributed over the ``n_nodes`` nodes.
+    """
+    if n_nodes < 1:
+        raise AnalysisError("the network needs at least one node")
+    return 1.0 / n_nodes
+
+
+def ber_star(ber: float, n_nodes: int) -> float:
+    """Equation 3: per-node effective bit error rate ``ber / N``."""
+    if not 0.0 <= ber <= 1.0:
+        raise AnalysisError("ber must be a probability, got %r" % ber)
+    return ber * p_eff(n_nodes)

@@ -1,0 +1,27 @@
+"""Result aggregation, reporting, export and frame-log rendering."""
+
+from repro.metrics.counters import CampaignResult, ConsistencyCounter
+from repro.metrics.dump import (
+    dump_deliveries,
+    dump_node,
+    format_delivery,
+    format_frame,
+    merged_bus_log,
+)
+from repro.metrics.export import rows_to_csv, rows_to_json, write_rows
+from repro.metrics.report import render_kv, render_table
+
+__all__ = [
+    "CampaignResult",
+    "ConsistencyCounter",
+    "dump_deliveries",
+    "dump_node",
+    "format_delivery",
+    "format_frame",
+    "merged_bus_log",
+    "render_kv",
+    "render_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_rows",
+]

@@ -1,0 +1,95 @@
+"""Aggregation of consistency statistics across many runs.
+
+The CAN6/CAN6' properties are statements about rates ("in a known time
+interval, inconsistent omission failures may occur in at most j
+transmissions"); measuring them requires aggregating the per-message
+classification of :func:`repro.properties.can_properties.classify_omissions`
+over whole fault-injection campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.faults.scenarios import ScenarioOutcome
+from repro.properties.can_properties import classify_omissions
+from repro.properties.ledger import SystemLedger
+
+
+@dataclass
+class ConsistencyCounter:
+    """Counts per-message outcomes over many executions."""
+
+    messages: int = 0
+    consistent: int = 0
+    inconsistent_omissions: int = 0
+    double_receptions: int = 0
+    never_delivered: int = 0
+
+    def add_ledger(self, ledger: SystemLedger) -> None:
+        """Classify and accumulate one execution's ledger."""
+        classification = classify_omissions(ledger)
+        self.messages += (
+            len(classification.consistent)
+            + len(classification.inconsistent_omissions)
+            + len(classification.never_delivered)
+        )
+        self.consistent += len(classification.consistent)
+        self.inconsistent_omissions += len(classification.inconsistent_omissions)
+        self.double_receptions += len(classification.duplicates)
+        self.never_delivered += len(classification.never_delivered)
+
+    def add_outcome(self, outcome: ScenarioOutcome) -> None:
+        """Accumulate one single-frame scenario outcome."""
+        self.messages += 1
+        if outcome.inconsistent_omission:
+            self.inconsistent_omissions += 1
+        elif outcome.consistent:
+            self.consistent += 1
+        if outcome.double_reception:
+            self.double_receptions += 1
+
+    @property
+    def imo_rate(self) -> float:
+        """Inconsistent-omission fraction of all classified messages."""
+        return self.inconsistent_omissions / self.messages if self.messages else 0.0
+
+    def merge(self, other: "ConsistencyCounter") -> "ConsistencyCounter":
+        """Combine two counters (e.g. from parallel campaigns)."""
+        return ConsistencyCounter(
+            messages=self.messages + other.messages,
+            consistent=self.consistent + other.consistent,
+            inconsistent_omissions=self.inconsistent_omissions
+            + other.inconsistent_omissions,
+            double_receptions=self.double_receptions + other.double_receptions,
+            never_delivered=self.never_delivered + other.never_delivered,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Result of running the same experiment across protocols."""
+
+    label: str
+    counters: Dict[str, ConsistencyCounter] = field(default_factory=dict)
+
+    def counter(self, protocol: str) -> ConsistencyCounter:
+        return self.counters.setdefault(protocol, ConsistencyCounter())
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular summary, one row per protocol."""
+        out = []
+        for protocol in sorted(self.counters):
+            counter = self.counters[protocol]
+            out.append(
+                {
+                    "protocol": protocol,
+                    "messages": counter.messages,
+                    "consistent": counter.consistent,
+                    "imo": counter.inconsistent_omissions,
+                    "double": counter.double_receptions,
+                    "imo_rate": counter.imo_rate,
+                }
+            )
+        return out

@@ -1,0 +1,64 @@
+"""candump-style rendering of frame traffic.
+
+Formats deliveries and transmissions in the familiar SocketCAN
+``candump`` layout (``  bus  ID   [DLC]  DD DD ...``) so traces from
+this simulator read like real captures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.can.controller import CanController
+from repro.can.events import Delivery
+from repro.can.frame import Frame
+
+
+def format_frame(frame: Frame, bus: str = "can0") -> str:
+    """One frame in candump notation."""
+    if frame.can_id.extended:
+        identifier = "%08X" % frame.can_id.value
+    else:
+        identifier = "%03X" % frame.can_id.value
+    if frame.remote:
+        body = "remote request"
+    else:
+        body = " ".join("%02X" % byte for byte in frame.data) or "--"
+    return "  %s  %s   [%d]  %s" % (bus, identifier, frame.dlc, body)
+
+
+def format_delivery(delivery: Delivery, bus: str = "can0") -> str:
+    """One delivery with its bit-time stamp."""
+    return "(%08d) %s" % (delivery.time, format_frame(delivery.frame, bus=bus))
+
+
+def dump_deliveries(
+    deliveries: Iterable[Delivery],
+    bus: str = "can0",
+) -> str:
+    """Render a delivery sequence as a candump-style log."""
+    return "\n".join(format_delivery(delivery, bus=bus) for delivery in deliveries)
+
+
+def dump_node(controller: CanController, bus: str = "can0") -> str:
+    """Render everything one controller delivered."""
+    return dump_deliveries(controller.deliveries, bus=bus)
+
+
+def merged_bus_log(controllers: Sequence[CanController], bus: str = "can0") -> str:
+    """A single time-ordered log of first deliveries on the bus.
+
+    Each successful frame appears once, at the time the first receiver
+    delivered it — effectively what a passive candump tap would show.
+    """
+    seen = set()
+    entries: List[Delivery] = []
+    for controller in controllers:
+        for delivery in controller.deliveries:
+            key = (delivery.time, delivery.wire_key())
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(delivery)
+    entries.sort(key=lambda delivery: delivery.time)
+    return dump_deliveries(entries, bus=bus)

@@ -1,0 +1,92 @@
+"""Exporting experiment results to CSV and JSON.
+
+Downstream users typically want the reproduced tables as data, not
+text; these helpers serialise any list of dict-shaped rows (as
+produced by the sweeps, campaigns, Table 1 and the property matrices)
+losslessly and deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def _normalise_row(row: Any) -> Dict[str, Any]:
+    if is_dataclass(row) and not isinstance(row, type):
+        return asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    raise ReproError("rows must be dicts or dataclasses, got %r" % type(row))
+
+
+def _normalise_value(value: Any) -> Any:
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return str(value)
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_normalise_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _normalise_value(val) for key, val in value.items()}
+    return value
+
+
+def rows_to_json(rows: Sequence[Any], indent: int = 2) -> str:
+    """Serialise rows to a deterministic JSON array."""
+    payload = [
+        {key: _normalise_value(value) for key, value in _normalise_row(row).items()}
+        for row in rows
+    ]
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Sequence[Any], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise rows to CSV.
+
+    ``columns`` fixes the column set and order; by default the union of
+    all row keys is used, in first-seen order.
+    """
+    normalised = [_normalise_row(row) for row in rows]
+    if columns is None:
+        columns = []
+        for row in normalised:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in normalised:
+        writer.writerow(
+            {key: _flatten_for_csv(row.get(key, "")) for key in columns}
+        )
+    return buffer.getvalue()
+
+
+def _flatten_for_csv(value: Any) -> Any:
+    value = _normalise_value(value)
+    if isinstance(value, (list, dict)):
+        return json.dumps(value, sort_keys=True)
+    return value
+
+
+def write_rows(
+    path: str,
+    rows: Sequence[Any],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write rows to ``path``; the extension selects CSV or JSON."""
+    if path.endswith(".json"):
+        text = rows_to_json(rows)
+    elif path.endswith(".csv"):
+        text = rows_to_csv(rows, columns=columns)
+    else:
+        raise ReproError("unsupported export extension for %r" % path)
+    with open(path, "w") as handle:
+        handle.write(text)

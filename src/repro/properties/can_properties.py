@@ -1,0 +1,163 @@
+"""The CAN-level properties of Sections 2.2 and 4.
+
+Rufino et al. characterised what unmodified CAN actually guarantees
+(CAN1-CAN6); the paper's new scenarios weaken two of them (CAN2',
+CAN6').  These checkers classify executions rather than assert
+correctness: an execution of standard CAN is *expected* to sometimes
+exhibit inconsistent omissions, and the experiment harness counts how
+often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.properties.broadcast import (
+    PropertyResult,
+    check_non_triviality,
+    check_validity,
+)
+from repro.properties.ledger import MessageKey, SystemLedger
+
+CAN1 = "CAN1-validity"
+CAN2 = "CAN2-best-effort-agreement"
+CAN2_PRIME = "CAN2'-agreement-not-guaranteed"
+CAN3 = "CAN3-at-least-once"
+CAN4 = "CAN4-non-triviality"
+CAN6 = "CAN6-bounded-inconsistent-omission-degree"
+
+
+@dataclass
+class OmissionClassification:
+    """Per-message consistency classification of one execution."""
+
+    consistent: List[MessageKey] = field(default_factory=list)
+    inconsistent_omissions: List[MessageKey] = field(default_factory=list)
+    duplicates: List[MessageKey] = field(default_factory=list)
+    never_delivered: List[MessageKey] = field(default_factory=list)
+
+    @property
+    def imo_count(self) -> int:
+        """Number of messages suffering an inconsistent omission."""
+        return len(self.inconsistent_omissions)
+
+
+def classify_omissions(ledger: SystemLedger) -> OmissionClassification:
+    """Classify each broadcast message of an execution.
+
+    A message suffers an *inconsistent message omission* when some
+    correct node delivered it and another correct node never did —
+    the phenomenon whose per-hour probability Table 1 quantifies.
+    """
+    result = OmissionClassification()
+    seen: List[MessageKey] = []
+    for key in ledger.all_broadcast_keys():
+        if key in seen:
+            continue
+        seen.append(key)
+        counts = [node.delivery_count(key) for node in ledger.correct_nodes]
+        if not counts:
+            continue
+        if any(count > 1 for count in counts):
+            result.duplicates.append(key)
+        if all(count == 0 for count in counts):
+            result.never_delivered.append(key)
+        elif any(count == 0 for count in counts):
+            result.inconsistent_omissions.append(key)
+        else:
+            result.consistent.append(key)
+    return result
+
+
+def check_can1_validity(ledger: SystemLedger) -> PropertyResult:
+    """CAN1 is the same validity statement as AB1."""
+    result = check_validity(ledger)
+    return PropertyResult(CAN1, result.holds, result.violations)
+
+
+def check_can2_best_effort_agreement(ledger: SystemLedger) -> PropertyResult:
+    """CAN2: agreement holds *provided the transmitter remains correct*.
+
+    A violation of this (an omission with a correct transmitter) is
+    exactly what the paper's new scenarios produce, motivating CAN2'.
+    """
+    violations = []
+    for node in ledger.correct_nodes:
+        for key in node.broadcasts:
+            delivered = [
+                other.delivery_count(key) > 0 for other in ledger.correct_nodes
+            ]
+            if any(delivered) and not all(delivered):
+                violations.append(
+                    "message %r from correct transmitter %r reached only part "
+                    "of the correct nodes" % (key, node.name)
+                )
+    return PropertyResult(CAN2, not violations, violations)
+
+
+def check_can3_at_least_once(ledger: SystemLedger) -> PropertyResult:
+    """CAN3: delivered messages are delivered at least once.
+
+    This is trivially true of any ledger (a delivery count cannot be
+    positive and zero at once); the checker exists to document that,
+    unlike AB3, CAN makes no at-most-once promise — duplicates are
+    reported as informational violations of *AB3*, not CAN3.
+    """
+    return PropertyResult(CAN3, True, [])
+
+
+def check_can4_non_triviality(ledger: SystemLedger) -> PropertyResult:
+    """CAN4 is the same non-triviality statement as AB4."""
+    result = check_non_triviality(ledger)
+    return PropertyResult(CAN4, result.holds, result.violations)
+
+
+@dataclass
+class OmissionDegree:
+    """CAN6/CAN6': inconsistent omission degree over an interval.
+
+    ``j`` is the maximum number of transmissions suffering inconsistent
+    omission failures within the reference interval ``T_rd``.  The
+    paper's point is that the *new* scenarios make the observed degree
+    (j') larger than the previously assumed one (j).
+    """
+
+    transmissions: int
+    omissions: int
+
+    @property
+    def degree(self) -> int:
+        return self.omissions
+
+    @property
+    def rate(self) -> float:
+        """Empirical omission probability per transmission."""
+        if self.transmissions == 0:
+            return 0.0
+        return self.omissions / self.transmissions
+
+
+def omission_degree(ledgers: Sequence[SystemLedger]) -> OmissionDegree:
+    """Aggregate CAN6 statistics over many executions."""
+    transmissions = 0
+    omissions = 0
+    for ledger in ledgers:
+        classification = classify_omissions(ledger)
+        transmissions += (
+            len(classification.consistent)
+            + len(classification.inconsistent_omissions)
+            + len(classification.never_delivered)
+        )
+        omissions += classification.imo_count
+    return OmissionDegree(transmissions=transmissions, omissions=omissions)
+
+
+def check_can_properties(ledger: SystemLedger) -> Dict[str, PropertyResult]:
+    """Run all single-execution CAN property checkers."""
+    return {
+        CAN1: check_can1_validity(ledger),
+        CAN2: check_can2_best_effort_agreement(ledger),
+        CAN3: check_can3_at_least_once(ledger),
+        CAN4: check_can4_non_triviality(ledger),
+    }

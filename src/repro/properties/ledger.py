@@ -1,0 +1,145 @@
+"""Delivery ledgers: the ground truth the property checkers inspect.
+
+A :class:`SystemLedger` snapshots, for every node, which messages it
+broadcast and the ordered sequence of messages it delivered, plus
+whether the node is *correct* (did not crash, disconnect or go
+bus-off).  Atomic Broadcast properties quantify over correct nodes
+only, so the distinction matters: in the Fig. 1c scenario the crashed
+transmitter is exempt from the Agreement check while the surviving
+receivers are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.can.controller import CanController
+from repro.can.events import Delivery
+from repro.can.frame import Frame
+
+MessageKey = Hashable
+KeyFunction = Callable[[Frame], MessageKey]
+
+
+def wire_key(frame: Frame) -> MessageKey:
+    """Default message identity: what receivers can observe on the wire.
+
+    When the application tags frames with ``message_id`` the tag wins
+    (the transmitter knows it; receivers reconstruct untagged frames,
+    so for them the remaining wire fields are used).  Scenario
+    harnesses use distinct payloads per message, making the two
+    representations equivalent.
+    """
+    return (
+        frame.can_id.value,
+        frame.can_id.extended,
+        frame.remote,
+        frame.dlc,
+        frame.data,
+    )
+
+
+@dataclass
+class NodeLedger:
+    """Broadcast and delivery history of one node."""
+
+    name: str
+    correct: bool
+    broadcasts: List[MessageKey] = field(default_factory=list)
+    deliveries: List[MessageKey] = field(default_factory=list)
+    delivery_times: List[int] = field(default_factory=list)
+
+    def delivery_count(self, key: MessageKey) -> int:
+        """How many times ``key`` was delivered to this node."""
+        return self.deliveries.count(key)
+
+
+@dataclass
+class SystemLedger:
+    """Broadcast/delivery snapshot of the whole system."""
+
+    nodes: Dict[str, NodeLedger] = field(default_factory=dict)
+
+    @classmethod
+    def from_controllers(
+        cls,
+        controllers: Sequence[CanController],
+        key: KeyFunction = wire_key,
+        correct: Optional[Dict[str, bool]] = None,
+    ) -> "SystemLedger":
+        """Snapshot the ledgers of a set of controllers.
+
+        ``correct`` may override the per-node correctness verdict; by
+        default a node is correct iff it is still online.
+        """
+        ledger = cls()
+        for controller in controllers:
+            is_correct = (
+                correct[controller.name]
+                if correct is not None and controller.name in correct
+                else not controller.offline
+            )
+            node = NodeLedger(name=controller.name, correct=is_correct)
+            node.broadcasts = [key(frame) for frame in controller.submitted]
+            node.deliveries = [key(d.frame) for d in controller.deliveries]
+            node.delivery_times = [d.time for d in controller.deliveries]
+            ledger.nodes[controller.name] = node
+        return ledger
+
+    @classmethod
+    def from_deliveries(
+        cls,
+        deliveries: Dict[str, Sequence[Delivery]],
+        broadcasts: Dict[str, Sequence[Frame]],
+        correct: Dict[str, bool],
+        key: KeyFunction = wire_key,
+    ) -> "SystemLedger":
+        """Build a ledger from raw delivery/broadcast mappings.
+
+        Higher-level protocol layers (EDCAN/RELCAN/TOTCAN) deliver at
+        the application level rather than the controller level; they
+        use this constructor with their own delivery records.
+        """
+        ledger = cls()
+        names = set(deliveries) | set(broadcasts) | set(correct)
+        for name in sorted(names):
+            node = NodeLedger(name=name, correct=correct.get(name, True))
+            node.broadcasts = [key(frame) for frame in broadcasts.get(name, [])]
+            for delivery in deliveries.get(name, []):
+                node.deliveries.append(key(delivery.frame))
+                node.delivery_times.append(delivery.time)
+            ledger.nodes[name] = node
+        return ledger
+
+    # ------------------------------------------------------------------
+    # Queries used by the property checkers
+    # ------------------------------------------------------------------
+
+    @property
+    def correct_nodes(self) -> List[NodeLedger]:
+        """Ledgers of the nodes that remained correct."""
+        return [node for node in self.nodes.values() if node.correct]
+
+    def all_broadcast_keys(self) -> List[MessageKey]:
+        """Every message key any node ever broadcast."""
+        keys: List[MessageKey] = []
+        for node in self.nodes.values():
+            keys.extend(node.broadcasts)
+        return keys
+
+    def broadcasts_by_correct_nodes(self) -> List[MessageKey]:
+        """Message keys broadcast by nodes that remained correct."""
+        keys: List[MessageKey] = []
+        for node in self.correct_nodes:
+            keys.extend(node.broadcasts)
+        return keys
+
+    def delivered_anywhere_correct(self) -> List[MessageKey]:
+        """Keys delivered to at least one correct node (deduplicated)."""
+        seen: List[MessageKey] = []
+        for node in self.correct_nodes:
+            for key in node.deliveries:
+                if key not in seen:
+                    seen.append(key)
+        return seen

@@ -1,0 +1,211 @@
+"""The property matrix experiment (E-PROP in DESIGN.md).
+
+Runs every protocol — the link-layer variants (CAN, MinorCAN,
+MajorCAN) and the FTCS'98 higher-level protocols (EDCAN, RELCAN,
+TOTCAN) — through the paper's scenarios and records which Atomic
+Broadcast properties each one preserves.  The paper's qualitative
+claims become a checkable table:
+
+* standard CAN: double reception (AB3) in Fig. 1b, omission (AB2) in
+  Fig. 1c and in the new Fig. 3a scenario, order violations (AB5);
+* MinorCAN: fixes Fig. 1, fails Fig. 3;
+* MajorCAN: consistent in every scenario with <= m errors;
+* EDCAN: keeps Agreement even in Fig. 3 (diffusion), but no total
+  order; RELCAN/TOTCAN: recovery armed only by transmitter failure,
+  so Fig. 3 defeats them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import STATE_ERROR_FLAG
+from repro.can.fields import EOF
+from repro.faults.injector import (
+    CrashFault,
+    ScriptedInjector,
+    Trigger,
+    ViewFault,
+)
+from repro.faults.scenarios import SCENARIOS, make_controller
+from repro.properties.broadcast import check_atomic_broadcast
+from repro.properties.ledger import SystemLedger
+from repro.protocols.base import app_ledger, build_protocol_network
+from repro.protocols import PROTOCOL_FACTORIES
+
+#: Scenario labels accepted by the matrix runners.
+CORE_SCENARIOS = ("clean", "fig1a", "fig1b", "fig1c", "fig3")
+HLP_SCENARIOS = ("clean", "fig1c", "fig3")
+
+
+@dataclass
+class MatrixCell:
+    """Verdicts of one (protocol, scenario) run."""
+
+    protocol: str
+    scenario: str
+    properties: Dict[str, bool] = field(default_factory=dict)
+    deliveries: Dict[str, List] = field(default_factory=dict)
+
+    @property
+    def atomic_broadcast(self) -> bool:
+        return all(self.properties.values())
+
+    def failed_properties(self) -> List[str]:
+        return [name for name, holds in self.properties.items() if not holds]
+
+
+def _ledger_properties(ledger: SystemLedger) -> Dict[str, bool]:
+    return {
+        name: result.holds
+        for name, result in check_atomic_broadcast(ledger).items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Link-layer protocols
+# ---------------------------------------------------------------------------
+
+
+def run_core_cell(protocol: str, scenario: str, m: int = 5) -> MatrixCell:
+    """Run one (link-layer protocol, scenario) cell.
+
+    The ``fig3`` label uses the two-disturbance pattern of Fig. 3a/3b;
+    ``clean`` runs the same network without faults as a control.
+    """
+    if scenario == "clean":
+        transmitter = make_controller(protocol, "tx", m=m)
+        nodes = [
+            transmitter,
+            make_controller(protocol, "x", m=m),
+            make_controller(protocol, "y", m=m),
+        ]
+        from repro.faults.scenarios import run_single_frame_scenario
+
+        outcome = run_single_frame_scenario("clean", nodes, ScriptedInjector())
+    elif scenario == "fig3":
+        from repro.faults.scenarios import fig3
+
+        outcome = fig3(protocol, m=m)
+    else:
+        outcome = SCENARIOS[scenario](protocol, m=m)
+    controllers = outcome.engine.nodes
+    ledger = SystemLedger.from_controllers(controllers)
+    cell = MatrixCell(
+        protocol=outcome.protocol,
+        scenario=scenario,
+        properties=_ledger_properties(ledger),
+        deliveries={name: count for name, count in outcome.deliveries.items()},
+    )
+    return cell
+
+
+def core_matrix(
+    protocols: Sequence[str] = ("can", "minorcan", "majorcan"),
+    scenarios: Sequence[str] = CORE_SCENARIOS,
+    m: int = 5,
+) -> List[MatrixCell]:
+    """The full link-layer property matrix."""
+    return [
+        run_core_cell(protocol, scenario, m=m)
+        for protocol in protocols
+        for scenario in scenarios
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Higher-level protocols
+# ---------------------------------------------------------------------------
+
+
+def _hlp_injector(scenario: str, eof_length: int) -> ScriptedInjector:
+    """Faults for the higher-level runs, targeting the first data frame.
+
+    ``n0`` transmits the affected message, ``n1`` plays the X set and
+    ``n2`` the Y set.
+    """
+    last = eof_length - 1
+    if scenario == "clean":
+        return ScriptedInjector()
+    if scenario == "fig1c":
+        return ScriptedInjector(
+            view_faults=[
+                ViewFault("n1", Trigger(field=EOF, index=last - 1), force=DOMINANT)
+            ],
+            crash_faults=[CrashFault("n0", Trigger(state=STATE_ERROR_FLAG))],
+        )
+    if scenario == "fig3":
+        return ScriptedInjector(
+            view_faults=[
+                ViewFault("n1", Trigger(field=EOF, index=last - 1), force=DOMINANT),
+                ViewFault("n0", Trigger(field=EOF, index=last), force=RECESSIVE),
+            ]
+        )
+    raise KeyError("unknown higher-level scenario %r" % scenario)
+
+
+def run_hlp_cell(
+    protocol: str,
+    scenario: str,
+    n_nodes: int = 4,
+    second_broadcast: bool = True,
+    run_bits: int = 4000,
+) -> MatrixCell:
+    """Run one (higher-level protocol, scenario) cell.
+
+    ``second_broadcast`` has node ``n3`` broadcast a second message
+    immediately, which exposes total-order violations: a node that
+    missed the first message's original transmission may deliver the
+    recovery copy after the second message.
+    """
+    factory = PROTOCOL_FACTORIES[protocol.lower()]
+    probe = make_controller("can", "probe")
+    injector = _hlp_injector(scenario, probe.config.eof_length)
+    engine, nodes = build_protocol_network(
+        factory, n_nodes, engine_kwargs={"injector": injector, "record_bits": False}
+    )
+    nodes[0].broadcast(b"\xaa")
+    if second_broadcast and n_nodes > 3:
+        nodes[3].broadcast(b"\xbb")
+    engine.run(run_bits)
+    engine.run_until_idle(60000)
+    ledger = app_ledger(nodes)
+    return MatrixCell(
+        protocol=factory.name,
+        scenario=scenario,
+        properties=_ledger_properties(ledger),
+        deliveries={node.name: node.delivered_keys for node in nodes},
+    )
+
+
+def hlp_matrix(
+    protocols: Sequence[str] = ("edcan", "relcan", "totcan"),
+    scenarios: Sequence[str] = HLP_SCENARIOS,
+) -> List[MatrixCell]:
+    """The full higher-level-protocol property matrix."""
+    return [
+        run_hlp_cell(protocol, scenario)
+        for protocol in protocols
+        for scenario in scenarios
+    ]
+
+
+def render_matrix(cells: Sequence[MatrixCell]) -> str:
+    """Format matrix cells as an aligned text table."""
+    if not cells:
+        return "(empty matrix)"
+    property_names = list(cells[0].properties)
+    short = {name: name.split("-")[0] for name in property_names}
+    header = "%-10s %-8s " % ("protocol", "scenario") + " ".join(
+        "%-5s" % short[name] for name in property_names
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        marks = " ".join(
+            "%-5s" % ("ok" if cell.properties[name] else "FAIL")
+            for name in property_names
+        )
+        lines.append("%-10s %-8s %s" % (cell.protocol, cell.scenario, marks))
+    return "\n".join(lines)

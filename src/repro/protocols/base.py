@@ -1,0 +1,273 @@
+"""Application-layer substrate for the higher-level protocols.
+
+Rufino et al.'s protocols (EDCAN, RELCAN, TOTCAN) run in the *process*
+above an unmodified CAN controller.  :class:`AppNode` provides that
+process: it owns a controller, polls its deliveries and transmission
+successes once per bit time (registered as an engine tick hook),
+encodes application messages into frame payloads, runs protocol
+timeouts, and keeps the application-level delivery ledger that the
+Atomic Broadcast checkers inspect.
+
+Wire encoding of an application message ``(origin, seq)``:
+
+* payload byte 0: message kind (DATA / CONFIRM / ACCEPT / RETRANS);
+* payload byte 1: origin node id;
+* payload byte 2: sequence number (mod 256);
+* payload bytes 3+: user payload.
+
+CAN identifiers place control traffic (CONFIRM/ACCEPT) above data
+traffic in the arbitration order and keep ids unique per sender, so
+concurrent recovery retransmissions arbitrate cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.can.controller import CanController
+from repro.can.events import Delivery
+from repro.can.frame import Frame, data_frame
+from repro.errors import ProtocolError
+from repro.properties.ledger import SystemLedger
+from repro.simulation.engine import SimulationEngine
+
+KIND_DATA = 0
+KIND_CONFIRM = 1
+KIND_ACCEPT = 2
+KIND_RETRANS = 3
+
+KIND_NAMES = {
+    KIND_DATA: "DATA",
+    KIND_CONFIRM: "CONFIRM",
+    KIND_ACCEPT: "ACCEPT",
+    KIND_RETRANS: "RETRANS",
+}
+
+#: CAN-id bases per kind; control frames outrank data frames.
+_ID_BASE = {
+    KIND_CONFIRM: 0x080,
+    KIND_ACCEPT: 0x080,
+    KIND_RETRANS: 0x180,
+    KIND_DATA: 0x100,
+}
+
+MessageKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """A decoded application-level message."""
+
+    kind: int
+    origin: int
+    seq: int
+    payload: bytes = b""
+
+    @property
+    def key(self) -> MessageKey:
+        return (self.origin, self.seq)
+
+    def __str__(self) -> str:
+        return "%s(origin=%d, seq=%d)" % (
+            KIND_NAMES.get(self.kind, "?"),
+            self.origin,
+            self.seq,
+        )
+
+
+def encode_message(message: AppMessage, sender_id: int) -> Frame:
+    """Serialise an application message into a CAN data frame."""
+    if not 0 <= message.origin <= 255 or not 0 <= sender_id <= 63:
+        raise ProtocolError("node ids must fit the wire encoding")
+    payload = bytes([message.kind, message.origin, message.seq & 0xFF]) + message.payload
+    if len(payload) > 8:
+        raise ProtocolError("user payload too long for one CAN frame")
+    identifier = _ID_BASE[message.kind] + sender_id
+    return data_frame(identifier, payload)
+
+
+def decode_message(frame: Frame) -> Optional[AppMessage]:
+    """Parse an application message from a frame; None if not one."""
+    if frame.remote or len(frame.data) < 3:
+        return None
+    kind = frame.data[0]
+    if kind not in KIND_NAMES:
+        return None
+    return AppMessage(
+        kind=kind,
+        origin=frame.data[1],
+        seq=frame.data[2],
+        payload=frame.data[3:],
+    )
+
+
+def message_ledger_key(frame: Frame):
+    """Ledger key for application messages: their (origin, seq) pair."""
+    message = decode_message(frame)
+    if message is None:
+        return ("raw", frame.can_id.value, frame.data)
+    return ("msg", message.origin, message.seq)
+
+
+class BroadcastProtocol:
+    """Base class for the higher-level broadcast protocols.
+
+    Subclasses implement the hooks; :class:`AppNode` drives them.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.node: Optional["AppNode"] = None
+
+    def attach(self, node: "AppNode") -> None:
+        self.node = node
+
+    def on_broadcast(self, message: AppMessage) -> None:
+        """The local application asked to broadcast ``message``."""
+        self.node.send(message)
+
+    def on_frame_delivered(self, message: AppMessage, time: int) -> None:
+        """The controller delivered a protocol frame."""
+
+    def on_frame_transmitted(self, message: AppMessage, time: int) -> None:
+        """A frame this node sent completed successfully."""
+
+    def on_tick(self, time: int) -> None:
+        """Called once per bit time (for timeouts)."""
+
+
+class AppNode:
+    """A process + controller pair running one broadcast protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        controller: CanController,
+        protocol: BroadcastProtocol,
+    ) -> None:
+        self.node_id = node_id
+        self.controller = controller
+        self.protocol = protocol
+        self.name = controller.name
+        #: Application-level deliveries (what the AB checkers inspect).
+        self.app_deliveries: List[Delivery] = []
+        #: Application-level broadcast log.
+        self.app_broadcasts: List[Frame] = []
+        self._delivered_keys: List[MessageKey] = []
+        self._seq = 0
+        self._rx_cursor = 0
+        self._tx_cursor = 0
+        protocol.attach(self)
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: bytes = b"") -> AppMessage:
+        """Broadcast a new message through the protocol."""
+        message = AppMessage(
+            kind=KIND_DATA, origin=self.node_id, seq=self._seq, payload=payload
+        )
+        self._seq += 1
+        self.app_broadcasts.append(encode_message(message, self.node_id))
+        self.protocol.on_broadcast(message)
+        return message
+
+    @property
+    def delivered_keys(self) -> List[MessageKey]:
+        """(origin, seq) keys delivered so far, in delivery order."""
+        return list(self._delivered_keys)
+
+    @property
+    def correct(self) -> bool:
+        """Whether the underlying node is still correct (online)."""
+        return not self.controller.offline
+
+    # ------------------------------------------------------------------
+    # Protocol-facing services
+    # ------------------------------------------------------------------
+
+    def send(self, message: AppMessage) -> None:
+        """Queue a protocol frame on the controller."""
+        self.controller.submit(encode_message(message, self.node_id))
+
+    def deliver(self, message: AppMessage, time: int) -> None:
+        """Deliver a message to the local application (ledger entry)."""
+        frame = encode_message(
+            AppMessage(KIND_DATA, message.origin, message.seq, message.payload),
+            self.node_id,
+        )
+        self.app_deliveries.append(Delivery(frame=frame, time=time, node=self.name))
+        self._delivered_keys.append(message.key)
+
+    def has_delivered(self, key: MessageKey) -> bool:
+        """Whether the application already delivered ``key``."""
+        return key in self._delivered_keys
+
+    # ------------------------------------------------------------------
+    # Engine integration
+    # ------------------------------------------------------------------
+
+    def tick(self, time: int) -> None:
+        """Poll controller progress and run protocol timeouts."""
+        if self.controller.offline:
+            return
+        deliveries = self.controller.deliveries
+        while self._rx_cursor < len(deliveries):
+            delivery = deliveries[self._rx_cursor]
+            self._rx_cursor += 1
+            message = decode_message(delivery.frame)
+            if message is not None and not self._is_own_echo(delivery):
+                self.protocol.on_frame_delivered(message, delivery.time)
+        successes = self.controller.tx_successes
+        while self._tx_cursor < len(successes):
+            success_time, frame = successes[self._tx_cursor]
+            self._tx_cursor += 1
+            message = decode_message(frame)
+            if message is not None:
+                self.protocol.on_frame_transmitted(message, success_time)
+        self.protocol.on_tick(time)
+
+    def _is_own_echo(self, delivery: Delivery) -> bool:
+        """Self-deliveries of the controller are reported through
+        ``on_frame_transmitted``, not ``on_frame_delivered``."""
+        return delivery.attempt is not None
+
+
+def build_protocol_network(
+    protocol_factory,
+    n_nodes: int,
+    controller_factory=CanController,
+    engine_kwargs: Optional[dict] = None,
+) -> Tuple[SimulationEngine, List[AppNode]]:
+    """Wire up ``n_nodes`` AppNodes on one bus.
+
+    ``protocol_factory()`` must return a fresh protocol instance;
+    ``controller_factory(name)`` a fresh controller.
+    """
+    nodes: List[AppNode] = []
+    controllers: List[CanController] = []
+    for node_id in range(n_nodes):
+        controller = controller_factory("n%d" % node_id)
+        controllers.append(controller)
+        nodes.append(AppNode(node_id, controller, protocol_factory()))
+    engine = SimulationEngine(controllers, **(engine_kwargs or {}))
+    for node in nodes:
+        engine.add_tick_hook(node.tick)
+    return engine, nodes
+
+
+def app_ledger(nodes: Sequence[AppNode]) -> SystemLedger:
+    """Build the application-level system ledger of a protocol run."""
+    deliveries: Dict[str, List[Delivery]] = {}
+    broadcasts: Dict[str, List[Frame]] = {}
+    correct: Dict[str, bool] = {}
+    for node in nodes:
+        deliveries[node.name] = node.app_deliveries
+        broadcasts[node.name] = node.app_broadcasts
+        correct[node.name] = node.correct
+    return SystemLedger.from_deliveries(
+        deliveries, broadcasts, correct, key=message_ledger_key
+    )

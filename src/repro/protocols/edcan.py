@@ -1,0 +1,62 @@
+"""EDCAN: error-detection-based diffusion (Rufino et al., FTCS'98).
+
+Every receiver retransmits each message once upon first reception, so
+a message survives any single transmitter failure: as long as *one*
+node received it, everybody eventually does.  The price is at least
+one extra frame per message and per receiver (the lowest-performing of
+the three FTCS'98 protocols), and the protocol still provides no total
+order: a node that misses the original transmission delivers the
+message out of order when a diffusion copy finally arrives.
+
+Of the three higher-level protocols, EDCAN is the only one that keeps
+Agreement in the paper's *new* scenarios (Section 4): its recovery
+does not depend on the transmitter detecting anything.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.protocols.base import (
+    AppMessage,
+    BroadcastProtocol,
+    KIND_DATA,
+    KIND_RETRANS,
+    MessageKey,
+)
+
+
+class EdcanProtocol(BroadcastProtocol):
+    """Deliver on first copy; retransmit every newly seen message once."""
+
+    name = "EDCAN"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._retransmitted: List[MessageKey] = []
+
+    def on_broadcast(self, message: AppMessage) -> None:
+        # The originator transmitted the message itself; it must not
+        # diffuse it again when the receivers' copies come back.
+        self._retransmitted.append(message.key)
+        super().on_broadcast(message)
+
+    def on_frame_delivered(self, message: AppMessage, time: int) -> None:
+        if message.kind not in (KIND_DATA, KIND_RETRANS):
+            return
+        if not self.node.has_delivered(message.key):
+            self.node.deliver(message, time)
+        if message.key not in self._retransmitted:
+            self._retransmitted.append(message.key)
+            self.node.send(
+                AppMessage(
+                    kind=KIND_RETRANS,
+                    origin=message.origin,
+                    seq=message.seq,
+                    payload=message.payload,
+                )
+            )
+
+    def on_frame_transmitted(self, message: AppMessage, time: int) -> None:
+        if message.kind == KIND_DATA and not self.node.has_delivered(message.key):
+            self.node.deliver(message, time)

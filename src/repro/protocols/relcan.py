@@ -1,0 +1,88 @@
+"""RELCAN: confirmation-based reliable broadcast (Rufino et al.).
+
+The transmitter follows every successful data transmission with a
+CONFIRM message.  Receivers deliver the data immediately; only if the
+CONFIRM fails to arrive within a timeout do they retransmit the data
+themselves (recovering from a transmitter crash at a much lower cost
+than EDCAN's always-on diffusion).
+
+RELCAN's recovery is armed by the *transmitter failing*; in the
+paper's new scenarios (Fig. 3a) the transmitter remains correct,
+happily confirms a frame that part of the receivers never accepted,
+and the omission becomes permanent — RELCAN does not provide
+Agreement there, which is exactly the point of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocols.base import (
+    AppMessage,
+    BroadcastProtocol,
+    KIND_CONFIRM,
+    KIND_DATA,
+    KIND_RETRANS,
+    MessageKey,
+)
+
+#: Default CONFIRM timeout, in bit times.  Generous enough for a
+#: confirm frame to win arbitration on a loaded bus.
+DEFAULT_TIMEOUT_BITS = 400
+
+
+class RelcanProtocol(BroadcastProtocol):
+    """Deliver on first copy; retransmit if the CONFIRM never comes."""
+
+    name = "RELCAN"
+
+    def __init__(self, timeout_bits: int = DEFAULT_TIMEOUT_BITS) -> None:
+        super().__init__()
+        self.timeout_bits = timeout_bits
+        self._deadlines: Dict[MessageKey, int] = {}
+        self._settled: Dict[MessageKey, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def on_frame_delivered(self, message: AppMessage, time: int) -> None:
+        if message.kind in (KIND_DATA, KIND_RETRANS):
+            if not self.node.has_delivered(message.key):
+                self.node.deliver(message, time)
+            if message.kind == KIND_RETRANS:
+                # Someone else already recovered this message.
+                self._settle(message.key)
+            elif not self._settled.get(message.key):
+                self._deadlines.setdefault(message.key, time + self.timeout_bits)
+        elif message.kind == KIND_CONFIRM:
+            self._settle(message.key)
+
+    def on_tick(self, time: int) -> None:
+        expired = [
+            key for key, deadline in self._deadlines.items() if time >= deadline
+        ]
+        for key in expired:
+            del self._deadlines[key]
+            if self._settled.get(key):
+                continue
+            self._settle(key)
+            origin, seq = key
+            self.node.send(AppMessage(kind=KIND_RETRANS, origin=origin, seq=seq))
+
+    # ------------------------------------------------------------------
+    # Transmitter side
+    # ------------------------------------------------------------------
+
+    def on_frame_transmitted(self, message: AppMessage, time: int) -> None:
+        if message.kind == KIND_DATA:
+            if not self.node.has_delivered(message.key):
+                self.node.deliver(message, time)
+            self._settle(message.key)
+            self.node.send(
+                AppMessage(kind=KIND_CONFIRM, origin=message.origin, seq=message.seq)
+            )
+
+    def _settle(self, key: MessageKey) -> None:
+        self._settled[key] = True
+        self._deadlines.pop(key, None)

@@ -1,0 +1,125 @@
+"""TOTCAN: totally ordered broadcast via ACCEPT frames (Rufino et al.).
+
+Receivers place each incoming message at the tail of a tentative
+queue (a duplicate moves the message back to the tail).  The
+transmitter follows a successful data transmission with an ACCEPT
+frame; receiving the ACCEPT *fixes* the message's position, and
+messages are delivered from the head of the queue once fixed.  If the
+ACCEPT does not arrive within a timeout, the message is removed — the
+transmitter must have failed before accepting, and since no one can
+have delivered it, discarding preserves agreement.
+
+TOTCAN provides full Atomic Broadcast under the FTCS'98 failure
+assumptions.  In the paper's *new* scenarios it breaks exactly like
+RELCAN: the correct transmitter ACCEPTs a message that part of the
+receivers never received, so those nodes silently omit it (AB2
+violated) — recovery is only armed by transmitter failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.protocols.base import (
+    AppMessage,
+    BroadcastProtocol,
+    KIND_ACCEPT,
+    KIND_DATA,
+    MessageKey,
+)
+
+#: Default ACCEPT timeout, in bit times.
+DEFAULT_TIMEOUT_BITS = 400
+
+
+@dataclass
+class _QueueEntry:
+    message: AppMessage
+    deadline: int
+    accepted: bool = False
+
+
+class TotcanProtocol(BroadcastProtocol):
+    """Tentative queue + ACCEPT confirmation = total order."""
+
+    name = "TOTCAN"
+
+    def __init__(self, timeout_bits: int = DEFAULT_TIMEOUT_BITS) -> None:
+        super().__init__()
+        self.timeout_bits = timeout_bits
+        self._queue: List[_QueueEntry] = []
+        #: ACCEPTs seen before their data frame (arrival reordering guard).
+        self._accepted_early: Dict[MessageKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def on_frame_delivered(self, message: AppMessage, time: int) -> None:
+        if message.kind == KIND_DATA:
+            entry = self._find(message.key)
+            if entry is not None:
+                # Duplicate: move to the tail of the queue.
+                self._queue.remove(entry)
+                entry.deadline = time + self.timeout_bits
+                self._queue.append(entry)
+            else:
+                entry = _QueueEntry(message, deadline=time + self.timeout_bits)
+                self._queue.append(entry)
+            if message.key in self._accepted_early:
+                entry.accepted = True
+                del self._accepted_early[message.key]
+            self._flush(time)
+        elif message.kind == KIND_ACCEPT:
+            entry = self._find(message.key)
+            if entry is None:
+                # ACCEPT for a message this node never received: in the
+                # paper's new scenarios this is precisely where the
+                # omission becomes unrecoverable.  Remember it briefly
+                # in case the data frame is still in flight.
+                self._accepted_early[message.key] = time
+                return
+            entry.accepted = True
+            self._flush(time)
+
+    def on_tick(self, time: int) -> None:
+        changed = False
+        for entry in list(self._queue):
+            if not entry.accepted and time >= entry.deadline:
+                self._queue.remove(entry)
+                changed = True
+        if changed:
+            self._flush(time)
+
+    # ------------------------------------------------------------------
+    # Transmitter side
+    # ------------------------------------------------------------------
+
+    def on_frame_transmitted(self, message: AppMessage, time: int) -> None:
+        if message.kind == KIND_DATA:
+            self.node.send(
+                AppMessage(kind=KIND_ACCEPT, origin=message.origin, seq=message.seq)
+            )
+        elif message.kind == KIND_ACCEPT:
+            # The transmitter fixes its own message when the ACCEPT is
+            # out: every correct receiver now has (or will fix) it.
+            if not self.node.has_delivered(message.key):
+                self.node.deliver(message, time)
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+
+    def _find(self, key: MessageKey) -> Optional[_QueueEntry]:
+        for entry in self._queue:
+            if entry.message.key == key:
+                return entry
+        return None
+
+    def _flush(self, time: int) -> None:
+        """Deliver fixed messages from the head of the queue."""
+        while self._queue and self._queue[0].accepted:
+            entry = self._queue.pop(0)
+            if not self.node.has_delivered(entry.message.key):
+                self.node.deliver(entry.message, time)

@@ -1,0 +1,15 @@
+"""Media redundancy: the dual-CAN architecture of the paper's ref. [2]."""
+
+from repro.redundancy.dualbus import (
+    CHANNELS,
+    DualBusNode,
+    DualBusOutcome,
+    DualBusSystem,
+)
+
+__all__ = [
+    "CHANNELS",
+    "DualBusNode",
+    "DualBusOutcome",
+    "DualBusSystem",
+]

@@ -1,0 +1,16 @@
+"""Bit-synchronous bus simulation substrate."""
+
+from repro.simulation.bus import Bus
+from repro.simulation.engine import FaultInjector, SimulationEngine
+from repro.simulation.rng import make_rng, spawn
+from repro.simulation.trace import BitRecord, Trace
+
+__all__ = [
+    "BitRecord",
+    "Bus",
+    "FaultInjector",
+    "SimulationEngine",
+    "Trace",
+    "make_rng",
+    "spawn",
+]

@@ -1,0 +1,185 @@
+"""The bit-synchronous simulation engine.
+
+The engine advances all attached controllers in lockstep, one bus bit
+time per step, following the model in DESIGN.md:
+
+1. every controller announces the level it drives (and its
+   frame-relative position);
+2. the fault injector may perturb driven levels (physical transmit
+   faults);
+3. the bus resolves the wired-AND level;
+4. the fault injector may perturb *each node's view* of the bus level
+   — this is the paper's error model, in which a bit error affects "a
+   node's particular view of the bit" with probability
+   ``ber* = ber / N``;
+5. every controller consumes its view and steps its state machine;
+6. application-layer hooks run (timeouts of the higher-level
+   protocols).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.can.bits import Level
+from repro.can.controller import CanController, STATE_IDLE
+from repro.errors import SimulationError
+from repro.simulation.bus import Bus
+from repro.simulation.trace import BitRecord, Trace
+
+
+class FaultInjector:
+    """Base (no-op) fault injector; see :mod:`repro.faults` for real ones.
+
+    Subclasses override :meth:`perturb_drive` and/or :meth:`perturb_view`.
+    Both receive the controller object, so injectors can trigger on the
+    node's announced frame position (``controller.position``).
+    """
+
+    def perturb_drive(self, node: CanController, time: int, level: Level) -> Level:
+        """Physical-layer fault on the level ``node`` drives at ``time``."""
+        return level
+
+    def perturb_view(self, node: CanController, time: int, bus_level: Level) -> Level:
+        """Fault on the level ``node`` observes at ``time``."""
+        return bus_level
+
+    def on_bit_start(self, time: int, nodes: Sequence[CanController]) -> None:
+        """Hook called once per bit time before any perturbation."""
+
+
+class SimulationEngine:
+    """Lockstep simulator for a set of CAN-family controllers."""
+
+    def __init__(
+        self,
+        nodes: Optional[Sequence[CanController]] = None,
+        injector: Optional[FaultInjector] = None,
+        record_bits: bool = True,
+    ) -> None:
+        self.nodes: List[CanController] = list(nodes or [])
+        self.injector = injector or FaultInjector()
+        self.bus = Bus()
+        self.trace = Trace(record_bits=record_bits)
+        self.time = 0
+        self._tick_hooks: List[Callable[[int], None]] = []
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise SimulationError("node names must be unique: %r" % names)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def attach(self, node: CanController) -> CanController:
+        """Attach another controller to the bus."""
+        if any(existing.name == node.name for existing in self.nodes):
+            raise SimulationError("duplicate node name %r" % node.name)
+        self.nodes.append(node)
+        return node
+
+    def node(self, name: str) -> CanController:
+        """Look up an attached controller by name."""
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise SimulationError("no node named %r" % name)
+
+    def add_tick_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a callable invoked after every simulated bit time.
+
+        Higher-level protocol layers use tick hooks for their timeout
+        logic; the hook receives the bit time that just completed.
+        """
+        self._tick_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> Level:
+        """Advance the simulation by one bus bit time."""
+        if not self.nodes:
+            raise SimulationError("cannot simulate an empty bus")
+        time = self.time
+        self.injector.on_bit_start(time, self.nodes)
+        drives: Dict[str, Level] = {}
+        for node in self.nodes:
+            node.now = time
+            driven = node.drive()
+            drives[node.name] = self.injector.perturb_drive(node, time, driven)
+        bus_level = self.bus.resolve(drives)
+        views: Dict[str, Level] = {}
+        positions = {node.name: node.position for node in self.nodes}
+        states = {node.name: node.state for node in self.nodes}
+        for node in self.nodes:
+            view = self.injector.perturb_view(node, time, bus_level)
+            views[node.name] = view
+            node.on_bit(view)
+        self.trace.record(
+            BitRecord(
+                time=time,
+                bus=bus_level,
+                drives=drives,
+                views=views,
+                positions=positions,
+                states=states,
+            )
+        )
+        for hook in self._tick_hooks:
+            hook(time)
+        self.time += 1
+        return bus_level
+
+    def run(self, bits: int) -> None:
+        """Advance the simulation by ``bits`` bit times."""
+        for _ in range(bits):
+            self.step()
+
+    def run_until_idle(self, max_bits: int = 100000, settle_bits: int = 12) -> int:
+        """Run until the bus has been quiet for ``settle_bits`` bits.
+
+        Quiet means: every node is idle (or offline), no transmissions
+        are pending, and the bus floats recessive.  Returns the number
+        of bits simulated by this call.
+
+        Raises
+        ------
+        SimulationError
+            If the bus does not become idle within ``max_bits``.
+        """
+        quiet = 0
+        for elapsed in range(max_bits):
+            level = self.step()
+            if level is Level.RECESSIVE and self._all_idle():
+                quiet += 1
+                if quiet >= settle_bits:
+                    return elapsed + 1
+            else:
+                quiet = 0
+        raise SimulationError(
+            "bus did not become idle within %d bits" % max_bits
+        )
+
+    def _all_idle(self) -> bool:
+        for node in self.nodes:
+            if node.offline:
+                continue
+            if node.state != STATE_IDLE:
+                return False
+            if node.pending_transmissions:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def collect_events(self) -> Trace:
+        """Merge all controller events into the trace and return it."""
+        merged: List = []
+        for node in self.nodes:
+            merged.extend(node.events)
+        self.trace.events = []
+        self.trace.add_events(merged)
+        return self.trace

@@ -1,0 +1,103 @@
+"""Simulation traces.
+
+A :class:`Trace` records, for every bit time, the level each node drove,
+the resolved bus level, the (possibly fault-perturbed) level each node
+observed, and each node's frame-relative position.  The renderer can
+reproduce the d/r timeline diagrams used in the figures of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.can.bits import Level
+from repro.can.events import Event
+
+
+@dataclass
+class BitRecord:
+    """Everything observable on the bus during one bit time."""
+
+    time: int
+    bus: Level
+    drives: Dict[str, Level]
+    views: Dict[str, Level]
+    positions: Dict[str, Tuple[str, int]]
+    states: Dict[str, str]
+
+
+@dataclass
+class Trace:
+    """Recorded simulation history."""
+
+    record_bits: bool = True
+    bits: List[BitRecord] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+
+    def record(self, record: BitRecord) -> None:
+        """Append one bit record (no-op when bit recording is off)."""
+        if self.record_bits:
+            self.bits.append(record)
+
+    def add_events(self, events: Iterable[Event]) -> None:
+        """Merge controller events into the trace, keeping time order."""
+        self.events.extend(events)
+        self.events.sort(key=lambda event: event.time)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events_of_kind(self, kind: str, node: Optional[str] = None) -> List[Event]:
+        """Events matching ``kind`` (and optionally a node name)."""
+        return [
+            event
+            for event in self.events
+            if event.kind == kind and (node is None or event.node == node)
+        ]
+
+    def node_view_string(self, node: str, start: int = 0, end: Optional[int] = None) -> str:
+        """The d/r string of what ``node`` observed over a time span."""
+        return "".join(
+            record.views[node].symbol for record in self.bits[start:end] if node in record.views
+        )
+
+    def bus_string(self, start: int = 0, end: Optional[int] = None) -> str:
+        """The d/r string of the resolved bus level over a time span."""
+        return "".join(record.bus.symbol for record in self.bits[start:end])
+
+    def position_times(self, node: str, field_name: str, index: int) -> List[int]:
+        """Bit times at which ``node`` was at ``(field_name, index)``."""
+        return [
+            record.time
+            for record in self.bits
+            if record.positions.get(node) == (field_name, index)
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering (paper-figure style)
+    # ------------------------------------------------------------------
+
+    def render_timeline(
+        self,
+        nodes: Iterable[str],
+        start: int = 0,
+        end: Optional[int] = None,
+        with_bus: bool = True,
+    ) -> str:
+        """Render per-node observed levels as aligned d/r rows.
+
+        The output format mirrors the figures of the paper: one row per
+        node plus (optionally) the resolved bus level.
+        """
+        rows = []
+        width = max((len(name) for name in nodes), default=3)
+        width = max(width, 3)
+        for name in nodes:
+            rows.append(
+                "%-*s | %s" % (width, name, self.node_view_string(name, start, end))
+            )
+        if with_bus:
+            rows.append("%-*s | %s" % (width, "bus", self.bus_string(start, end)))
+        return "\n".join(rows)

@@ -1,0 +1,20 @@
+"""Workload generation and the paper's evaluation profile."""
+
+from repro.workload.generator import (
+    PeriodicSource,
+    PoissonSource,
+    attach_sources,
+    measured_bus_load,
+    periodic_sources_for_profile,
+)
+from repro.workload.profiles import PAPER_PROFILE, NetworkProfile
+
+__all__ = [
+    "NetworkProfile",
+    "PAPER_PROFILE",
+    "PeriodicSource",
+    "PoissonSource",
+    "attach_sources",
+    "measured_bus_load",
+    "periodic_sources_for_profile",
+]

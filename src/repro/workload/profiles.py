@@ -1,0 +1,62 @@
+"""Network/workload profiles, including the paper's evaluation profile.
+
+Table 1 is computed for "a network at 1 Mbps, with 32 nodes, an overall
+load of 90% and frames with a length of tau_data = 110 bits", using the
+same data as Rufino et al. for comparability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Static description of a CAN network and its traffic load."""
+
+    bit_rate: float
+    n_nodes: int
+    load: float
+    frame_bits: int
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ConfigurationError("bit rate must be positive")
+        if self.n_nodes < 2:
+            raise ConfigurationError("a broadcast network needs >= 2 nodes")
+        if not 0.0 < self.load <= 1.0:
+            raise ConfigurationError("load must be in (0, 1]")
+        if self.frame_bits < 1:
+            raise ConfigurationError("frames have at least one bit")
+
+    @property
+    def frames_per_second(self) -> float:
+        """Average number of frames transferred per second."""
+        return self.bit_rate * self.load / self.frame_bits
+
+    @property
+    def frames_per_hour(self) -> float:
+        """Average number of frames transferred per hour."""
+        return self.frames_per_second * 3600.0
+
+    def scaled(self, **changes: object) -> "NetworkProfile":
+        """Copy of the profile with some fields replaced."""
+        fields = {
+            "bit_rate": self.bit_rate,
+            "n_nodes": self.n_nodes,
+            "load": self.load,
+            "frame_bits": self.frame_bits,
+        }
+        fields.update(changes)  # type: ignore[arg-type]
+        return NetworkProfile(**fields)  # type: ignore[arg-type]
+
+
+#: The evaluation profile of the paper (Section 4, Table 1).
+PAPER_PROFILE = NetworkProfile(
+    bit_rate=1_000_000.0,
+    n_nodes=32,
+    load=0.9,
+    frame_bits=110,
+)

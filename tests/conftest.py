@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.controller import CanController
+from repro.simulation.engine import SimulationEngine
+
+
+@pytest.fixture
+def three_node_bus():
+    """A transmitter and two receivers on a fresh bus."""
+    transmitter = CanController("tx")
+    receiver_a = CanController("rx1")
+    receiver_b = CanController("rx2")
+    engine = SimulationEngine([transmitter, receiver_a, receiver_b])
+    return engine, transmitter, receiver_a, receiver_b

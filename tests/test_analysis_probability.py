@@ -1,0 +1,117 @@
+"""Tests for the analytical probability model (equations 1-5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.probability import (
+    dominant_term_ratio,
+    p_new_scenario_per_frame,
+    p_old_scenario_per_frame,
+)
+from repro.errors import AnalysisError
+from repro.faults.crash import crash_probability
+from repro.faults.models import ber_star, p_eff
+
+
+class TestSpatialModel:
+    def test_p_eff_is_one_over_n(self):
+        assert p_eff(32) == 1 / 32
+
+    def test_ber_star_equation_3(self):
+        assert ber_star(1e-4, 32) == pytest.approx(1e-4 / 32)
+
+    def test_ber_star_validates_probability(self):
+        with pytest.raises(AnalysisError):
+            ber_star(1.5, 4)
+
+    def test_p_eff_needs_nodes(self):
+        with pytest.raises(AnalysisError):
+            p_eff(0)
+
+
+class TestCrashProbability:
+    def test_matches_exponential(self):
+        assert crash_probability(1e-3, 5e-3 / 3600) == pytest.approx(
+            1 - math.exp(-1e-3 * 5e-3 / 3600)
+        )
+
+    def test_zero_rate(self):
+        assert crash_probability(0.0, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            crash_probability(-1.0, 1.0)
+
+
+class TestEquation4:
+    def test_paper_operating_point(self):
+        """ber = 1e-4, N = 32, tau = 110: the per-frame probability that
+        yields 8.80e-3 incidents/hour at 90% load and 1 Mbps."""
+        p = p_new_scenario_per_frame(1e-4, 32, 110)
+        per_hour = p * (0.9 * 1e6 * 3600 / 110)
+        assert per_hour == pytest.approx(8.80e-3, rel=0.01)
+
+    def test_scales_quadratically_in_ber(self):
+        """Two errors are involved, so P ~ ber^2 at small rates."""
+        p1 = p_new_scenario_per_frame(1e-6, 32, 110)
+        p2 = p_new_scenario_per_frame(1e-5, 32, 110)
+        assert p2 / p1 == pytest.approx(100, rel=0.01)
+
+    def test_zero_ber_is_impossible(self):
+        assert p_new_scenario_per_frame(0.0, 32, 110) == 0.0
+
+    def test_needs_two_receivers(self):
+        with pytest.raises(AnalysisError):
+            p_new_scenario_per_frame(1e-4, 2, 110)
+
+    @given(
+        ber=st.floats(1e-9, 1e-3),
+        n=st.integers(3, 64),
+        tau=st.integers(40, 160),
+    )
+    def test_is_a_probability(self, ber, n, tau):
+        p = p_new_scenario_per_frame(ber, n, tau)
+        assert 0.0 <= p <= 1.0
+
+    @given(n=st.integers(3, 64))
+    def test_monotone_in_ber(self, n):
+        values = [
+            p_new_scenario_per_frame(ber, n, 110)
+            for ber in (1e-7, 1e-6, 1e-5, 1e-4)
+        ]
+        assert values == sorted(values)
+
+    def test_dominant_term_dominates_at_low_ber(self):
+        assert dominant_term_ratio(1e-4, 32, 110) > 0.999
+
+
+class TestEquation5:
+    def test_paper_operating_point(self):
+        p = p_old_scenario_per_frame(1e-4, 32, 110)
+        per_hour = p * (0.9 * 1e6 * 3600 / 110)
+        assert per_hour == pytest.approx(3.92e-6, rel=0.01)
+
+    def test_scales_linearly_in_ber(self):
+        """Only one channel error is involved; the other factor is the
+        crash probability."""
+        p1 = p_old_scenario_per_frame(1e-6, 32, 110)
+        p2 = p_old_scenario_per_frame(1e-5, 32, 110)
+        assert p2 / p1 == pytest.approx(10, rel=0.01)
+
+    def test_new_scenario_dominates_old(self):
+        """The headline comparison of Section 4: the new scenarios are
+        orders of magnitude more likely."""
+        for ber in (1e-4, 1e-5, 1e-6):
+            # The ratio is ~2200x at ber=1e-4 and ~22x at ber=1e-6
+            # (eq. 4 is quadratic in ber, eq. 5 linear).
+            assert p_new_scenario_per_frame(ber, 32, 110) > 10 * p_old_scenario_per_frame(
+                ber, 32, 110
+            )
+
+    def test_crash_window_increases_probability(self):
+        small = p_old_scenario_per_frame(1e-4, 32, 110, delta_t_hours=1e-9)
+        large = p_old_scenario_per_frame(1e-4, 32, 110, delta_t_hours=1e-3)
+        assert large > small

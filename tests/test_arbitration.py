@@ -1,0 +1,103 @@
+"""Controller tests: bitwise arbitration."""
+
+from repro.can.controller import CanController
+from repro.can.events import EventKind
+from repro.can.frame import data_frame, remote_frame
+from repro.simulation.engine import SimulationEngine
+
+from helpers import delivered_payloads
+
+
+def _bus(*names):
+    nodes = [CanController(name) for name in names]
+    return SimulationEngine(nodes), nodes
+
+
+class TestTwoTransmitters:
+    def test_lower_id_wins(self):
+        engine, (a, b, observer) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(10000)
+        assert delivered_payloads(observer) == [b"\xbb", b"\xaa"]
+
+    def test_loser_logs_arbitration_lost(self):
+        engine, (a, b, _) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(10000)
+        lost = [e for e in a.events if e.kind == EventKind.ARBITRATION_LOST]
+        assert len(lost) == 1
+
+    def test_loser_receives_winner_frame(self):
+        engine, (a, b, _) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(10000)
+        assert b"\xbb" in delivered_payloads(a)
+
+    def test_loser_retransmits_after_winner(self):
+        engine, (a, b, _) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(10000)
+        assert delivered_payloads(b)[-1] == b"\xaa"
+        assert a.pending_transmissions == 0
+
+    def test_no_error_flags_during_arbitration(self):
+        engine, (a, b, _) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(10000)
+        for node in (a, b):
+            assert not [e for e in node.events if e.kind == EventKind.ERROR_DETECTED]
+
+
+class TestPriorityOrdering:
+    def test_three_way_arbitration(self):
+        engine, (a, b, c, observer) = _bus("a", "b", "c", "obs")
+        a.submit(data_frame(0x300, b"\x03"))
+        b.submit(data_frame(0x100, b"\x01"))
+        c.submit(data_frame(0x200, b"\x02"))
+        engine.run_until_idle(20000)
+        assert delivered_payloads(observer) == [b"\x01", b"\x02", b"\x03"]
+
+    def test_data_frame_beats_remote_frame_same_id(self):
+        """The dominant RTR bit of the data frame wins arbitration."""
+        engine, (a, b, observer) = _bus("a", "b", "obs")
+        a.submit(remote_frame(0x100, dlc=1))
+        b.submit(data_frame(0x100, b"\x01"))
+        engine.run_until_idle(10000)
+        frames = [d.frame for d in observer.deliveries]
+        assert [frame.remote for frame in frames] == [False, True]
+
+    def test_base_frame_beats_extended_with_same_prefix(self):
+        engine, (a, b, observer) = _bus("a", "b", "obs")
+        a.submit(data_frame((0x123 << 18) | 5, b"\xee", extended=True))
+        b.submit(data_frame(0x123, b"\xbb"))
+        engine.run_until_idle(10000)
+        assert delivered_payloads(observer)[0] == b"\xbb"
+
+    def test_high_priority_jumps_queue_between_frames(self):
+        engine, (a, b, observer) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x300, b"\x01"))
+        a.submit(data_frame(0x300, b"\x02"))
+        # b's frame is submitted while a's first frame is in flight.
+        engine.run(20)
+        b.submit(data_frame(0x050, b"\x99"))
+        engine.run_until_idle(20000)
+        payloads = delivered_payloads(observer)
+        assert payloads.index(b"\x99") < payloads.index(b"\x02")
+
+
+class TestSimultaneousStart:
+    def test_identical_ids_different_payload_collide_and_recover(self):
+        """Two nodes sending the same id win arbitration together and
+        collide in the payload; the bit error is signalled and both
+        frames eventually go through."""
+        engine, (a, b, observer) = _bus("a", "b", "obs")
+        a.submit(data_frame(0x100, b"\xf0"))
+        b.submit(data_frame(0x100, b"\x0f"))
+        engine.run_until_idle(30000)
+        payloads = delivered_payloads(observer)
+        assert sorted(payloads) == [b"\x0f", b"\xf0"]

@@ -1,0 +1,187 @@
+"""Unit tests for the AB1-AB5 checkers on synthetic ledgers."""
+
+from repro.properties.broadcast import (
+    check_agreement,
+    check_at_most_once,
+    check_atomic_broadcast,
+    check_non_triviality,
+    check_total_order,
+    check_validity,
+    is_atomic_broadcast,
+    is_reliable_broadcast,
+)
+from repro.properties.can_properties import (
+    check_can2_best_effort_agreement,
+    classify_omissions,
+    omission_degree,
+)
+from repro.properties.ledger import NodeLedger, SystemLedger
+
+
+def make_ledger(**nodes):
+    """nodes: name=(correct, broadcasts, deliveries)"""
+    ledger = SystemLedger()
+    for name, (correct, broadcasts, deliveries) in nodes.items():
+        ledger.nodes[name] = NodeLedger(
+            name=name,
+            correct=correct,
+            broadcasts=list(broadcasts),
+            deliveries=list(deliveries),
+        )
+    return ledger
+
+
+class TestValidity:
+    def test_holds_when_delivered_somewhere(self):
+        ledger = make_ledger(a=(True, ["m"], ["m"]), b=(True, [], ["m"]))
+        assert check_validity(ledger).holds
+
+    def test_violated_when_nobody_delivers(self):
+        ledger = make_ledger(a=(True, ["m"], []), b=(True, [], []))
+        result = check_validity(ledger)
+        assert not result.holds
+        assert "m" in result.violations[0]
+
+    def test_crashed_broadcaster_is_exempt(self):
+        ledger = make_ledger(a=(False, ["m"], []), b=(True, [], []))
+        assert check_validity(ledger).holds
+
+    def test_delivery_to_crashed_node_does_not_count(self):
+        ledger = make_ledger(a=(True, ["m"], []), b=(False, [], ["m"]))
+        assert not check_validity(ledger).holds
+
+
+class TestAgreement:
+    def test_holds_when_everyone_delivers(self):
+        ledger = make_ledger(a=(True, ["m"], ["m"]), b=(True, [], ["m"]))
+        assert check_agreement(ledger).holds
+
+    def test_violated_on_partial_delivery(self):
+        ledger = make_ledger(a=(True, ["m"], ["m"]), b=(True, [], []))
+        result = check_agreement(ledger)
+        assert not result.holds
+
+    def test_crashed_nodes_exempt(self):
+        ledger = make_ledger(a=(True, ["m"], ["m"]), b=(False, [], []))
+        assert check_agreement(ledger).holds
+
+
+class TestAtMostOnce:
+    def test_holds_for_single_deliveries(self):
+        ledger = make_ledger(a=(True, [], ["m", "n"]))
+        assert check_at_most_once(ledger).holds
+
+    def test_violated_on_duplicate(self):
+        ledger = make_ledger(a=(True, [], ["m", "m"]))
+        result = check_at_most_once(ledger)
+        assert not result.holds
+        assert "2 times" in result.violations[0]
+
+
+class TestNonTriviality:
+    def test_holds_when_origin_exists(self):
+        ledger = make_ledger(a=(True, ["m"], []), b=(True, [], ["m"]))
+        assert check_non_triviality(ledger).holds
+
+    def test_violated_on_spontaneous_delivery(self):
+        ledger = make_ledger(a=(True, [], ["ghost"]))
+        assert not check_non_triviality(ledger).holds
+
+    def test_crashed_broadcaster_still_counts_as_origin(self):
+        ledger = make_ledger(a=(False, ["m"], []), b=(True, [], ["m"]))
+        assert check_non_triviality(ledger).holds
+
+
+class TestTotalOrder:
+    def test_holds_for_identical_orders(self):
+        ledger = make_ledger(a=(True, [], ["m", "n"]), b=(True, [], ["m", "n"]))
+        assert check_total_order(ledger).holds
+
+    def test_violated_on_swapped_pair(self):
+        ledger = make_ledger(a=(True, [], ["m", "n"]), b=(True, [], ["n", "m"]))
+        assert not check_total_order(ledger).holds
+
+    def test_subsets_are_fine(self):
+        """A node that misses a message does not violate total order."""
+        ledger = make_ledger(a=(True, [], ["m", "n", "o"]), b=(True, [], ["m", "o"]))
+        assert check_total_order(ledger).holds
+
+    def test_the_paper_can5_example(self):
+        """The paper's CAN5 justification: nodes that received frame A
+        before the retransmission see A, B, A — the others see B, A."""
+        ledger = make_ledger(
+            early=(True, [], ["A", "B"]),  # first delivery positions
+            late=(True, [], ["B", "A"]),
+        )
+        assert not check_total_order(ledger).holds
+
+    def test_crashed_node_order_ignored(self):
+        ledger = make_ledger(
+            a=(True, [], ["m", "n"]),
+            b=(False, [], ["n", "m"]),
+        )
+        assert check_total_order(ledger).holds
+
+
+class TestAggregates:
+    def test_atomic_broadcast_all_hold(self):
+        ledger = make_ledger(a=(True, ["m"], ["m"]), b=(True, [], ["m"]))
+        assert is_atomic_broadcast(ledger)
+        results = check_atomic_broadcast(ledger)
+        assert len(results) == 5
+
+    def test_reliable_but_not_atomic(self):
+        """Order violation only: reliable broadcast still holds."""
+        ledger = make_ledger(
+            a=(True, ["m", "n"], ["m", "n"]),
+            b=(True, [], ["n", "m"]),
+        )
+        assert is_reliable_broadcast(ledger)
+        assert not is_atomic_broadcast(ledger)
+
+
+class TestCan2AndClassification:
+    def test_can2_violated_by_partial_delivery_from_correct_tx(self):
+        ledger = make_ledger(
+            tx=(True, ["m"], ["m"]),
+            x=(True, [], []),
+            y=(True, [], ["m"]),
+        )
+        assert not check_can2_best_effort_agreement(ledger).holds
+
+    def test_can2_holds_when_tx_crashed(self):
+        ledger = make_ledger(
+            tx=(False, ["m"], []),
+            x=(True, [], []),
+            y=(True, [], ["m"]),
+        )
+        assert check_can2_best_effort_agreement(ledger).holds
+
+    def test_classification_buckets(self):
+        ledger = make_ledger(
+            tx=(True, ["m", "n", "o"], ["m", "n", "o"]),
+            x=(True, [], ["m", "m"]),       # m duplicated, n and o missing
+            y=(True, [], ["m", "n", "o"]),
+        )
+        classification = classify_omissions(ledger)
+        assert "m" in classification.consistent or "m" in classification.duplicates
+        assert "n" in classification.inconsistent_omissions
+        assert "o" in classification.inconsistent_omissions
+
+    def test_never_delivered_bucket(self):
+        ledger = make_ledger(tx=(True, ["m"], []), x=(True, [], []))
+        classification = classify_omissions(ledger)
+        assert classification.never_delivered == ["m"]
+        assert classification.imo_count == 0
+
+    def test_omission_degree_aggregation(self):
+        ledger_imo = make_ledger(
+            tx=(True, ["m"], ["m"]), x=(True, [], []), y=(True, [], ["m"])
+        )
+        ledger_ok = make_ledger(
+            tx=(True, ["n"], ["n"]), x=(True, [], ["n"]), y=(True, [], ["n"])
+        )
+        degree = omission_degree([ledger_imo, ledger_ok])
+        assert degree.transmissions == 2
+        assert degree.omissions == 1
+        assert degree.rate == 0.5

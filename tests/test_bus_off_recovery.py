@@ -1,0 +1,80 @@
+"""Tests for the optional bus-off recovery sequence."""
+
+from repro.can.controller import CanController, STATE_BUS_OFF, STATE_IDLE
+from repro.can.controller_config import ControllerConfig
+from repro.can.events import EventKind
+from repro.can.frame import data_frame
+from repro.simulation.engine import SimulationEngine
+
+
+def drive_to_bus_off(recovery):
+    """A lone transmitter accumulates ACK errors until bus-off."""
+    config = ControllerConfig(bus_off_recovery=recovery)
+    node = CanController("tx", config)
+    engine = SimulationEngine([node], record_bits=False)
+    node.submit(data_frame(0x100, b"\x01"))
+    while node.state != STATE_BUS_OFF and engine.time < 60000:
+        engine.step()
+    assert node.state == STATE_BUS_OFF
+    return engine, node
+
+
+class TestWithoutRecovery:
+    def test_stays_bus_off_forever(self):
+        engine, node = drive_to_bus_off(recovery=False)
+        engine.run(5000)
+        assert node.state == STATE_BUS_OFF
+        assert node.offline
+
+    def test_no_recovery_event(self):
+        engine, node = drive_to_bus_off(recovery=False)
+        engine.run(3000)
+        assert not [
+            e for e in node.events if e.kind == EventKind.BUS_OFF_RECOVERED
+        ]
+
+
+class TestWithRecovery:
+    def test_recovers_after_128_sequences(self):
+        engine, node = drive_to_bus_off(recovery=True)
+        # 128 x 11 recessive bits on an idle bus.
+        engine.run(128 * 11 + 20)
+        recovered = [
+            e for e in node.events if e.kind == EventKind.BUS_OFF_RECOVERED
+        ]
+        assert recovered
+        assert node.counters.tec < 256
+
+    def test_counters_cleared_on_recovery(self):
+        engine, node = drive_to_bus_off(recovery=True)
+        node.tx_queue.clear()  # keep the bus quiet afterwards
+        engine.run(128 * 11 + 20)
+        assert node.state == STATE_IDLE
+        assert (node.counters.tec, node.counters.rec) == (0, 0)
+
+    def test_not_offline_after_recovery(self):
+        engine, node = drive_to_bus_off(recovery=True)
+        node.tx_queue.clear()
+        engine.run(128 * 11 + 20)
+        assert not node.offline
+
+    def test_rejoins_traffic(self):
+        engine, node = drive_to_bus_off(recovery=True)
+        receiver = CanController("rx")
+        engine.attach(receiver)
+        engine.run(128 * 11 + 20)
+        engine.run_until_idle(10000)
+        assert len(receiver.deliveries) >= 1
+
+    def test_dominant_bits_restart_the_run(self):
+        engine, node = drive_to_bus_off(recovery=True)
+        node.tx_queue.clear()
+        # A chattering neighbour keeps interrupting the recovery count.
+        neighbour = CanController("nb")
+        engine.attach(neighbour)
+        for _ in range(40):
+            neighbour.submit(data_frame(0x100, b"\x01"))
+        engine.run(800)
+        # Frames every ~60 bits leave >11-bit recessive gaps rarely;
+        # recovery must take longer than the idle-bus case.
+        assert node.state == STATE_BUS_OFF

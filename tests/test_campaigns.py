@@ -1,0 +1,96 @@
+"""Tests for the structured fault-injection campaign module."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.campaigns import CampaignSpec, compare_protocols, run_campaign
+
+
+class TestSpecValidation:
+    def test_minimum_nodes(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(n_nodes=2)
+
+    def test_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(attack_probability=1.5)
+
+    def test_round_count(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(rounds=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        spec = CampaignSpec(protocol="can", rounds=8, attack_probability=0.5, seed=9)
+        first = run_campaign(spec)
+        second = run_campaign(spec)
+        assert first.as_row() == second.as_row()
+        assert first.omission_rounds == second.omission_rounds
+
+
+class TestAttackSemantics:
+    def test_every_attack_breaks_can(self):
+        outcome = run_campaign(
+            CampaignSpec(protocol="can", rounds=10, attack_probability=1.0, seed=3)
+        )
+        assert outcome.attacked_rounds == 10
+        assert outcome.omissions == 10
+        assert outcome.omission_rate == 1.0
+
+    def test_no_attack_no_inconsistency(self):
+        outcome = run_campaign(
+            CampaignSpec(protocol="can", rounds=6, attack_probability=0.0, seed=3)
+        )
+        assert outcome.omissions == 0
+        assert outcome.consistent == 6
+
+    def test_majorcan_resists_every_attack(self):
+        outcome = run_campaign(
+            CampaignSpec(
+                protocol="majorcan", rounds=10, attack_probability=1.0, seed=3
+            )
+        )
+        assert outcome.omissions == 0
+        assert outcome.consistent == 10
+
+    def test_two_errors_injected_per_attack(self):
+        outcome = run_campaign(
+            CampaignSpec(protocol="can", rounds=5, attack_probability=1.0, seed=1)
+        )
+        assert outcome.errors_injected == 10
+
+
+class TestNoiseAndBackground:
+    def test_noise_errors_counted(self):
+        outcome = run_campaign(
+            CampaignSpec(
+                protocol="majorcan",
+                rounds=3,
+                attack_probability=0.0,
+                noise_ber_star=1e-3,
+                seed=4,
+            )
+        )
+        assert outcome.errors_injected > 0
+
+    def test_background_traffic_volume(self):
+        spec = CampaignSpec(
+            protocol="can",
+            rounds=2,
+            attack_probability=0.0,
+            background_frames=3,
+            seed=2,
+        )
+        outcome = run_campaign(spec)
+        assert outcome.consistent == 2
+
+
+class TestComparison:
+    def test_same_seed_across_protocols(self):
+        outcomes = compare_protocols(rounds=6, attack_probability=0.5, seed=11)
+        attacked = {outcome.attacked_rounds for outcome in outcomes}
+        assert len(attacked) == 1  # identical attack schedule
+        by_protocol = {outcome.spec.protocol: outcome for outcome in outcomes}
+        assert by_protocol["majorcan"].omissions == 0
+        assert by_protocol["can"].omissions == by_protocol["can"].attacked_rounds

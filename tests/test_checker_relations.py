@@ -1,0 +1,118 @@
+"""Cross-checker consistency properties on random ledgers.
+
+The AB checkers, the CAN checkers and the omission classifier are
+independent implementations over the same ledger model; these
+hypothesis properties pin the logical relations that must hold between
+them for *any* ledger.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.properties.broadcast import (
+    check_agreement,
+    check_at_most_once,
+    check_total_order,
+    check_validity,
+    is_atomic_broadcast,
+    is_reliable_broadcast,
+)
+from repro.properties.can_properties import (
+    check_can2_best_effort_agreement,
+    classify_omissions,
+)
+from repro.properties.ledger import NodeLedger, SystemLedger
+
+MESSAGES = ["m%d" % i for i in range(4)]
+
+
+@st.composite
+def ledgers(draw):
+    node_count = draw(st.integers(2, 4))
+    ledger = SystemLedger()
+    for index in range(node_count):
+        name = "n%d" % index
+        correct = draw(st.booleans()) or index == 0  # keep one correct
+        broadcasts = draw(
+            st.lists(st.sampled_from(MESSAGES), max_size=2, unique=True)
+        )
+        deliveries = draw(st.lists(st.sampled_from(MESSAGES), max_size=5))
+        ledger.nodes[name] = NodeLedger(
+            name=name,
+            correct=correct,
+            broadcasts=broadcasts,
+            deliveries=deliveries,
+        )
+    return ledger
+
+
+_SETTINGS = settings(max_examples=200, deadline=None)
+
+
+class TestRelations:
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_atomic_implies_reliable(self, ledger):
+        if is_atomic_broadcast(ledger):
+            assert is_reliable_broadcast(ledger)
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_agreement_implies_no_imo_classification(self, ledger):
+        """If AB2 holds, the omission classifier must find no
+        inconsistent omission among the broadcast messages."""
+        if check_agreement(ledger).holds:
+            assert classify_omissions(ledger).imo_count == 0
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_imo_classification_implies_agreement_violation(self, ledger):
+        if classify_omissions(ledger).imo_count > 0:
+            # Some delivered message is missing somewhere; AB2 can only
+            # hold if that message was never delivered to a correct
+            # node at all — which classify_omissions excludes.
+            assert not check_agreement(ledger).holds
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_can2_weaker_than_ab2(self, ledger):
+        """Best-effort agreement (CAN2) only constrains messages whose
+        transmitter stayed correct, so AB2 implies CAN2."""
+        if check_agreement(ledger).holds:
+            assert check_can2_best_effort_agreement(ledger).holds
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_duplicate_free_single_node_always_totally_ordered(self, ledger):
+        """With one correct node, total order is vacuous."""
+        correct = ledger.correct_nodes
+        if len(correct) == 1:
+            assert check_total_order(ledger).holds
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_checkers_are_deterministic(self, ledger):
+        first = [
+            check_validity(ledger).holds,
+            check_agreement(ledger).holds,
+            check_at_most_once(ledger).holds,
+            check_total_order(ledger).holds,
+        ]
+        second = [
+            check_validity(ledger).holds,
+            check_agreement(ledger).holds,
+            check_at_most_once(ledger).holds,
+            check_total_order(ledger).holds,
+        ]
+        assert first == second
+
+    @given(ledger=ledgers())
+    @_SETTINGS
+    def test_violations_nonempty_iff_failed(self, ledger):
+        for result in (
+            check_validity(ledger),
+            check_agreement(ledger),
+            check_at_most_once(ledger),
+            check_total_order(ledger),
+        ):
+            assert result.holds == (not result.violations)

@@ -1,0 +1,98 @@
+"""Smoke tests for every CLI sub-command."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "IMOnew/hour" in out
+        assert "8.8" in out
+
+    def test_scenarios_single_protocol(self, capsys):
+        assert main(["scenarios", "--protocol", "can"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1b/CAN" in out
+        assert "fig3a/CAN" in out
+
+    def test_scenarios_majorcan_includes_fig5(self, capsys):
+        assert main(["scenarios", "--protocol", "majorcan"]) == 0
+        assert "fig5/MajorCAN" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CRC error" in out
+        assert "extended error flag" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "best 3 bits" in out
+        assert "worst 11 bits" in out
+
+    def test_overhead_large_m_formula_only(self, capsys):
+        assert main(["overhead", "--m", "8"]) == 0
+        assert "measured: (worst-case" in capsys.readouterr().out
+
+    def test_enumerate(self, capsys):
+        assert main(["enumerate", "--nodes", "3", "--window", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P(IMO) enumerated" in out
+
+    def test_montecarlo(self, capsys):
+        assert main(["montecarlo", "--trials", "50", "--seed", "3"]) == 0
+        assert "P(IMO)" in capsys.readouterr().out
+
+    def test_geometry(self, capsys):
+        assert main(["geometry", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "window_start" in out
+        assert "invariants:" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--rounds", "4", "--attack", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "majorcan" in out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability", "--ber", "1e-4"]) == 0
+        assert "MTTF" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--m-values", "4", "5", "--flips", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F1 closed" in out
+        assert "CAN6'" in out
+
+    def test_verify_majorcan_holds(self, capsys):
+        assert main(["verify", "--protocol", "majorcan", "--flips", "1"]) == 0
+        assert "no counterexample" in capsys.readouterr().out
+
+    def test_verify_can_finds_counterexamples(self, capsys):
+        assert main(["verify", "--protocol", "can", "--flips", "2"]) == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_verify_header_universe(self, capsys):
+        assert main(["verify", "--protocol", "majorcan", "--flips", "1",
+                     "--include-header"]) == 1
+        assert "DLC" in capsys.readouterr().out
+
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "MajorCAN" in out
+        assert "EDCAN" in out

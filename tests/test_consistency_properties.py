@@ -1,0 +1,200 @@
+"""Property-based tests of the protocols' consistency guarantees.
+
+These are the paper's theorems as executable properties:
+
+* **MajorCAN_m tolerates any m randomly placed view errors** around the
+  frame end (Section 5) — Agreement and At-most-once hold;
+* **standard CAN never suffers an inconsistent omission from a single
+  view error** (one error can cause double reception, Fig. 1b, but an
+  omission needs at least two);
+* **MinorCAN is fully consistent under any single view error**
+  (Section 3: it fixes all single-disturbance scenarios).
+
+Each trial first locates the transmitter's EOF on a clean run, then
+replays the run with view flips at hypothesis-chosen (node, bit-time)
+sites near the frame end — the region where all the interesting
+machinery lives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.faults.bit_errors import ErrorBudgetInjector
+from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+NODE_NAMES = ("tx", "x", "y")
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _eof_start_time(protocol: str, m: int) -> int:
+    """Bit time of the transmitter's first EOF bit on a clean run."""
+    nodes = [make_controller(protocol, name, m=m) for name in NODE_NAMES]
+    outcome = run_single_frame_scenario(
+        "probe", nodes, injector=_no_faults(), frame=data_frame(0x123, b"\x55")
+    )
+    times = outcome.trace.position_times("tx", EOF, 0)
+    assert times, "clean run must reach the EOF"
+    return times[0]
+
+
+def _no_faults():
+    from repro.faults.injector import ScriptedInjector
+
+    return ScriptedInjector()
+
+
+def _run_with_flips(protocol: str, m: int, flips: List[Tuple[int, str]]):
+    nodes = [make_controller(protocol, name, m=m) for name in NODE_NAMES]
+    injector = ErrorBudgetInjector(flips)
+    return run_single_frame_scenario(
+        "property",
+        nodes,
+        injector,
+        frame=data_frame(0x123, b"\x55"),
+        record_bits=False,
+        max_bits=60000,
+    )
+
+
+_EOF_START_CACHE: dict = {}
+
+
+def _cached_eof_start(protocol: str, m: int) -> int:
+    key = (protocol, m)
+    if key not in _EOF_START_CACHE:
+        _EOF_START_CACHE[key] = _eof_start_time(protocol, m)
+    return _EOF_START_CACHE[key]
+
+
+@st.composite
+def flip_sites(draw, max_flips: int, span_before: int, span_after: int):
+    """Draw up to ``max_flips`` distinct (offset, node) error sites."""
+    count = draw(st.integers(min_value=0, max_value=max_flips))
+    sites = draw(
+        st.lists(
+            st.tuples(
+                st.integers(-span_before, span_after),
+                st.sampled_from(NODE_NAMES),
+            ),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return sites
+
+
+class TestMajorCanTheorem:
+    """Atomic Broadcast in the presence of up to m errors per frame."""
+
+    @given(sites=flip_sites(max_flips=5, span_before=4, span_after=25))
+    @_PROPERTY_SETTINGS
+    def test_m5_consistent_under_any_5_errors_near_frame_end(self, sites):
+        m = 5
+        eof_start = _cached_eof_start("majorcan", m)
+        flips = [(eof_start + offset, node) for offset, node in sites]
+        outcome = _run_with_flips("majorcan", m, flips)
+        assert outcome.consistent, outcome.summary()
+        assert not outcome.double_reception, outcome.summary()
+
+    @given(sites=flip_sites(max_flips=3, span_before=3, span_after=16))
+    @_PROPERTY_SETTINGS
+    def test_m3_consistent_under_any_3_errors(self, sites):
+        m = 3
+        eof_start = _cached_eof_start("majorcan", m)
+        flips = [(eof_start + offset, node) for offset, node in sites]
+        outcome = _run_with_flips("majorcan", m, flips)
+        assert outcome.consistent, outcome.summary()
+        assert not outcome.double_reception, outcome.summary()
+
+    @given(sites=flip_sites(max_flips=5, span_before=4, span_after=0))
+    @_PROPERTY_SETTINGS
+    def test_errors_at_frame_tail_stay_consistent(self, sites):
+        """Disturbances over the CRC delimiter / ACK field / first EOF
+        bit (the paper's never-accept class) reject consistently."""
+        m = 5
+        eof_start = _cached_eof_start("majorcan", m)
+        flips = [(eof_start + offset, node) for offset, node in sites]
+        outcome = _run_with_flips("majorcan", m, flips)
+        assert outcome.consistent, outcome.summary()
+
+
+class TestReproductionFindingDesync:
+    """Finding F1 (beyond the paper): a *single* mid-frame view error
+    can desynchronise a receiver's destuffing/field tracking, so its
+    eventual stuff-error flag starts inside the second EOF sub-field —
+    where MajorCAN obliges every other node to read it as an extended
+    acceptance flag.  The desynchronised node rejects while everyone
+    else accepts: an inconsistent omission from one error, outside the
+    paper's analysis (which assumes receivers always know their frame
+    position).  See EXPERIMENTS.md, finding F1.
+    """
+
+    def test_single_error_desync_breaks_majorcan5(self):
+        eof_start = _cached_eof_start("majorcan", 5)
+        outcome = _run_with_flips("majorcan", 5, [(eof_start - 28, "x")])
+        assert outcome.inconsistent_omission, (
+            "the documented desync counterexample no longer reproduces: "
+            + outcome.summary()
+        )
+        assert outcome.deliveries == {"tx": 1, "x": 0, "y": 1}
+
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_desync_channel_defeats_m_up_to_five(self, m):
+        """The desynchronised flag starts 6 bits after the ACK slot —
+        EOF-relative bit 6 — which lies in the second sub-field exactly
+        when m <= 5.  The paper's proposed m = 5 sits on the boundary."""
+        eof_start = _cached_eof_start("majorcan", m)
+        outcome = _run_with_flips("majorcan", m, [(18, "x")])
+        assert outcome.inconsistent_omission, outcome.summary()
+
+    @pytest.mark.parametrize("m", [6, 7])
+    def test_m_of_six_resists_the_desync_channel(self, m):
+        outcome = _run_with_flips("majorcan", m, [(18, "x")])
+        assert outcome.consistent, outcome.summary()
+        assert outcome.all_delivered_once
+
+    def test_same_flip_is_harmless_in_standard_can(self):
+        eof_start = _cached_eof_start("can", 5)
+        outcome = _run_with_flips("can", 5, [(eof_start - 28, "x")])
+        assert not outcome.inconsistent_omission, outcome.summary()
+
+    def test_same_flip_is_harmless_in_minorcan(self):
+        eof_start = _cached_eof_start("minorcan", 5)
+        outcome = _run_with_flips("minorcan", 5, [(eof_start - 28, "x")])
+        assert not outcome.inconsistent_omission, outcome.summary()
+
+
+class TestStandardCanSingleError:
+    @given(sites=flip_sites(max_flips=1, span_before=4, span_after=20))
+    @_PROPERTY_SETTINGS
+    def test_no_omission_from_one_error(self, sites):
+        """A single view error can duplicate (Fig. 1b) but never omit:
+        the new scenarios need two errors (the paper's Section 4)."""
+        eof_start = _cached_eof_start("can", 5)
+        flips = [(eof_start + offset, node) for offset, node in sites]
+        outcome = _run_with_flips("can", 5, flips)
+        assert not outcome.inconsistent_omission, outcome.summary()
+
+
+class TestMinorCanSingleError:
+    @given(sites=flip_sites(max_flips=1, span_before=4, span_after=20))
+    @_PROPERTY_SETTINGS
+    def test_fully_consistent_under_one_error(self, sites):
+        eof_start = _cached_eof_start("minorcan", 5)
+        flips = [(eof_start + offset, node) for offset, node in sites]
+        outcome = _run_with_flips("minorcan", 5, flips)
+        assert outcome.consistent, outcome.summary()
+        assert not outcome.double_reception, outcome.summary()

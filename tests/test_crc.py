@@ -1,0 +1,126 @@
+"""Unit and property tests for the CAN CRC-15."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.crc import (
+    CRC15_POLYNOMIAL,
+    CRC_WIDTH,
+    Crc15Register,
+    crc15,
+    crc15_bits,
+    crc15_check,
+)
+
+
+class TestBasics:
+    def test_empty_sequence_is_zero(self):
+        assert crc15([]) == 0
+
+    def test_single_one_bit(self):
+        # One '1' bit shifts through: register becomes the polynomial.
+        assert crc15([1]) == CRC15_POLYNOMIAL
+
+    def test_zeros_stay_zero(self):
+        assert crc15([0] * 64) == 0
+
+    def test_value_fits_width(self):
+        assert crc15([1, 0, 1] * 30) < (1 << CRC_WIDTH)
+
+    def test_bits_form(self):
+        bits = crc15_bits([1, 0, 1, 1])
+        assert len(bits) == CRC_WIDTH
+        assert all(bit in (0, 1) for bit in bits)
+
+    def test_check_accepts_correct(self):
+        data = [1, 0, 1, 1, 0, 0, 1]
+        assert crc15_check(data, crc15(data))
+
+    def test_check_rejects_wrong(self):
+        data = [1, 0, 1, 1, 0, 0, 1]
+        assert not crc15_check(data, crc15(data) ^ 1)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc15([0, 1, 2])
+
+
+class TestIncrementalRegister:
+    def test_matches_batch(self):
+        data = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1]
+        register = Crc15Register()
+        for bit in data:
+            register.feed(bit)
+        assert register.value == crc15(data)
+
+    def test_reset(self):
+        register = Crc15Register()
+        register.feed(1)
+        register.reset()
+        assert register.value == 0
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_incremental_equals_batch(self, bits):
+        register = Crc15Register()
+        for bit in bits:
+            register.feed(bit)
+        assert register.value == crc15(bits)
+
+
+class TestErrorDetectionGuarantees:
+    """The properties the paper uses to justify m = 5."""
+
+    @given(
+        data=st.lists(st.integers(0, 1), min_size=1, max_size=90),
+        flip_count=st.integers(1, 5),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=300)
+    def test_detects_up_to_five_random_errors(self, data, flip_count, seed):
+        """Hamming distance 6: any <= 5 bit flips over data+CRC detected."""
+        import random
+
+        codeword = list(data) + crc15_bits(data)
+        rng = random.Random(seed)
+        positions = rng.sample(range(len(codeword)), min(flip_count, len(codeword)))
+        for position in positions:
+            codeword[position] ^= 1
+        corrupted_data = codeword[: len(data)]
+        corrupted_crc = codeword[len(data):]
+        from repro.can.bits import int_from_bits
+
+        assert not crc15_check(corrupted_data, int_from_bits(corrupted_crc))
+
+    @given(
+        data=st.lists(st.integers(0, 1), min_size=20, max_size=90),
+        start=st.integers(0, 200),
+        length=st.integers(1, 14),
+    )
+    @settings(max_examples=300)
+    def test_detects_bursts_shorter_than_15(self, data, start, length):
+        """Any burst error of length < 15 within the codeword is caught."""
+        codeword = list(data) + crc15_bits(data)
+        start = start % (len(codeword) - length + 1) if len(codeword) > length else 0
+        burst = codeword[:]
+        # Flip the burst edges and a pattern inside: still one burst.
+        for offset in range(length):
+            if offset == 0 or offset == length - 1 or offset % 2 == 0:
+                burst[start + offset] ^= 1
+        corrupted_data = burst[: len(data)]
+        corrupted_crc = burst[len(data):]
+        from repro.can.bits import int_from_bits
+
+        assert not crc15_check(corrupted_data, int_from_bits(corrupted_crc))
+
+    def test_single_bit_error_always_detected_exhaustive(self):
+        data = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0]
+        codeword = data + crc15_bits(data)
+        from repro.can.bits import int_from_bits
+
+        for position in range(len(codeword)):
+            corrupted = codeword[:]
+            corrupted[position] ^= 1
+            assert not crc15_check(
+                corrupted[: len(data)], int_from_bits(corrupted[len(data):])
+            )

@@ -1,0 +1,121 @@
+"""Differential tests between protocol variants.
+
+MinorCAN is *defined* as standard CAN with a different decision at the
+last EOF bit; MajorCAN changes only the frame tail.  These tests run
+identical fault scripts through the variants and compare outcomes —
+pinning both the regions of exact equivalence and the exact sites
+where the protocols (correctly) diverge:
+
+* a flip at the transmitter's *last-but-one* EOF bit makes its error
+  flag land on the receivers' *last* bit, so even that site engages
+  the modified machinery (MinorCAN avoids CAN's double reception);
+* DLC flips are the finding-F1 desynchronisation channel, where
+  MajorCAN_5 (unlike CAN) omits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.controller import CanController
+from repro.can.fields import CRC, DATA, DLC, EOF, ID_A
+from repro.can.frame import data_frame
+from repro.core.majorcan import MajorCanController
+from repro.core.minorcan import MinorCanController
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+
+from helpers import run_one_frame
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+#: (field, max index) single-flip sites that cannot reach anyone's
+#: last EOF bit (flags from EOF bit <= 4 end inside the EOF).
+EQUIVALENT_SITES = [
+    (ID_A, 10),
+    (DLC, 3),
+    (DATA, 7),
+    (CRC, 14),
+    (EOF, 4),
+]
+
+
+def _outcome(protocol_cls, field, index, node):
+    nodes = [protocol_cls(n) for n in ("tx", "x", "y")]
+    injector = ScriptedInjector(
+        view_faults=[ViewFault(node, Trigger(field=field, index=index), force=None)]
+    )
+    return run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+
+
+@st.composite
+def equivalent_flip(draw):
+    field, max_index = draw(st.sampled_from(EQUIVALENT_SITES))
+    index = draw(st.integers(0, max_index))
+    node = draw(st.sampled_from(["tx", "x", "y"]))
+    return field, index, node
+
+
+class TestMinorCanEquivalence:
+    @given(site=equivalent_flip())
+    @_SETTINGS
+    def test_identical_outcomes_away_from_the_frame_end(self, site):
+        field, index, node = site
+        can = _outcome(CanController, field, index, node)
+        minor = _outcome(MinorCanController, field, index, node)
+        assert can.deliveries == minor.deliveries
+        assert can.attempts == minor.attempts
+
+    def test_divergence_at_the_last_bit(self):
+        """At the last EOF bit the protocols differ by design: the
+        standard transmitter retransmits, MinorCAN's accepts."""
+        can = _outcome(CanController, EOF, 6, "tx")
+        minor = _outcome(MinorCanController, EOF, 6, "tx")
+        assert can.attempts == 2
+        assert minor.attempts == 1
+
+    def test_divergence_at_the_last_but_one_bit(self):
+        """A transmitter flip at the last-but-one bit puts its flag on
+        the receivers' last bit: standard CAN double-delivers there,
+        MinorCAN's no-primary rule rejects consistently."""
+        can = _outcome(CanController, EOF, 5, "tx")
+        minor = _outcome(MinorCanController, EOF, 5, "tx")
+        assert can.deliveries == {"tx": 1, "x": 2, "y": 2}
+        assert minor.deliveries == {"tx": 1, "x": 1, "y": 1}
+
+
+class TestMajorCanPreTailEquivalence:
+    # Deterministic sites verified to leave the receiver's frame
+    # tracking synchronised (no apparent-stuff shift): the alternating
+    # 0x55 payload and these identifier/CRC positions create no 5-runs.
+    STABLE_SITES = [
+        (ID_A, 0),
+        (ID_A, 7),
+        (DATA, 0),
+        (DATA, 3),
+        (DATA, 7),
+    ]
+
+    @pytest.mark.parametrize("field,index", STABLE_SITES)
+    @pytest.mark.parametrize("node", ["tx", "x", "y"])
+    def test_pre_tail_flips_behave_like_standard_can(self, field, index, node):
+        can = _outcome(CanController, field, index, node)
+        major = _outcome(MajorCanController, field, index, node)
+        assert can.deliveries == major.deliveries
+        assert can.attempts == major.attempts
+
+    def test_dlc_flip_is_the_known_divergence(self):
+        """The one pre-tail channel where the variants part ways:
+        receiver DLC corruption (finding F1)."""
+        can = _outcome(CanController, DLC, 1, "x")
+        major = _outcome(MajorCanController, DLC, 1, "x")
+        assert can.deliveries["x"] == 1  # recovered by retransmission
+        assert major.deliveries["x"] == 0  # the F1 omission
+
+    def test_all_protocols_identical_without_faults(self):
+        outcomes = [
+            run_one_frame([cls(n) for n in ("tx", "x", "y")], data_frame(0x123, b"\x55"))
+            for cls in (CanController, MinorCanController, MajorCanController)
+        ]
+        for outcome in outcomes:
+            assert outcome.deliveries == {"tx": 1, "x": 1, "y": 1}
+            assert outcome.attempts == 1

@@ -1,0 +1,135 @@
+"""Tests for the dual-CAN redundancy architecture."""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import CanController
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.core.majorcan import MajorCanController
+from repro.errors import ConfigurationError
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.redundancy import DualBusSystem
+
+FRAME = data_frame(0x123, b"\x55", message_id="m")
+
+
+def fig3_injector(x_port: str, tx_port: str, eof_length: int = 7) -> ScriptedInjector:
+    last = eof_length - 1
+    return ScriptedInjector(
+        view_faults=[
+            ViewFault(x_port, Trigger(field=EOF, index=last - 1), force=DOMINANT),
+            ViewFault(tx_port, Trigger(field=EOF, index=last), force=RECESSIVE),
+        ]
+    )
+
+
+class TestCleanOperation:
+    def test_every_node_delivers_once(self):
+        system = DualBusSystem(["tx", "x", "y"])
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        outcome = system.classify(FRAME)
+        assert outcome.all_delivered_once
+
+    def test_duplicate_replica_suppressed(self):
+        """Both channels deliver the replica; the app sees one copy."""
+        system = DualBusSystem(["tx", "x"])
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        x = system.node("x")
+        channel_deliveries = sum(
+            len(c.deliveries) for c in x.controllers.values()
+        )
+        assert channel_deliveries == 2
+        assert len(x.app_deliveries) == 1
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            DualBusSystem(["solo"])
+
+
+class TestSingleChannelFaultMasked:
+    def test_fig3a_on_one_channel_is_masked(self):
+        """The Fig. 3a pattern on channel A alone: the replica on
+        channel B restores consistency — the redundancy fix works
+        against single-channel disturbances."""
+        system = DualBusSystem(
+            ["tx", "x", "y"],
+            injectors={"A": fig3_injector("x.A", "tx.A")},
+        )
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        outcome = system.classify(FRAME)
+        assert outcome.all_delivered_once
+        # Channel A really did omit: x's A-port never delivered.
+        assert len(system.node("x").controllers["A"].deliveries) == 0
+
+    def test_channel_port_crash_masked(self):
+        system = DualBusSystem(["tx", "x", "y"])
+        system.node("x").controllers["A"].crash()
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        assert system.classify(FRAME).all_delivered_once
+
+
+class TestBothChannelsAttacked:
+    def test_fig3a_on_both_channels_defeats_redundancy(self):
+        """The same disturbance pattern on both channels: redundancy
+        has nothing left to offer, the omission goes through (four
+        single-bit errors in total)."""
+        system = DualBusSystem(
+            ["tx", "x", "y"],
+            injectors={
+                "A": fig3_injector("x.A", "tx.A"),
+                "B": fig3_injector("x.B", "tx.B"),
+            },
+        )
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        outcome = system.classify(FRAME)
+        assert outcome.inconsistent_omission
+        assert outcome.counts["x"] == 0
+
+    def test_majorcan_single_bus_beats_dual_can_same_error_budget(self):
+        """With the same four errors (two per channel), a dual standard
+        CAN omits while a single MajorCAN_5 bus would still agree —
+        the paper's protocol fix is strictly stronger per error."""
+        from helpers import run_one_frame
+        from repro.faults.injector import ScriptedInjector as SI
+
+        nodes = [MajorCanController(n) for n in ("tx", "x", "y")]
+        injector = SI(
+            view_faults=[
+                ViewFault("x", Trigger(field=EOF, index=8), force=DOMINANT),
+                ViewFault("tx", Trigger(field=EOF, index=9), force=RECESSIVE),
+                ViewFault("y", Trigger(field=EOF, index=9), force=DOMINANT),
+                ViewFault("x", Trigger(field="SAMPLING", index=12), force=RECESSIVE),
+            ]
+        )
+        outcome = run_one_frame(nodes, FRAME, injector)
+        assert outcome.consistent
+
+
+class TestDualMajorCan:
+    def test_belt_and_braces(self):
+        """Dual MajorCAN buses: both fixes composed."""
+        system = DualBusSystem(
+            ["tx", "x", "y"],
+            controller_factory=lambda name: MajorCanController(name),
+            injectors={"A": fig3_injector("x.A", "tx.A", eof_length=10)},
+        )
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        assert system.classify(FRAME).all_delivered_once
+
+
+class TestNodeCrash:
+    def test_crashed_node_excluded_from_verdict(self):
+        system = DualBusSystem(["tx", "x", "y"])
+        system.node("y").crash()
+        system.node("tx").submit(FRAME)
+        system.run_until_idle()
+        outcome = system.classify(FRAME)
+        assert "y" not in outcome.counts
+        assert outcome.all_delivered_once

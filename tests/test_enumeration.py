@@ -1,0 +1,97 @@
+"""Tests for the exact tail-pattern enumeration (experiment E-MC)."""
+
+import pytest
+
+from repro.analysis.enumeration import (
+    enumerate_tail_patterns,
+    equation4_tail_prediction,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def can_result():
+    return enumerate_tail_patterns("can", n_nodes=3, window=2, ber_star=1e-4)
+
+
+@pytest.fixture(scope="module")
+def majorcan_result():
+    return enumerate_tail_patterns("majorcan", n_nodes=3, window=2, ber_star=1e-4)
+
+
+class TestStandardCan:
+    def test_pattern_count(self, can_result):
+        # 3 nodes x 2 window bits = 6 sites -> 64 subsets.
+        assert len(can_result.outcomes) == 64
+
+    def test_enumeration_matches_equation4(self, can_result):
+        predicted = equation4_tail_prediction(1e-4, 3, 110)
+        assert can_result.p_inconsistent_omission == pytest.approx(
+            predicted, rel=0.001
+        )
+
+    def test_minimal_imo_patterns_match_fig3a(self, can_result):
+        """Every 2-flip IMO pattern is transmitter@last-bit plus one
+        receiver@last-but-one — exactly the Fig. 3a structure."""
+        two_flip = [p for p in can_result.imo_patterns() if len(p) == 2]
+        assert two_flip
+        for pattern in two_flip:
+            sites = dict(pattern)
+            assert sites.get(0) == 6  # transmitter at the last EOF bit
+            receiver_sites = [idx for node, idx in pattern if node != 0]
+            assert receiver_sites == [5]
+
+    def test_double_reception_needs_one_flip(self, can_result):
+        singles = [
+            o for o in can_result.outcomes
+            if len(o.pattern) == 1 and o.double_reception
+        ]
+        assert singles  # Fig. 1b
+
+    def test_empty_pattern_is_consistent(self, can_result):
+        empty = [o for o in can_result.outcomes if not o.pattern]
+        assert len(empty) == 1
+        assert empty[0].consistent
+
+
+class TestMajorCan:
+    def test_no_inconsistent_tail_pattern(self, majorcan_result):
+        """Exhaustive check over the 2-bit tail window: MajorCAN_5 is
+        consistent for every one of the 64 patterns."""
+        assert majorcan_result.p_inconsistent == 0.0
+        assert majorcan_result.imo_patterns() == []
+
+    def test_probabilities_sum_to_at_most_one(self, majorcan_result):
+        total = sum(
+            majorcan_result._probability_of(len(o.pattern))
+            for o in majorcan_result.outcomes
+        )
+        assert total <= 1.0
+
+
+class TestMinorCan:
+    def test_single_flip_patterns_all_consistent(self):
+        result = enumerate_tail_patterns(
+            "minorcan", n_nodes=3, window=2, ber_star=1e-4, max_flips=1
+        )
+        assert all(o.consistent for o in result.outcomes)
+
+
+class TestParameters:
+    def test_max_flips_truncates(self):
+        result = enumerate_tail_patterns("can", n_nodes=3, window=2, max_flips=1)
+        assert len(result.outcomes) == 1 + 6
+
+    def test_window_validation(self):
+        with pytest.raises(AnalysisError):
+            enumerate_tail_patterns("can", n_nodes=3, window=99)
+
+    def test_node_count_validation(self):
+        with pytest.raises(AnalysisError):
+            enumerate_tail_patterns("can", n_nodes=1)
+
+    def test_probability_selector(self, can_result):
+        p_all = can_result.probability(lambda o: True)
+        p_none = can_result.probability(lambda o: False)
+        assert p_none == 0.0
+        assert 0.0 < p_all <= 1.0

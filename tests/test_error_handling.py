@@ -1,0 +1,252 @@
+"""Controller tests: error detection, signalling and fault confinement."""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import CanController, STATE_BUS_OFF
+from repro.can.controller_config import ControllerConfig
+from repro.can.error_counters import ConfinementState, ErrorCounters
+from repro.can.events import ErrorReason, EventKind
+from repro.can.fields import ACK_DELIM, CRC, DATA, EOF
+from repro.can.frame import data_frame
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.simulation.engine import SimulationEngine
+
+from helpers import delivered_payloads, run_one_frame
+
+
+def _nodes(*names, config=None):
+    return [CanController(name, config) for name in names]
+
+
+def _error_reasons(node):
+    return [
+        event.data["reason"]
+        for event in node.events
+        if event.kind == EventKind.ERROR_DETECTED
+    ]
+
+
+class TestBitErrorRecovery:
+    def test_data_bit_error_causes_retransmission(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 2
+        assert outcome.all_delivered_once
+
+    def test_stuff_error_at_other_receivers(self):
+        """rx1's error flag must be detected as a stuff violation or bit
+        error by everyone else, globalising the local error."""
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert _error_reasons(nodes[2])  # rx2 saw the globalised error
+
+    def test_transmitter_bit_error_detected_by_compare(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("tx", Trigger(field=DATA, index=2))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert ErrorReason.BIT in _error_reasons(nodes[0])
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 2
+
+    def test_crc_field_error(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=CRC, index=7))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+
+    def test_multiple_consecutive_corrupted_attempts(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("rx1", Trigger(field=DATA, index=1, occurrence=n))
+                for n in (1, 2, 3)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 4
+        assert outcome.all_delivered_once
+
+
+class TestCrcErrorPath:
+    def test_crc_error_flag_starts_at_first_eof_bit(self):
+        """A receiver with a CRC mismatch must not ACK and must start
+        its error flag at the bit following the ACK delimiter."""
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        rx1 = outcome.engine.node("rx1")
+        detections = [
+            event
+            for event in rx1.events
+            if event.kind == EventKind.ERROR_DETECTED
+        ]
+        assert detections[0].data["reason"] == ErrorReason.CRC
+        assert detections[0].data["position"].startswith(ACK_DELIM)
+
+    def test_single_nack_does_not_cause_ack_error(self):
+        """Other receivers' dominant ACK covers rx1's missing one."""
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert ErrorReason.ACK not in _error_reasons(nodes[0])
+
+
+class TestFormErrors:
+    def test_ack_delim_corruption(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("rx1", Trigger(field=ACK_DELIM, index=0), force=DOMINANT)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert ErrorReason.FORM in _error_reasons(nodes[1])
+        assert outcome.all_delivered_once
+
+
+class TestErrorCounters:
+    def test_unit_rules(self):
+        counters = ErrorCounters()
+        counters.on_receiver_error()
+        assert counters.rec == 1
+        counters.on_receiver_error(primary=True)
+        assert counters.rec == 9
+        counters.on_transmitter_error()
+        assert counters.tec == 8
+        counters.on_transmit_success()
+        assert counters.tec == 7
+        counters.on_receive_success()
+        assert counters.rec == 8
+
+    def test_floors_at_zero(self):
+        counters = ErrorCounters()
+        counters.on_transmit_success()
+        counters.on_receive_success()
+        assert (counters.tec, counters.rec) == (0, 0)
+
+    def test_state_thresholds(self):
+        counters = ErrorCounters()
+        assert counters.state is ConfinementState.ERROR_ACTIVE
+        counters.rec = 128
+        assert counters.state is ConfinementState.ERROR_PASSIVE
+        counters.rec = 0
+        counters.tec = 256
+        assert counters.state is ConfinementState.BUS_OFF
+
+    def test_warning_at_96(self):
+        counters = ErrorCounters()
+        counters.tec = 95
+        assert not counters.warning
+        counters.on_transmitter_error()
+        assert counters.warning
+        assert counters.warnings_raised == 1
+
+    def test_stuck_dominant_octet(self):
+        counters = ErrorCounters()
+        counters.on_stuck_dominant_octet(transmitter=True)
+        assert counters.tec == 8
+        counters.on_stuck_dominant_octet(transmitter=False)
+        assert counters.rec == 8
+
+    def test_reset(self):
+        counters = ErrorCounters(tec=100, rec=100)
+        counters.reset()
+        assert (counters.tec, counters.rec) == (0, 0)
+
+    def test_transmitter_counts_in_simulation(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        # +8 for the signalled error, -1 for the successful retry.
+        assert nodes[0].counters.tec == 7
+
+    def test_primary_receiver_counts_in_simulation(self):
+        nodes = _nodes("tx", "rx1", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rx1", Trigger(field=DATA, index=3))]
+        )
+        run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        # +1 error, +8 primary, -1 successful reception of the retry.
+        assert nodes[1].counters.rec == 8
+
+
+class TestBusOff:
+    def test_repeated_ack_errors_reach_bus_off(self):
+        tx = CanController("tx")
+        engine = SimulationEngine([tx])
+        tx.submit(data_frame(0x100, b"\x01"))
+        engine.run(40000)
+        assert tx.state == STATE_BUS_OFF
+        assert tx.offline
+        assert any(e.kind == EventKind.BUS_OFF for e in tx.events)
+
+    def test_bus_off_node_stops_driving(self):
+        tx = CanController("tx")
+        engine = SimulationEngine([tx])
+        tx.submit(data_frame(0x100, b"\x01"))
+        engine.run(40000)
+        quiet_before = engine.bus.idle_tail()
+        engine.run(100)
+        assert engine.bus.idle_tail() >= quiet_before
+
+
+class TestDisconnectOnWarning:
+    def test_node_disconnects_before_error_passive(self):
+        """The paper's recommendation: switch off at the warning limit
+        so no node ever operates error-passive."""
+        config = ControllerConfig(disconnect_on_warning=True)
+        tx = CanController("tx", config)
+        engine = SimulationEngine([tx])
+        tx.submit(data_frame(0x100, b"\x01"))
+        engine.run(40000)
+        assert tx.disconnected
+        assert tx.counters.state is not ConfinementState.ERROR_PASSIVE
+        assert tx.counters.tec < 128
+        assert any(e.kind == EventKind.WARNING_RAISED for e in tx.events)
+
+
+class TestErrorPassiveImpairment:
+    """Section 2's first impairment: an error-passive receiver cannot
+    force a retransmission, so it alone omits the frame."""
+
+    def _passive_receiver(self):
+        node = CanController("rxp")
+        node.counters.rec = 130  # force error-passive
+        return node
+
+    def test_passive_flag_is_invisible(self):
+        nodes = [CanController("tx"), self._passive_receiver(), CanController("rx2")]
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rxp", Trigger(field=DATA, index=3))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        # The passive node rejected the frame but nobody noticed:
+        assert outcome.deliveries == {"tx": 1, "rxp": 0, "rx2": 1}
+        assert outcome.attempts == 1
+        assert outcome.inconsistent_omission
+
+    def test_active_receiver_same_fault_forces_retransmit(self):
+        nodes = _nodes("tx", "rxp", "rx2")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("rxp", Trigger(field=DATA, index=3))]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.deliveries == {"tx": 1, "rxp": 1, "rx2": 1}
+        assert outcome.attempts == 2

@@ -1,0 +1,37 @@
+"""Tests for the event vocabulary and record types."""
+
+from repro.can.events import Delivery, Event, EventKind
+from repro.can.frame import data_frame
+
+
+class TestEvent:
+    def test_str_includes_time_node_kind(self):
+        event = Event(time=42, node="tx", kind=EventKind.TX_SUCCESS, data={"a": 1})
+        text = str(event)
+        assert "42" in text
+        assert "tx" in text
+        assert EventKind.TX_SUCCESS in text
+        assert "a=1" in text
+
+    def test_str_sorts_data_keys(self):
+        event = Event(time=0, node="n", kind="k", data={"b": 2, "a": 1})
+        text = str(event)
+        assert text.index("a=1") < text.index("b=2")
+
+
+class TestDelivery:
+    def test_wire_key_fields(self):
+        frame = data_frame(0x123, b"\x01\x02")
+        delivery = Delivery(frame=frame, time=10, node="rx")
+        assert delivery.wire_key() == (0x123, False, False, 2, b"\x01\x02")
+
+    def test_wire_key_ignores_message_tag(self):
+        tagged = Delivery(
+            frame=data_frame(0x1, b"\x01", message_id="m"), time=0, node="a"
+        )
+        untagged = Delivery(frame=data_frame(0x1, b"\x01"), time=5, node="b")
+        assert tagged.wire_key() == untagged.wire_key()
+
+    def test_attempt_defaults_to_none(self):
+        delivery = Delivery(frame=data_frame(0x1, b""), time=0, node="a")
+        assert delivery.attempt is None

@@ -1,0 +1,119 @@
+"""Tests for the CSV/JSON exporters and the candump formatter."""
+
+import json
+
+import pytest
+
+from repro.can.controller import CanController
+from repro.can.events import Delivery
+from repro.can.frame import data_frame, remote_frame
+from repro.errors import ReproError
+from repro.metrics.dump import (
+    dump_deliveries,
+    dump_node,
+    format_delivery,
+    format_frame,
+    merged_bus_log,
+)
+from repro.metrics.export import rows_to_csv, rows_to_json, write_rows
+from repro.simulation.engine import SimulationEngine
+
+
+class TestJsonExport:
+    def test_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        assert json.loads(rows_to_json(rows)) == rows
+
+    def test_dataclass_rows(self):
+        from repro.analysis.sweeps import imo_rate_sweep
+
+        rows = imo_rate_sweep(ber_values=(1e-4,))
+        decoded = json.loads(rows_to_json(rows))
+        assert decoded[0]["n_nodes"] == 32
+
+    def test_infinity_serialised_as_string(self):
+        decoded = json.loads(rows_to_json([{"mttf": float("inf")}]))
+        assert decoded[0]["mttf"] == "inf"
+
+    def test_bytes_serialised_as_hex(self):
+        decoded = json.loads(rows_to_json([{"payload": b"\xbe\xef"}]))
+        assert decoded[0]["payload"] == "beef"
+
+    def test_rejects_unknown_row_types(self):
+        with pytest.raises(ReproError):
+            rows_to_json(["not-a-dict"])
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_column_union_in_first_seen_order(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        assert text.strip().splitlines()[0] == "a,b"
+
+    def test_explicit_columns(self):
+        text = rows_to_csv([{"a": 1, "b": 2}], columns=["b"])
+        assert text.strip().splitlines() == ["b", "2"]
+
+    def test_nested_values_json_encoded(self):
+        text = rows_to_csv([{"a": {"x": 1}}])
+        assert '""x"": 1' in text or '{"x": 1}' in text
+
+
+class TestWriteRows:
+    def test_writes_json_and_csv(self, tmp_path):
+        rows = [{"a": 1}]
+        json_path = str(tmp_path / "out.json")
+        csv_path = str(tmp_path / "out.csv")
+        write_rows(json_path, rows)
+        write_rows(csv_path, rows)
+        assert json.load(open(json_path)) == rows
+        assert open(csv_path).read().startswith("a")
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_rows(str(tmp_path / "out.txt"), [{"a": 1}])
+
+
+class TestCandump:
+    def test_standard_frame(self):
+        text = format_frame(data_frame(0x123, b"\xde\xad"))
+        assert "123" in text
+        assert "[2]" in text
+        assert "DE AD" in text
+
+    def test_extended_frame_eight_hex_digits(self):
+        text = format_frame(data_frame(0x1ABCDE42, b"", extended=True))
+        assert "1ABCDE42" in text
+
+    def test_remote_frame(self):
+        assert "remote request" in format_frame(remote_frame(0x10, dlc=3))
+
+    def test_empty_payload_marker(self):
+        assert "--" in format_frame(data_frame(0x10, b""))
+
+    def test_delivery_timestamp(self):
+        delivery = Delivery(frame=data_frame(0x1, b"\x01"), time=1234, node="rx")
+        assert "(00001234)" in format_delivery(delivery)
+
+    def test_merged_bus_log_dedupes_and_orders(self):
+        tx, rx1, rx2 = (CanController(n) for n in ("tx", "rx1", "rx2"))
+        engine = SimulationEngine([tx, rx1, rx2])
+        tx.submit(data_frame(0x100, b"\x01"))
+        tx.submit(data_frame(0x100, b"\x02"))
+        engine.run_until_idle(10000)
+        log = merged_bus_log([rx1, rx2])
+        lines = log.splitlines()
+        assert len(lines) == 2  # one line per frame, not per receiver
+        assert "01" in lines[0] and "02" in lines[1]
+
+    def test_dump_node(self):
+        tx, rx = CanController("tx"), CanController("rx")
+        engine = SimulationEngine([tx, rx])
+        tx.submit(data_frame(0x42, b"\x07"))
+        engine.run_until_idle(5000)
+        assert "042" in dump_node(rx)

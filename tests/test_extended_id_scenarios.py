@@ -1,0 +1,82 @@
+"""The paper's scenarios on extended-format (29-bit id) frames.
+
+The EOF machinery is identical for both frame formats, so every
+inconsistency and every fix must carry over; these tests pin that.
+"""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import CanController
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.core.majorcan import MajorCanController
+from repro.core.minorcan import MinorCanController
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+
+from helpers import run_one_frame
+
+EXTENDED_FRAME = data_frame(0x1ABCDE42, b"\x55\xaa", extended=True, message_id="x")
+
+
+def fig3_faults(eof_length):
+    last = eof_length - 1
+    return ScriptedInjector(
+        view_faults=[
+            ViewFault("x", Trigger(field=EOF, index=last - 1), force=DOMINANT),
+            ViewFault("tx", Trigger(field=EOF, index=last), force=RECESSIVE),
+        ]
+    )
+
+
+class TestExtendedFrames:
+    def test_clean_transfer(self):
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        outcome = run_one_frame(nodes, EXTENDED_FRAME)
+        assert outcome.all_delivered_once
+        received = outcome.engine.node("x").deliveries[0].frame
+        assert received.can_id.value == 0x1ABCDE42
+        assert received.can_id.extended
+
+    def test_fig1b_double_reception(self):
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=5), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, EXTENDED_FRAME, injector)
+        assert outcome.deliveries["y"] == 2
+
+    def test_fig3a_imo(self):
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        outcome = run_one_frame(nodes, EXTENDED_FRAME, fig3_faults(7))
+        assert outcome.inconsistent_omission
+        assert outcome.deliveries == {"tx": 1, "x": 0, "y": 1}
+
+    def test_minorcan_still_fooled(self):
+        nodes = [MinorCanController(n) for n in ("tx", "x", "y")]
+        outcome = run_one_frame(nodes, EXTENDED_FRAME, fig3_faults(7))
+        assert outcome.inconsistent_omission
+
+    @pytest.mark.parametrize("m", [3, 5])
+    def test_majorcan_fixes_it(self, m):
+        nodes = [MajorCanController(n, m=m) for n in ("tx", "x", "y")]
+        outcome = run_one_frame(nodes, EXTENDED_FRAME, fig3_faults(2 * m))
+        assert outcome.all_delivered_once
+
+    def test_majorcan_fig5_pattern_extended(self):
+        from repro.can.fields import SAMPLING
+
+        m = 5
+        nodes = [MajorCanController(n, m=m) for n in ("tx", "x", "y")]
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("x", Trigger(field=EOF, index=2), force=DOMINANT),
+                ViewFault("tx", Trigger(field=EOF, index=3), force=RECESSIVE),
+                ViewFault("tx", Trigger(field=EOF, index=4), force=RECESSIVE),
+                ViewFault("y", Trigger(field=SAMPLING, index=m + 7), force=RECESSIVE),
+                ViewFault("y", Trigger(field=SAMPLING, index=m + 8), force=RECESSIVE),
+            ]
+        )
+        outcome = run_one_frame(nodes, EXTENDED_FRAME, injector)
+        assert outcome.all_delivered_once
+        assert outcome.errors_injected == 5

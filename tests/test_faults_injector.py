@@ -1,0 +1,179 @@
+"""Unit tests for the fault injection framework."""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import CanController
+from repro.can.fields import DATA, EOF
+from repro.can.frame import data_frame
+from repro.errors import ConfigurationError
+from repro.faults.bit_errors import (
+    BurstViewErrorInjector,
+    ErrorBudgetInjector,
+    RandomViewErrorInjector,
+)
+from repro.faults.injector import (
+    CompositeInjector,
+    CrashFault,
+    DriveFault,
+    ScriptedInjector,
+    Trigger,
+    ViewFault,
+)
+from repro.simulation.engine import SimulationEngine
+
+from helpers import run_one_frame
+
+
+class TestTrigger:
+    def test_requires_some_criterion(self):
+        with pytest.raises(ConfigurationError):
+            Trigger()
+
+    def test_occurrence_one_based(self):
+        with pytest.raises(ConfigurationError):
+            Trigger(field=EOF, occurrence=0)
+
+    def test_time_trigger(self):
+        node = CanController("n")
+        trigger = Trigger(time=5, field=None, state="idle")
+        node.now = 0
+        assert not trigger.fires(node, 4)
+        assert trigger.fires(node, 5)
+
+    def test_position_trigger_matches_field_and_index(self):
+        node = CanController("n")
+        node.position = (EOF, 3)
+        assert Trigger(field=EOF, index=3).fires(node, 0)
+        assert not Trigger(field=EOF, index=4).fires(node, 1)
+        assert not Trigger(field=DATA, index=3).fires(node, 2)
+
+    def test_occurrence_selects_nth_match(self):
+        node = CanController("n")
+        node.position = (EOF, 0)
+        trigger = Trigger(field=EOF, occurrence=2)
+        assert not trigger.fires(node, 0)
+        assert trigger.fires(node, 1)
+        assert not trigger.fires(node, 2)  # one-shot by default
+
+    def test_repeat_fires_from_occurrence_onwards(self):
+        node = CanController("n")
+        node.position = (EOF, 0)
+        trigger = Trigger(field=EOF, occurrence=2, repeat=True)
+        assert not trigger.fires(node, 0)
+        assert trigger.fires(node, 1)
+        assert trigger.fires(node, 2)
+
+    def test_reset(self):
+        node = CanController("n")
+        node.position = (EOF, 0)
+        trigger = Trigger(field=EOF)
+        assert trigger.fires(node, 0)
+        trigger.reset()
+        assert trigger.fires(node, 1)
+
+
+class TestFaultApplication:
+    def test_view_fault_force(self):
+        fault = ViewFault("n", Trigger(field=EOF), force=DOMINANT)
+        assert fault.apply(RECESSIVE) is DOMINANT
+
+    def test_view_fault_flip(self):
+        fault = ViewFault("n", Trigger(field=EOF), force=None)
+        assert fault.apply(RECESSIVE) is DOMINANT
+        assert fault.apply(DOMINANT) is RECESSIVE
+
+    def test_scripted_injector_records_firings(self):
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        fault = ViewFault("x", Trigger(field=EOF, index=5), force=DOMINANT)
+        injector = ScriptedInjector(view_faults=[fault])
+        run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert len(fault.fired_at) == 1
+        assert injector.total_fired == 1
+        assert injector.all_fired()
+
+    def test_drive_fault_perturbs_physical_output(self):
+        """Masking the transmitter's drive during DATA corrupts the bus
+        for everyone: all receivers reject, the frame is retransmitted."""
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        injector = ScriptedInjector(
+            drive_faults=[DriveFault("tx", Trigger(field=DATA, index=0), force=RECESSIVE)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x00"), injector)
+        assert outcome.attempts == 2
+        assert outcome.all_delivered_once
+
+    def test_crash_fault(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = ScriptedInjector(
+            crash_faults=[CrashFault("tx", Trigger(time=10))]
+        )
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run(20)
+        assert nodes[0].crashed
+        assert not nodes[1].crashed
+
+
+class TestCompositeInjector:
+    def test_chains_view_perturbations(self):
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        first = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=5), force=DOMINANT)]
+        )
+        second = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=5), force=RECESSIVE)]
+        )
+        composite = CompositeInjector([first, second])
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), composite)
+        # The second injector undoes the first: clean run.
+        assert outcome.attempts == 1
+        assert outcome.all_delivered_once
+
+
+class TestRandomInjector:
+    def test_validates_probability(self):
+        with pytest.raises(ConfigurationError):
+            RandomViewErrorInjector(1.5)
+
+    def test_counts_injections(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = RandomViewErrorInjector(0.02, seed=1)
+        engine = SimulationEngine(nodes, injector=injector)
+        nodes[0].submit(data_frame(0x123, b"\x55"))
+        engine.run(300)
+        assert injector.injected == len(injector.injections)
+        assert injector.injected > 0
+
+    def test_only_nodes_restriction(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = RandomViewErrorInjector(0.5, seed=1, only_nodes=["x"])
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run(100)
+        assert set(injector.injected_by_node) <= {"x"}
+
+
+class TestBurstAndBudget:
+    def test_burst_flips_exact_window(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = BurstViewErrorInjector("x", start_time=10, length=5)
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run(30)
+        assert injector.injected == 5
+
+    def test_burst_validates_length(self):
+        with pytest.raises(ConfigurationError):
+            BurstViewErrorInjector("x", 0, 0)
+
+    def test_budget_applies_exact_flips(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = ErrorBudgetInjector([(3, "x"), (7, "x"), (9, "tx")])
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run(20)
+        assert injector.applied == 3
+
+    def test_budget_ignores_unscheduled(self):
+        nodes = [CanController(n) for n in ("tx", "x")]
+        injector = ErrorBudgetInjector([(500, "x")])
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run(20)
+        assert injector.applied == 0

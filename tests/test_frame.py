@@ -1,0 +1,82 @@
+"""Unit tests for the frame model."""
+
+import pytest
+
+from repro.can.frame import MAX_DATA_LENGTH, Frame, data_frame, remote_frame
+from repro.can.identifiers import CanId
+from repro.errors import FrameError
+
+
+class TestValidation:
+    def test_default_dlc_matches_payload(self):
+        frame = Frame(CanId(1), data=b"\x01\x02\x03")
+        assert frame.dlc == 3
+
+    def test_payload_too_long(self):
+        with pytest.raises(FrameError):
+            Frame(CanId(1), data=bytes(MAX_DATA_LENGTH + 1))
+
+    def test_remote_with_data_rejected(self):
+        with pytest.raises(FrameError):
+            Frame(CanId(1), data=b"\x01", remote=True)
+
+    def test_dlc_out_of_range(self):
+        with pytest.raises(FrameError):
+            Frame(CanId(1), dlc=16)
+
+    def test_dlc_payload_mismatch(self):
+        with pytest.raises(FrameError):
+            Frame(CanId(1), data=b"\x01\x02", dlc=3)
+
+    def test_remote_may_request_length(self):
+        frame = Frame(CanId(1), remote=True, dlc=4)
+        assert frame.dlc == 4
+        assert frame.payload_bits == 0
+
+    def test_dlc_above_eight_means_eight_bytes(self):
+        frame = Frame(CanId(1), data=bytes(8), dlc=12)
+        assert frame.effective_data_length == 8
+
+
+class TestProperties:
+    def test_payload_bits(self):
+        assert Frame(CanId(1), data=b"\xff\x00").payload_bits == 16
+
+    def test_identity_distinguishes_payloads(self):
+        a = data_frame(0x123, b"\x01")
+        b = data_frame(0x123, b"\x02")
+        assert a.identity() != b.identity()
+
+    def test_identity_includes_message_tag(self):
+        a = data_frame(0x123, b"\x01", message_id="m1")
+        b = data_frame(0x123, b"\x01", message_id="m2")
+        assert a.identity() != b.identity()
+
+    def test_tagged_copy(self):
+        frame = data_frame(0x123, b"\x01")
+        tagged = frame.tagged("m9", origin="n1")
+        assert tagged.message_id == "m9"
+        assert tagged.origin == "n1"
+        assert tagged.data == frame.data
+        assert frame.message_id is None
+
+    def test_str_mentions_kind(self):
+        assert "remote" in str(remote_frame(0x10, dlc=2))
+        assert "data" in str(data_frame(0x10, b"\x01"))
+
+
+class TestConstructors:
+    def test_data_frame(self):
+        frame = data_frame(0x456, b"\xab", extended=True, message_id="x")
+        assert frame.can_id == CanId(0x456, extended=True)
+        assert not frame.remote
+
+    def test_remote_frame(self):
+        frame = remote_frame(0x10, dlc=3)
+        assert frame.remote
+        assert frame.dlc == 3
+
+    def test_frames_are_immutable(self):
+        frame = data_frame(0x1, b"")
+        with pytest.raises(AttributeError):
+            frame.dlc = 5

@@ -1,0 +1,70 @@
+"""Tests for the executable Section 5 geometry derivation."""
+
+import pytest
+
+from repro.analysis.geometry import (
+    derive_geometry,
+    geometry_report,
+    verify_geometry,
+)
+from repro.errors import AnalysisError
+
+DESYNC_CHECK = "desync channel closed (flag at ACK+6 in sub-field 1)"
+
+
+class TestDerivedConstants:
+    def test_m5_paper_values(self):
+        derived = derive_geometry(5)
+        assert derived["eof_bits"] == 10
+        assert derived["window_start"] == 12
+        assert derived["window_end"] == 20
+        assert derived["window_samples"] == 9
+        assert derived["delimiter_bits"] == 11
+
+    def test_window_always_2m_minus_1(self):
+        for m in range(3, 12):
+            derived = derive_geometry(m)
+            assert (
+                derived["window_end"] - derived["window_start"] + 1
+                == derived["window_samples"]
+                == 2 * m - 1
+            )
+
+    def test_small_m_rejected(self):
+        with pytest.raises(AnalysisError):
+            derive_geometry(2)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6, 8, 12])
+    def test_design_invariants_hold_for_all_m(self, m):
+        """Every Section 5 invariant holds for every m — only the
+        finding-F1 check (which is not part of the paper's argument)
+        may fail, and only for m <= 5."""
+        for check in verify_geometry(m):
+            if check.name == DESYNC_CHECK:
+                continue
+            assert check.holds, str(check)
+
+    @pytest.mark.parametrize("m,closed", [(3, False), (5, False), (6, True), (9, True)])
+    def test_desync_check_boundary(self, m, closed):
+        checks = {check.name: check for check in verify_geometry(m)}
+        assert checks[DESYNC_CHECK].holds is closed
+
+    def test_geometry_matches_simulated_boundary(self):
+        """The arithmetic prediction of the F1 boundary agrees with the
+        bit-level simulation (test_consistency_properties)."""
+        # m=5 arithmetic says open; the simulation showed the IMO.
+        checks = {c.name: c for c in verify_geometry(5)}
+        assert not checks[DESYNC_CHECK].holds
+
+
+class TestReport:
+    def test_report_mentions_all_constants(self):
+        report = geometry_report(5)
+        assert "window_start" in report
+        assert "invariants:" in report
+        assert "FAIL" in report  # the honest F1 row for m=5
+
+    def test_report_clean_for_m6(self):
+        assert "FAIL" not in geometry_report(6)

@@ -1,0 +1,100 @@
+"""Edge-case tests for the higher-level protocols under partial
+control-frame loss."""
+
+from repro.can.bits import DOMINANT
+from repro.can.fields import EOF
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.protocols import (
+    RelcanProtocol,
+    TotcanProtocol,
+    build_protocol_network,
+)
+from repro.protocols.base import AppMessage, KIND_ACCEPT, KIND_DATA
+
+
+def _run(factory, injector=None, bits=6000):
+    engine, nodes = build_protocol_network(
+        factory,
+        4,
+        engine_kwargs={"injector": injector, "record_bits": False}
+        if injector
+        else {"record_bits": False},
+    )
+    nodes[0].broadcast(b"\xaa")
+    engine.run(bits)
+    engine.run_until_idle(80000)
+    return nodes
+
+
+class TestRelcanConfirmLoss:
+    def test_receiver_missing_the_data_frame_via_retransmission(self):
+        """A receiver that rejected the DATA frame still converges: the
+        controller-level retransmission covers it before CONFIRM."""
+        injector = ScriptedInjector(
+            view_faults=[
+                # Disturb n1's view mid-EOF of the first frame: reject +
+                # controller retransmission.
+                ViewFault("n1", Trigger(field=EOF, index=3), force=DOMINANT)
+            ]
+        )
+        nodes = _run(RelcanProtocol, injector)
+        for node in nodes:
+            assert (0, 0) in node.delivered_keys
+
+    def test_recovery_when_one_node_misses_confirm(self):
+        """n1 receives the data but its view of the CONFIRM frame is
+        corrupted (the controller rejects it and the CONFIRM is
+        retransmitted); either path must end consistent."""
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault(
+                    "n1",
+                    Trigger(field=EOF, index=3, occurrence=2),
+                    force=DOMINANT,
+                )
+            ]
+        )
+        nodes = _run(RelcanProtocol, injector)
+        for node in nodes:
+            assert (0, 0) in node.delivered_keys
+
+
+class TestTotcanReordering:
+    def test_accept_before_data_is_buffered(self):
+        """Protocol-level: an ACCEPT seen before its DATA still fixes
+        the message when the DATA arrives."""
+        engine, nodes = build_protocol_network(TotcanProtocol, 2)
+        protocol = nodes[1].protocol
+        message = AppMessage(KIND_DATA, 0, 0)
+        protocol.on_frame_delivered(
+            AppMessage(KIND_ACCEPT, 0, 0), time=5
+        )
+        assert nodes[1].delivered_keys == []
+        protocol.on_frame_delivered(message, time=9)
+        assert nodes[1].delivered_keys == [(0, 0)]
+
+    def test_timeout_only_removes_pending_entries(self):
+        engine, nodes = build_protocol_network(TotcanProtocol, 2)
+        protocol = nodes[1].protocol
+        a = AppMessage(KIND_DATA, 0, 0)
+        protocol.on_frame_delivered(a, time=0)
+        protocol.on_frame_delivered(AppMessage(KIND_ACCEPT, 0, 0), time=1)
+        protocol.on_tick(time=10_000)
+        assert nodes[1].delivered_keys == [(0, 0)]
+
+    def test_unaccepted_head_blocks_later_accepted_message(self):
+        """Queue order is delivery order: a later-accepted message
+        waits for the head to be fixed or removed."""
+        engine, nodes = build_protocol_network(
+            lambda: TotcanProtocol(timeout_bits=100), 2
+        )
+        protocol = nodes[1].protocol
+        first = AppMessage(KIND_DATA, 0, 0)
+        second = AppMessage(KIND_DATA, 2, 0)
+        protocol.on_frame_delivered(first, time=0)
+        protocol.on_frame_delivered(second, time=1)
+        protocol.on_frame_delivered(AppMessage(KIND_ACCEPT, 2, 0), time=2)
+        assert nodes[1].delivered_keys == []
+        # The head times out; the accepted message is then released.
+        protocol.on_tick(time=200)
+        assert nodes[1].delivered_keys == [(2, 0)]

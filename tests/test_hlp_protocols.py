@@ -1,0 +1,189 @@
+"""Behavioural tests for EDCAN, RELCAN and TOTCAN."""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.controller import STATE_ERROR_FLAG
+from repro.can.fields import EOF
+from repro.faults.injector import CrashFault, ScriptedInjector, Trigger, ViewFault
+from repro.properties.broadcast import check_atomic_broadcast
+from repro.protocols import (
+    EdcanProtocol,
+    RelcanProtocol,
+    TotcanProtocol,
+    app_ledger,
+    build_protocol_network,
+)
+
+
+def run_network(factory, n_nodes=4, injector=None, broadcasts=((0, b"\xaa"),),
+                bits=4000):
+    engine, nodes = build_protocol_network(
+        factory,
+        n_nodes,
+        engine_kwargs={"injector": injector, "record_bits": False}
+        if injector
+        else {"record_bits": False},
+    )
+    for node_id, payload in broadcasts:
+        nodes[node_id].broadcast(payload)
+    engine.run(bits)
+    engine.run_until_idle(60000)
+    return engine, nodes
+
+
+def fig1c_injector(eof_length=7):
+    last = eof_length - 1
+    return ScriptedInjector(
+        view_faults=[
+            ViewFault("n1", Trigger(field=EOF, index=last - 1), force=DOMINANT)
+        ],
+        crash_faults=[CrashFault("n0", Trigger(state=STATE_ERROR_FLAG))],
+    )
+
+
+def fig3_injector(eof_length=7):
+    last = eof_length - 1
+    return ScriptedInjector(
+        view_faults=[
+            ViewFault("n1", Trigger(field=EOF, index=last - 1), force=DOMINANT),
+            ViewFault("n0", Trigger(field=EOF, index=last), force=RECESSIVE),
+        ]
+    )
+
+
+class TestEdcan:
+    def test_every_receiver_retransmits_once(self):
+        engine, nodes = run_network(EdcanProtocol)
+        # Each of the 3 receivers queued one diffusion copy.
+        retransmissions = sum(
+            1
+            for node in nodes
+            for frame in node.controller.submitted
+            if frame.data and frame.data[0] == 3  # KIND_RETRANS
+        )
+        assert retransmissions == 3
+
+    def test_duplicates_filtered_at_delivery(self):
+        engine, nodes = run_network(EdcanProtocol)
+        for node in nodes:
+            assert node.delivered_keys == [(0, 0)]
+
+    def test_survives_transmitter_crash(self):
+        engine, nodes = run_network(EdcanProtocol, injector=fig1c_injector())
+        survivors = [node for node in nodes if node.correct]
+        for node in survivors:
+            assert (0, 0) in node.delivered_keys
+
+    def test_recovers_fig3_omission(self):
+        engine, nodes = run_network(EdcanProtocol, injector=fig3_injector())
+        for node in nodes:
+            assert (0, 0) in node.delivered_keys
+
+    def test_interleaved_broadcast_breaks_order(self):
+        engine, nodes = run_network(
+            EdcanProtocol,
+            injector=fig3_injector(),
+            broadcasts=((0, b"\xaa"), (3, b"\xbb")),
+        )
+        ledger = app_ledger(nodes)
+        results = check_atomic_broadcast(ledger)
+        assert not results["AB5-total-order"].holds
+        assert results["AB2-agreement"].holds
+
+
+class TestRelcan:
+    def test_sender_confirms(self):
+        engine, nodes = run_network(RelcanProtocol)
+        confirms = [
+            frame
+            for frame in nodes[0].controller.submitted
+            if frame.data and frame.data[0] == 1  # KIND_CONFIRM
+        ]
+        assert len(confirms) == 1
+
+    def test_no_recovery_traffic_when_confirm_arrives(self):
+        engine, nodes = run_network(RelcanProtocol)
+        for node in nodes[1:]:
+            retrans = [
+                frame
+                for frame in node.controller.submitted
+                if frame.data and frame.data[0] == 3
+            ]
+            assert retrans == []
+
+    def test_timeout_recovery_after_crash(self):
+        engine, nodes = run_network(RelcanProtocol, injector=fig1c_injector())
+        survivors = [node for node in nodes if node.correct]
+        for node in survivors:
+            assert (0, 0) in node.delivered_keys
+        # Recovery required at least one RETRANS frame on the bus.
+        retrans = [
+            frame
+            for node in nodes
+            for frame in node.controller.submitted
+            if frame.data and frame.data[0] == 3
+        ]
+        assert retrans
+
+    def test_fig3_omission_is_permanent(self):
+        """The correct transmitter confirms; n1 never saw the data and
+        cannot recover from a CONFIRM alone."""
+        engine, nodes = run_network(RelcanProtocol, injector=fig3_injector())
+        assert (0, 0) not in nodes[1].delivered_keys
+        assert (0, 0) in nodes[2].delivered_keys
+
+    def test_custom_timeout_respected(self):
+        engine, nodes = build_protocol_network(
+            lambda: RelcanProtocol(timeout_bits=150), 3
+        )
+        assert nodes[0].protocol.timeout_bits == 150
+
+
+class TestTotcan:
+    def test_sender_accepts_after_data(self):
+        engine, nodes = run_network(TotcanProtocol)
+        accepts = [
+            frame
+            for frame in nodes[0].controller.submitted
+            if frame.data and frame.data[0] == 2  # KIND_ACCEPT
+        ]
+        assert len(accepts) == 1
+
+    def test_receivers_deliver_after_accept(self):
+        engine, nodes = run_network(TotcanProtocol)
+        for node in nodes:
+            assert node.delivered_keys == [(0, 0)]
+
+    def test_crash_before_accept_removes_message_everywhere(self):
+        engine, nodes = run_network(TotcanProtocol, injector=fig1c_injector())
+        survivors = [node for node in nodes if node.correct]
+        for node in survivors:
+            assert (0, 0) not in node.delivered_keys
+
+    def test_fig3_omission(self):
+        engine, nodes = run_network(TotcanProtocol, injector=fig3_injector())
+        assert (0, 0) not in nodes[1].delivered_keys
+        assert (0, 0) in nodes[2].delivered_keys
+
+    def test_total_order_with_two_senders(self):
+        engine, nodes = run_network(
+            TotcanProtocol, broadcasts=((0, b"\x01"), (1, b"\x02"), (2, b"\x03"))
+        )
+        sequences = [tuple(node.delivered_keys) for node in nodes]
+        assert len(set(sequences)) == 1
+        assert len(sequences[0]) == 3
+
+    def test_queue_requeues_duplicates_at_tail(self):
+        """Direct protocol-level check of the duplicate rule."""
+        from repro.protocols.base import AppMessage, KIND_DATA
+
+        engine, nodes = build_protocol_network(TotcanProtocol, 2)
+        protocol = nodes[1].protocol
+        a = AppMessage(KIND_DATA, 0, 0)
+        b = AppMessage(KIND_DATA, 0, 1)
+        protocol.on_frame_delivered(a, time=0)
+        protocol.on_frame_delivered(b, time=1)
+        protocol.on_frame_delivered(a, time=2)  # duplicate of a
+        queue_keys = [entry.message.key for entry in protocol._queue]
+        assert queue_keys == [(0, 1), (0, 0)]

@@ -1,0 +1,86 @@
+"""Unit tests for CAN identifiers and arbitration priority."""
+
+import pytest
+
+from repro.can.identifiers import (
+    MAX_EXTENDED_ID,
+    MAX_STANDARD_ID,
+    CanId,
+    arbitration_sort_key,
+    highest_priority,
+)
+from repro.errors import FrameError
+
+
+class TestCanIdValidation:
+    def test_standard_id_bounds(self):
+        CanId(0)
+        CanId(MAX_STANDARD_ID)
+        with pytest.raises(FrameError):
+            CanId(MAX_STANDARD_ID + 1)
+
+    def test_extended_id_bounds(self):
+        CanId(MAX_EXTENDED_ID, extended=True)
+        with pytest.raises(FrameError):
+            CanId(MAX_EXTENDED_ID + 1, extended=True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FrameError):
+            CanId(-1)
+
+    def test_width(self):
+        assert CanId(1).width == 11
+        assert CanId(1, extended=True).width == 29
+
+
+class TestBitDecomposition:
+    def test_standard_id_bits(self):
+        assert CanId(0b10101010101).id_bits() == [1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_base_part_of_standard(self):
+        assert CanId(0x7FF).base_part() == [1] * 11
+
+    def test_base_and_extension_of_extended(self):
+        identifier = CanId((0x555 << 18) | 0x2AAAA, extended=True)
+        assert identifier.base_part() == [1 if c == "1" else 0 for c in format(0x555, "011b")]
+        assert identifier.extension_part() == [
+            1 if c == "1" else 0 for c in format(0x2AAAA, "018b")
+        ]
+
+    def test_standard_has_no_extension(self):
+        with pytest.raises(FrameError):
+            CanId(1).extension_part()
+
+
+class TestPriority:
+    def test_lower_value_outranks(self):
+        assert CanId(0x100).outranks(CanId(0x200))
+        assert not CanId(0x200).outranks(CanId(0x100))
+
+    def test_equal_ids_do_not_outrank(self):
+        assert not CanId(0x100).outranks(CanId(0x100))
+
+    def test_base_outranks_extended_with_same_prefix(self):
+        # The base frame's RTR bit (dominant for data) lines up against
+        # the extended frame's recessive SRR bit.
+        base = CanId(0x123)
+        extended = CanId((0x123 << 18) | 1, extended=True)
+        assert base.outranks(extended)
+
+    def test_extended_with_lower_base_part_wins(self):
+        extended = CanId(0x100 << 18, extended=True)
+        base = CanId(0x200)
+        assert extended.outranks(base)
+
+    def test_highest_priority_picks_minimum_key(self):
+        ids = [CanId(0x300), CanId(0x001), CanId(0x7FF)]
+        assert highest_priority(ids) == CanId(0x001)
+
+    def test_highest_priority_empty_raises(self):
+        with pytest.raises(FrameError):
+            highest_priority([])
+
+    def test_sort_key_orders_by_wire_bits(self):
+        ids = [CanId(v) for v in (5, 3, 4, 0)]
+        ordered = sorted(ids, key=arbitration_sort_key)
+        assert [identifier.value for identifier in ordered] == [0, 3, 4, 5]

@@ -1,0 +1,96 @@
+"""Unit tests for delivery ledgers."""
+
+from repro.can.controller import CanController
+from repro.can.events import Delivery
+from repro.can.frame import data_frame
+from repro.properties.ledger import NodeLedger, SystemLedger, wire_key
+from repro.simulation.engine import SimulationEngine
+
+
+class TestWireKey:
+    def test_same_frame_same_key(self):
+        assert wire_key(data_frame(0x1, b"\x01")) == wire_key(data_frame(0x1, b"\x01"))
+
+    def test_payload_distinguishes(self):
+        assert wire_key(data_frame(0x1, b"\x01")) != wire_key(data_frame(0x1, b"\x02"))
+
+    def test_id_format_distinguishes(self):
+        assert wire_key(data_frame(0x1, b"")) != wire_key(
+            data_frame(0x1, b"", extended=True)
+        )
+
+    def test_message_tag_ignored_by_wire_key(self):
+        """Receivers cannot see application tags, so the wire key must
+        treat tagged and untagged frames as the same message."""
+        tagged = data_frame(0x1, b"\x01", message_id="m")
+        untagged = data_frame(0x1, b"\x01")
+        assert wire_key(tagged) == wire_key(untagged)
+
+
+class TestNodeLedger:
+    def test_delivery_count(self):
+        node = NodeLedger(name="n", correct=True, deliveries=["a", "b", "a"])
+        assert node.delivery_count("a") == 2
+        assert node.delivery_count("c") == 0
+
+
+class TestSystemLedgerFromControllers:
+    def test_collects_broadcasts_and_deliveries(self):
+        tx, rx = CanController("tx"), CanController("rx")
+        engine = SimulationEngine([tx, rx])
+        frame = data_frame(0x10, b"\x05")
+        tx.submit(frame)
+        engine.run_until_idle(5000)
+        ledger = SystemLedger.from_controllers([tx, rx])
+        assert ledger.nodes["tx"].broadcasts == [wire_key(frame)]
+        assert ledger.nodes["rx"].deliveries == [wire_key(frame)]
+        assert ledger.nodes["rx"].correct
+
+    def test_crashed_node_marked_incorrect(self):
+        tx, rx = CanController("tx"), CanController("rx")
+        rx.crash()
+        ledger = SystemLedger.from_controllers([tx, rx])
+        assert not ledger.nodes["rx"].correct
+        assert [n.name for n in ledger.correct_nodes] == ["tx"]
+
+    def test_correct_override(self):
+        tx = CanController("tx")
+        ledger = SystemLedger.from_controllers([tx], correct={"tx": False})
+        assert not ledger.nodes["tx"].correct
+
+
+class TestSystemLedgerQueries:
+    def _ledger(self):
+        ledger = SystemLedger()
+        ledger.nodes["a"] = NodeLedger(
+            "a", correct=True, broadcasts=["m1"], deliveries=["m1", "m2"]
+        )
+        ledger.nodes["b"] = NodeLedger(
+            "b", correct=True, broadcasts=["m2"], deliveries=["m1"]
+        )
+        ledger.nodes["c"] = NodeLedger(
+            "c", correct=False, broadcasts=["m3"], deliveries=["m3"]
+        )
+        return ledger
+
+    def test_all_broadcast_keys(self):
+        assert sorted(self._ledger().all_broadcast_keys()) == ["m1", "m2", "m3"]
+
+    def test_broadcasts_by_correct_nodes_excludes_crashed(self):
+        assert sorted(self._ledger().broadcasts_by_correct_nodes()) == ["m1", "m2"]
+
+    def test_delivered_anywhere_correct_dedup_and_excludes_crashed(self):
+        assert self._ledger().delivered_anywhere_correct() == ["m1", "m2"]
+
+
+class TestFromDeliveries:
+    def test_builds_app_level_ledger(self):
+        frame = data_frame(0x10, b"\x01")
+        deliveries = {"a": [Delivery(frame=frame, time=5, node="a")]}
+        broadcasts = {"b": [frame]}
+        ledger = SystemLedger.from_deliveries(
+            deliveries, broadcasts, correct={"a": True, "b": True}
+        )
+        assert ledger.nodes["a"].deliveries == [wire_key(frame)]
+        assert ledger.nodes["a"].delivery_times == [5]
+        assert ledger.nodes["b"].broadcasts == [wire_key(frame)]

@@ -1,0 +1,150 @@
+"""Edge-case tests for the MajorCAN agreement machinery."""
+
+import pytest
+
+from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.events import EventKind
+from repro.can.fields import ACK_DELIM, ACK_SLOT, CRC_DELIM, EOF, INTERMISSION
+from repro.can.frame import data_frame
+from repro.core.majorcan import MajorCanController
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+
+from helpers import run_one_frame
+
+
+def _network(m=5):
+    return [MajorCanController(name, m=m) for name in ("tx", "x", "y")]
+
+
+class TestLateExtenderReconvergence:
+    def test_error_at_last_eof_bit_converges_via_overload(self):
+        """One node errs at EOF bit 2m: it extends while the clean
+        nodes are already in the intermission — they react with
+        overload flags and everyone re-synchronises on the common
+        delimiter.  All accept; nothing is retransmitted."""
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=9), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 1
+        clean = outcome.engine.node("y")
+        assert any(e.kind == EventKind.OVERLOAD_FLAG_START for e in clean.events)
+
+    def test_back_to_back_traffic_after_reconvergence(self):
+        """The slot after the extended-flag dance must carry the next
+        frame normally."""
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=9), force=DOMINANT)]
+        )
+        nodes[0].submit(data_frame(0x123, b"\x55"))
+        nodes[0].submit(data_frame(0x124, b"\x66"))
+        from repro.simulation.engine import SimulationEngine
+
+        engine = SimulationEngine(nodes, injector=injector)
+        engine.run_until_idle(20000)
+        assert len(nodes[1].deliveries) == 2
+        assert len(nodes[2].deliveries) == 2
+
+
+class TestFrameTailErrors:
+    @pytest.mark.parametrize("field,index", [
+        (CRC_DELIM, 0),
+        (ACK_DELIM, 0),
+    ])
+    def test_receiver_tail_form_errors_reject_consistently(self, field, index):
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=field, index=index), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 2
+
+    def test_transmitter_masked_ack_causes_consistent_retransmission(self):
+        """The transmitter misses the ACK (its view of the slot is
+        masked recessive): ACK error, never-accept class, everyone
+        rejects, one retransmission."""
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("tx", Trigger(field=ACK_SLOT, index=0), force=RECESSIVE)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 2
+        tx = outcome.engine.node("tx")
+        assert not any(
+            e.kind == EventKind.SAMPLING_VERDICT for e in tx.events
+        )
+
+    def test_tail_error_node_does_not_spoil_the_window(self):
+        """Regression for the F-series fix: a transmitter with a bit
+        error at the ACK delimiter must stay quiet through the
+        sampling window instead of flagging its second error into it."""
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("tx", Trigger(field=ACK_DELIM, index=0), force=DOMINANT),
+                # The flip that used to provoke a delimiter-error flag:
+                ViewFault("tx", Trigger(field="SAMPLING", index=14), force=DOMINANT),
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.consistent
+        assert not outcome.double_reception
+
+
+class TestPostEofErrors:
+    def test_intermission_disturbance_is_overload_not_retransmission(self):
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("x", Trigger(field=INTERMISSION, index=0), force=DOMINANT)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 1
+
+
+class TestMultipleSimultaneousSamplers:
+    def test_all_nodes_err_in_first_subfield_reject_together(self):
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault(name, Trigger(field=EOF, index=1), force=DOMINANT)
+                for name in ("tx", "x", "y")
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 2
+
+    def test_all_nodes_err_in_second_subfield_accept_together(self):
+        nodes = _network()
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault(name, Trigger(field=EOF, index=7), force=DOMINANT)
+                for name in ("tx", "x", "y")
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 1
+
+
+class TestArbitrationStillWorks:
+    def test_two_majorcan_transmitters(self):
+        a = MajorCanController("a")
+        b = MajorCanController("b")
+        observer = MajorCanController("obs")
+        from repro.simulation.engine import SimulationEngine
+
+        engine = SimulationEngine([a, b, observer])
+        a.submit(data_frame(0x200, b"\xaa"))
+        b.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(20000)
+        payloads = [d.frame.data for d in observer.deliveries]
+        assert payloads == [b"\xbb", b"\xaa"]

@@ -1,0 +1,129 @@
+"""Reproduction tests for MinorCAN (Section 3 / Fig. 2) and its defeat
+by the new scenarios (Fig. 3b)."""
+
+import pytest
+
+from repro.can.bits import DOMINANT
+from repro.can.events import EventKind
+from repro.can.fields import EOF
+from repro.can.frame import data_frame
+from repro.core.minorcan import MinorCanController
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.faults.scenarios import fig1a, fig1b, fig1c, fig3b
+
+from helpers import run_one_frame
+
+
+def _nodes(*names):
+    return [MinorCanController(name) for name in names]
+
+
+class TestFig2Consistency:
+    """MinorCAN achieves consistency in every Fig. 1 scenario."""
+
+    def test_fig1a_all_accept(self):
+        outcome = fig1a("minorcan")
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 1
+
+    def test_fig1b_all_reject_then_retransmit(self):
+        outcome = fig1b("minorcan")
+        assert outcome.all_delivered_once
+        assert outcome.attempts == 2
+        assert not outcome.double_reception
+
+    def test_fig1c_consistent_even_with_crash(self):
+        """The paper: MinorCAN stays consistent in the event of a
+        permanent node failure after the bit error detection — here
+        nobody delivers, which satisfies Agreement."""
+        outcome = fig1c("minorcan")
+        assert outcome.consistent
+        assert not outcome.inconsistent_omission
+        assert outcome.deliveries["x"] == outcome.deliveries["y"] == 0
+
+
+class TestPrimaryErrorMechanism:
+    def test_primary_node_accepts(self):
+        """A lone disturbance at the last EOF bit: the disturbed node is
+        primary (everyone else flags later via overload) and accepts."""
+        nodes = _nodes("tx", "x", "y")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("x", Trigger(field=EOF, index=6), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.all_delivered_once
+        x = outcome.engine.node("x")
+        assert any(e.kind == EventKind.PRIMARY_ERROR for e in x.events)
+        assert any(e.kind == EventKind.DEFERRED_ACCEPT for e in x.events)
+
+    def test_all_nodes_last_bit_error_consistent_retransmission(self):
+        """If every node sees the error in the last EOF bit, none is
+        primary and the frame is 'unnecessarily but consistently'
+        rejected and retransmitted (paper, Section 3)."""
+        nodes = _nodes("tx", "x", "y")
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault(name, Trigger(field=EOF, index=6), force=DOMINANT)
+                for name in ("tx", "x", "y")
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 2
+        assert outcome.all_delivered_once
+        for name in ("tx", "x", "y"):
+            node = outcome.engine.node(name)
+            assert any(e.kind == EventKind.DEFERRED_REJECT for e in node.events)
+
+    def test_transmitter_avoids_unnecessary_retransmission(self):
+        """Performance gain over standard CAN: a transmitter seeing an
+        error in the last EOF bit may avoid retransmitting."""
+        nodes = _nodes("tx", "x", "y")
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("tx", Trigger(field=EOF, index=6), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 1
+        assert outcome.all_delivered_once
+
+    def test_standard_can_would_retransmit_in_same_case(self):
+        from repro.can.controller import CanController
+
+        nodes = [CanController(n) for n in ("tx", "x", "y")]
+        injector = ScriptedInjector(
+            view_faults=[ViewFault("tx", Trigger(field=EOF, index=6), force=DOMINANT)]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 2
+
+
+class TestFig3bDefeat:
+    def test_inconsistent_omission(self):
+        outcome = fig3b()
+        assert outcome.inconsistent_omission
+        assert outcome.deliveries == {"tx": 1, "x": 0, "y": 1}
+
+    def test_transmitter_remains_correct(self):
+        outcome = fig3b()
+        assert outcome.crashed == []
+
+    def test_y_fooled_by_fake_primary(self):
+        """Y's primary-error indication is faked by the transmitter's
+        reactive overload flag (the paper's Fig. 3b analysis)."""
+        outcome = fig3b()
+        y = outcome.engine.node("y")
+        assert any(e.kind == EventKind.PRIMARY_ERROR for e in y.events)
+        assert any(e.kind == EventKind.DEFERRED_ACCEPT for e in y.events)
+        tx = outcome.engine.node("tx")
+        assert any(e.kind == EventKind.OVERLOAD_FLAG_START for e in tx.events)
+
+    def test_only_two_errors_needed(self):
+        assert fig3b().errors_injected == 2
+
+
+class TestDeliveryTiming:
+    def test_clean_frame_delivers_at_end_of_eof(self):
+        """MinorCAN defers delivery to the end of EOF (a dominant last
+        bit can still lead to rejection), unlike standard CAN."""
+        nodes = _nodes("tx", "x", "y")
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"))
+        assert outcome.all_delivered_once

@@ -1,0 +1,64 @@
+"""Tests for the overhead analysis (experiment E-OV)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    best_case_overhead_bits,
+    higher_level_protocol_overhead_bits,
+    measured_overhead,
+    worst_case_extension_bits,
+    worst_case_overhead_bits,
+)
+from repro.errors import AnalysisError
+
+
+class TestFormulas:
+    def test_paper_values_for_m5(self):
+        assert best_case_overhead_bits(5) == 3
+        assert worst_case_overhead_bits(5) == 11
+
+    def test_worst_case_extension_is_2m_minus_2(self):
+        for m in range(3, 12):
+            assert worst_case_extension_bits(m) == 2 * m - 2
+
+    def test_m3_has_negative_best_case(self):
+        """MajorCAN_3's 6-bit EOF is shorter than standard CAN's 7."""
+        assert best_case_overhead_bits(3) == -1
+
+    def test_small_m_rejected(self):
+        with pytest.raises(AnalysisError):
+            best_case_overhead_bits(2)
+        with pytest.raises(AnalysisError):
+            worst_case_overhead_bits(1)
+
+
+class TestMeasured:
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_simulation_matches_formulas(self, m):
+        measured = measured_overhead(m)
+        assert measured.best_case == best_case_overhead_bits(m)
+        assert measured.worst_case == worst_case_overhead_bits(m)
+
+    def test_out_of_range_m_rejected(self):
+        with pytest.raises(AnalysisError):
+            measured_overhead(7)
+
+    def test_slot_lengths_are_plausible(self):
+        measured = measured_overhead(5)
+        assert measured.majorcan_clean_slot > measured.can_clean_slot
+        assert measured.majorcan_error_slot > measured.can_error_slot
+        assert measured.can_error_slot > measured.can_clean_slot
+
+
+class TestHigherLevelComparison:
+    def test_all_protocols_cost_more_than_majorcan(self):
+        """The paper's conclusion: even MajorCAN's worst case (11 bits
+        for m=5) is negligible against one extra frame per message."""
+        overheads = higher_level_protocol_overhead_bits(frame_bits=110, receivers=31)
+        for protocol, bits in overheads.items():
+            assert bits > worst_case_overhead_bits(5), protocol
+
+    def test_edcan_scales_with_receivers(self):
+        small = higher_level_protocol_overhead_bits(110, receivers=3)["EDCAN"]
+        large = higher_level_protocol_overhead_bits(110, receivers=31)["EDCAN"]
+        assert large > small

@@ -1,0 +1,99 @@
+"""Controller tests: overload frames and the interframe space."""
+
+from repro.can.bits import DOMINANT
+from repro.can.controller import CanController
+from repro.can.events import EventKind
+from repro.can.fields import EOF, INTERMISSION
+from repro.can.frame import data_frame
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.simulation.engine import SimulationEngine
+
+from helpers import delivered_payloads, run_one_frame
+
+
+def _overload_count(node):
+    return len([e for e in node.events if e.kind == EventKind.OVERLOAD_FLAG_START])
+
+
+class TestRequestedOverload:
+    def test_slow_node_delays_next_frame(self):
+        tx, rx1, rx2 = CanController("tx"), CanController("rx1"), CanController("rx2")
+        engine = SimulationEngine([tx, rx1, rx2])
+        tx.submit(data_frame(0x100, b"\x01"))
+        tx.submit(data_frame(0x100, b"\x02"))
+        rx1.request_overload()
+        engine.run_until_idle(10000)
+        assert _overload_count(rx1) == 1
+        # The other nodes react with their own overload flags.
+        assert _overload_count(rx2) == 1
+        assert delivered_payloads(rx2) == [b"\x01", b"\x02"]
+
+    def test_overload_does_not_lose_frames(self):
+        tx, rx1 = CanController("tx"), CanController("rx1")
+        engine = SimulationEngine([tx, rx1])
+        for value in range(3):
+            tx.submit(data_frame(0x100, bytes([value])))
+        rx1.request_overload()
+        rx1.request_overload()
+        engine.run_until_idle(20000)
+        assert delivered_payloads(rx1) == [bytes([v]) for v in range(3)]
+
+    def test_at_most_two_self_initiated_overloads(self):
+        tx, rx1 = CanController("tx"), CanController("rx1")
+        engine = SimulationEngine([tx, rx1])
+        tx.submit(data_frame(0x100, b"\x01"))
+        for _ in range(5):
+            rx1.request_overload()
+        engine.run_until_idle(20000)
+        assert _overload_count(rx1) <= 2
+
+
+class TestReactiveOverload:
+    def test_dominant_in_first_intermission_bit(self):
+        """A disturbance in the intermission triggers overload frames,
+        not error frames, and nothing is retransmitted."""
+        nodes = [CanController("tx"), CanController("rx1"), CanController("rx2")]
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("rx1", Trigger(field=INTERMISSION, index=0), force=DOMINANT)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.attempts == 1
+        assert outcome.all_delivered_once
+        assert _overload_count(nodes[1]) >= 1
+
+    def test_last_eof_bit_overload_keeps_frame(self):
+        """The last-bit rule: receiver accepts and sends overload."""
+        nodes = [CanController("tx"), CanController("rx1"), CanController("rx2")]
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("rx1", Trigger(field=EOF, index=6), force=DOMINANT)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        assert outcome.deliveries["rx1"] == 1
+        assert _overload_count(nodes[1]) == 1
+
+    def test_bus_recovers_to_idle_after_overload(self):
+        nodes = [CanController("tx"), CanController("rx1")]
+        injector = ScriptedInjector(
+            view_faults=[
+                ViewFault("rx1", Trigger(field=INTERMISSION, index=1), force=DOMINANT)
+            ]
+        )
+        outcome = run_one_frame(nodes, data_frame(0x123, b"\x55"), injector)
+        for node in nodes:
+            assert node.state == "idle"
+
+    def test_third_intermission_bit_dominant_is_sof(self):
+        """Dominant at the third intermission bit starts a new frame;
+        a pending transmitter joins from the identifier."""
+        tx, other, rx = CanController("tx"), CanController("other"), CanController("rx")
+        engine = SimulationEngine([tx, other, rx])
+        tx.submit(data_frame(0x100, b"\x01"))
+        # Queue a second frame on another node while the first flies;
+        # it will start right at the end of the intermission.
+        other.submit(data_frame(0x200, b"\x02"))
+        engine.run_until_idle(10000)
+        assert delivered_payloads(rx) == [b"\x01", b"\x02"]

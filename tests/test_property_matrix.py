@@ -1,0 +1,106 @@
+"""End-to-end tests of the property matrix (experiment E-PROP).
+
+Each assertion is a sentence from the paper turned into a check.
+"""
+
+import pytest
+
+from repro.properties.broadcast import AB2, AB3, AB5
+from repro.properties.matrix import (
+    core_matrix,
+    hlp_matrix,
+    render_matrix,
+    run_core_cell,
+    run_hlp_cell,
+)
+
+
+def cell_map(cells):
+    return {(cell.protocol, cell.scenario): cell for cell in cells}
+
+
+@pytest.fixture(scope="module")
+def core_cells():
+    return cell_map(core_matrix())
+
+
+@pytest.fixture(scope="module")
+def hlp_cells():
+    return cell_map(hlp_matrix())
+
+
+class TestStandardCanRow(object):
+    def test_clean_run_is_atomic(self, core_cells):
+        assert core_cells[("CAN", "clean")].atomic_broadcast
+
+    def test_fig1a_consistent(self, core_cells):
+        assert core_cells[("CAN", "fig1a")].atomic_broadcast
+
+    def test_fig1b_violates_at_most_once(self, core_cells):
+        assert core_cells[("CAN", "fig1b")].failed_properties() == [AB3]
+
+    def test_fig1c_violates_agreement(self, core_cells):
+        assert core_cells[("CAN", "fig1c")].failed_properties() == [AB2]
+
+    def test_fig3_violates_agreement_with_correct_transmitter(self, core_cells):
+        assert core_cells[("CAN", "fig3")].failed_properties() == [AB2]
+
+
+class TestMinorCanRow:
+    def test_fixes_all_fig1_scenarios(self, core_cells):
+        for scenario in ("fig1a", "fig1b", "fig1c"):
+            assert core_cells[("MinorCAN", scenario)].atomic_broadcast
+
+    def test_fig3_still_violates_agreement(self, core_cells):
+        assert core_cells[("MinorCAN", "fig3")].failed_properties() == [AB2]
+
+
+class TestMajorCanRow:
+    def test_atomic_in_every_scenario(self, core_cells):
+        for scenario in ("clean", "fig1a", "fig1b", "fig1c", "fig3"):
+            cell = core_cells[("MajorCAN", scenario)]
+            assert cell.atomic_broadcast, (scenario, cell.failed_properties())
+
+
+class TestHigherLevelProtocols:
+    def test_edcan_keeps_agreement_in_fig3(self, hlp_cells):
+        cell = hlp_cells[("EDCAN", "fig3")]
+        assert AB2 not in cell.failed_properties()
+
+    def test_edcan_lacks_total_order(self, hlp_cells):
+        """EDCAN provides Reliable, not Atomic, Broadcast."""
+        assert AB5 in hlp_cells[("EDCAN", "fig3")].failed_properties()
+
+    def test_relcan_fails_agreement_in_fig3(self, hlp_cells):
+        assert AB2 in hlp_cells[("RELCAN", "fig3")].failed_properties()
+
+    def test_totcan_fails_agreement_in_fig3(self, hlp_cells):
+        assert AB2 in hlp_cells[("TOTCAN", "fig3")].failed_properties()
+
+    def test_relcan_recovers_from_transmitter_crash(self, hlp_cells):
+        assert AB2 not in hlp_cells[("RELCAN", "fig1c")].failed_properties()
+
+    def test_totcan_consistent_under_transmitter_crash(self, hlp_cells):
+        """TOTCAN removes the unaccepted message everywhere: agreement
+        and total order both hold."""
+        cell = hlp_cells[("TOTCAN", "fig1c")]
+        assert AB2 not in cell.failed_properties()
+        assert AB5 not in cell.failed_properties()
+
+    def test_all_clean_runs_atomic(self, hlp_cells):
+        for protocol in ("EDCAN", "RELCAN", "TOTCAN"):
+            assert hlp_cells[(protocol, "clean")].atomic_broadcast
+
+
+class TestRendering:
+    def test_render_contains_fail_markers(self, core_cells):
+        text = render_matrix(list(core_cells.values()))
+        assert "FAIL" in text
+        assert "MajorCAN" in text
+
+    def test_render_empty(self):
+        assert "empty" in render_matrix([])
+
+    def test_unknown_hlp_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_hlp_cell("edcan", "nonsense")

@@ -1,0 +1,104 @@
+"""Unit tests for the higher-level protocol substrate."""
+
+import pytest
+
+from repro.can.frame import data_frame, remote_frame
+from repro.errors import ProtocolError
+from repro.protocols.base import (
+    AppMessage,
+    AppNode,
+    BroadcastProtocol,
+    KIND_ACCEPT,
+    KIND_CONFIRM,
+    KIND_DATA,
+    KIND_RETRANS,
+    build_protocol_network,
+    decode_message,
+    encode_message,
+    message_ledger_key,
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = AppMessage(kind=KIND_DATA, origin=3, seq=17, payload=b"\xab")
+        frame = encode_message(message, sender_id=3)
+        decoded = decode_message(frame)
+        assert decoded == message
+
+    def test_retransmission_keeps_origin(self):
+        message = AppMessage(kind=KIND_RETRANS, origin=2, seq=9)
+        frame = encode_message(message, sender_id=7)
+        decoded = decode_message(frame)
+        assert decoded.origin == 2
+        assert decoded.key == (2, 9)
+
+    def test_control_frames_outrank_data_frames(self):
+        data = encode_message(AppMessage(KIND_DATA, 0, 0), sender_id=0)
+        confirm = encode_message(AppMessage(KIND_CONFIRM, 0, 0), sender_id=0)
+        accept = encode_message(AppMessage(KIND_ACCEPT, 0, 0), sender_id=0)
+        assert confirm.can_id.outranks(data.can_id)
+        assert accept.can_id.outranks(data.can_id)
+
+    def test_sender_id_disambiguates_retransmissions(self):
+        a = encode_message(AppMessage(KIND_RETRANS, 0, 0), sender_id=1)
+        b = encode_message(AppMessage(KIND_RETRANS, 0, 0), sender_id=2)
+        assert a.can_id != b.can_id
+
+    def test_decode_rejects_foreign_frames(self):
+        assert decode_message(data_frame(0x700, b"")) is None
+        assert decode_message(remote_frame(0x100, dlc=4)) is None
+        assert decode_message(data_frame(0x100, b"\xff\x00\x00")) is None
+
+    def test_payload_limit(self):
+        with pytest.raises(ProtocolError):
+            encode_message(
+                AppMessage(KIND_DATA, 0, 0, payload=b"\x00" * 6), sender_id=0
+            )
+
+    def test_ledger_key_for_messages(self):
+        frame = encode_message(AppMessage(KIND_DATA, 4, 2), sender_id=4)
+        assert message_ledger_key(frame) == ("msg", 4, 2)
+
+    def test_ledger_key_for_raw_frames(self):
+        key = message_ledger_key(data_frame(0x700, b""))
+        assert key[0] == "raw"
+
+
+class TestAppNode:
+    def _node(self):
+        engine, nodes = build_protocol_network(BroadcastProtocol, 1)
+        return engine, nodes[0]
+
+    def test_broadcast_assigns_sequence_numbers(self):
+        _, node = self._node()
+        first = node.broadcast()
+        second = node.broadcast()
+        assert (first.seq, second.seq) == (0, 1)
+        assert len(node.app_broadcasts) == 2
+
+    def test_deliver_records_key_order(self):
+        _, node = self._node()
+        node.deliver(AppMessage(KIND_DATA, 1, 0), time=10)
+        node.deliver(AppMessage(KIND_DATA, 2, 0), time=11)
+        assert node.delivered_keys == [(1, 0), (2, 0)]
+        assert node.has_delivered((1, 0))
+        assert not node.has_delivered((9, 9))
+
+    def test_correctness_follows_controller(self):
+        _, node = self._node()
+        assert node.correct
+        node.controller.crash()
+        assert not node.correct
+
+
+class TestNetworkBuilder:
+    def test_builds_unique_nodes(self):
+        engine, nodes = build_protocol_network(BroadcastProtocol, 4)
+        assert len(nodes) == 4
+        assert len(engine.nodes) == 4
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3]
+
+    def test_tick_hooks_registered(self):
+        engine, nodes = build_protocol_network(BroadcastProtocol, 2)
+        engine.run(5)  # would raise if hooks were broken

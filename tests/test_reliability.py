@@ -1,0 +1,69 @@
+"""Tests for the mission-reliability model."""
+
+import math
+
+import pytest
+
+from repro.analysis.reliability import (
+    hours_to_reliability,
+    mean_time_to_failure_hours,
+    mission_reliability,
+    reliability_comparison,
+)
+from repro.errors import AnalysisError
+
+
+class TestPrimitives:
+    def test_zero_rate_is_certain_survival(self):
+        assert mission_reliability(0.0, 1e6) == 1.0
+
+    def test_exponential_form(self):
+        assert mission_reliability(0.1, 10.0) == pytest.approx(math.exp(-1.0))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            mission_reliability(-1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            mean_time_to_failure_hours(-1.0)
+
+    def test_mttf(self):
+        assert mean_time_to_failure_hours(0.5) == 2.0
+        assert mean_time_to_failure_hours(0.0) == float("inf")
+
+    def test_hours_to_reliability_inverts_survival(self):
+        rate = 3e-4
+        hours = hours_to_reliability(rate, 0.99)
+        assert mission_reliability(rate, hours) == pytest.approx(0.99)
+
+    def test_hours_to_reliability_validates_target(self):
+        with pytest.raises(AnalysisError):
+            hours_to_reliability(1.0, 1.5)
+
+    def test_zero_rate_mission_is_unbounded(self):
+        assert hours_to_reliability(0.0, 0.999) == float("inf")
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return reliability_comparison(1e-4, mission_hours=(1.0, 8760.0))
+
+    def test_three_protocols(self, rows):
+        assert [row.protocol for row in rows] == ["CAN", "MinorCAN", "MajorCAN"]
+
+    def test_can_rate_is_sum_of_families(self, rows):
+        can, minor, major = rows
+        assert can.imo_rate_per_hour > minor.imo_rate_per_hour
+        assert major.imo_rate_per_hour == 0.0
+
+    def test_can_mttf_is_about_113_hours_at_1e4(self, rows):
+        """The striking operational consequence of Table 1: at
+        ber = 1e-4 a standard CAN bus suffers an inconsistent omission
+        about every 113 hours of operation."""
+        assert rows[0].mttf_hours == pytest.approx(113, rel=0.02)
+
+    def test_majorcan_survives_any_mission(self, rows):
+        assert rows[2].mission_survival[8760.0] == 1.0
+
+    def test_can_fails_a_year_long_mission(self, rows):
+        assert rows[0].mission_survival[8760.0] < 1e-6

@@ -1,0 +1,83 @@
+"""Remote frame (RTR) flows, including the auto-response feature."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.controller import CanController
+from repro.can.frame import data_frame, remote_frame
+from repro.can.identifiers import CanId
+from repro.simulation.engine import SimulationEngine
+
+
+class TestAutoResponse:
+    def _bus(self):
+        server = CanController("server")
+        client = CanController("client")
+        observer = CanController("observer")
+        engine = SimulationEngine([client, server, observer])
+        return engine, server, client, observer
+
+    def test_registered_request_is_answered(self):
+        engine, server, client, observer = self._bus()
+        server.register_remote_response(CanId(0x123), b"\x42\x43")
+        client.submit(remote_frame(0x123, dlc=2))
+        engine.run_until_idle(8000)
+        answers = [d.frame for d in client.deliveries if not d.frame.remote]
+        assert answers and answers[0].data == b"\x42\x43"
+        assert answers[0].can_id == CanId(0x123)
+
+    def test_unregistered_request_is_not_answered(self):
+        engine, server, client, observer = self._bus()
+        server.register_remote_response(CanId(0x124), b"\x42")
+        client.submit(remote_frame(0x123, dlc=1))
+        engine.run_until_idle(8000)
+        assert all(d.frame.remote for d in observer.deliveries)
+
+    def test_server_does_not_answer_its_own_request(self):
+        engine, server, client, observer = self._bus()
+        server.register_remote_response(CanId(0x123), b"\x42")
+        server.submit(remote_frame(0x123, dlc=1))
+        engine.run_until_idle(8000)
+        own_answers = [f for f in server.submitted if not f.remote]
+        assert own_answers == []
+
+    def test_multiple_servers_arbitrate_cleanly(self):
+        """Two servers answering the same id collide in the data field
+        and recover; at least one response goes through.  (Real designs
+        give each responder a distinct id; this checks robustness.)"""
+        engine, server, client, observer = self._bus()
+        server.register_remote_response(CanId(0x123), b"\x01")
+        observer.register_remote_response(CanId(0x123), b"\x01")
+        client.submit(remote_frame(0x123, dlc=1))
+        engine.run_until_idle(20000)
+        answers = [d.frame for d in client.deliveries if not d.frame.remote]
+        assert answers
+
+    def test_extended_id_response(self):
+        engine, server, client, observer = self._bus()
+        identifier = CanId(0x1ABCDE, extended=True)
+        server.register_remote_response(identifier, b"\x07")
+        client.submit(remote_frame(0x1ABCDE, dlc=1, extended=True))
+        engine.run_until_idle(10000)
+        answers = [d.frame for d in client.deliveries if not d.frame.remote]
+        assert answers and answers[0].can_id == identifier
+
+
+class TestArbitrationOrderProperty:
+    @given(
+        ids=st.lists(
+            st.integers(0, 0x7FF), min_size=2, max_size=5, unique=True
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_delivery_order_matches_priority(self, ids):
+        """For ANY set of distinct identifiers submitted simultaneously,
+        the bus delivers them in increasing identifier order."""
+        transmitters = [CanController("t%d" % i) for i in range(len(ids))]
+        observer = CanController("obs")
+        engine = SimulationEngine(transmitters + [observer], record_bits=False)
+        for controller, identifier in zip(transmitters, ids):
+            controller.submit(data_frame(identifier, b"\x11"))
+        engine.run_until_idle(60000)
+        seen = [d.frame.can_id.value for d in observer.deliveries]
+        assert seen == sorted(ids)

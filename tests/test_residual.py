@@ -1,0 +1,82 @@
+"""Tests for the MajorCAN residual-rate model."""
+
+import pytest
+
+from repro.analysis.residual import (
+    p_more_than_m_errors,
+    residual_rate_tail_bound,
+    residual_rate_upper_bound,
+    residual_table,
+    smallest_m_meeting_target,
+)
+from repro.errors import AnalysisError
+
+
+class TestProbability:
+    def test_zero_ber_zero_residual(self):
+        assert p_more_than_m_errors(0.0, 5, 32, 130) == 0.0
+
+    def test_monotone_decreasing_in_m(self):
+        values = [p_more_than_m_errors(1e-4, m, 32, 130) for m in range(3, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_increasing_in_ber(self):
+        assert p_more_than_m_errors(1e-4, 5, 32, 130) > p_more_than_m_errors(
+            1e-5, 5, 32, 130
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            p_more_than_m_errors(1e-4, -1, 32, 130)
+        with pytest.raises(AnalysisError):
+            p_more_than_m_errors(1e-4, 5, 32, 0)
+
+
+class TestBounds:
+    def test_tail_bound_below_upper_bound(self):
+        for ber in (1e-4, 1e-5):
+            assert residual_rate_tail_bound(ber, 5) < residual_rate_upper_bound(
+                ber, 5
+            )
+
+    def test_m5_meets_target_at_1e5_but_not_1e4(self):
+        """The honest deployment statement: the paper's m = 5 meets the
+        1e-9/hour target (even on the pessimistic bound) for
+        ber <= 1e-5, but not at the aggressive ber = 1e-4."""
+        assert residual_rate_upper_bound(1e-5, 5) < 1e-9
+        assert residual_rate_upper_bound(1e-4, 5) > 1e-9
+
+    def test_residual_far_below_unfixed_can(self):
+        """Even where m = 5 misses the strict target, its residual is
+        four orders below standard CAN's IMO rate."""
+        from repro.analysis.probability import p_new_scenario_per_frame
+        from repro.analysis.rates import incidents_per_hour
+        from repro.workload.profiles import PAPER_PROFILE
+
+        can_rate = incidents_per_hour(
+            p_new_scenario_per_frame(1e-4, 32, 110), PAPER_PROFILE
+        )
+        assert residual_rate_upper_bound(1e-4, 5) < can_rate / 1e4
+
+
+class TestDesignRule:
+    def test_smallest_m_by_environment(self):
+        """Section 5's remark made computable: the required m grows
+        with the error rate — and the aggressive environment demands
+        m = 6, which also closes the finding-F1 channel."""
+        assert smallest_m_meeting_target(1e-4) == 6
+        assert smallest_m_meeting_target(1e-5) <= 5
+        assert smallest_m_meeting_target(1e-6) == 3
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(AnalysisError):
+            smallest_m_meeting_target(0.3, target=1e-30, max_m=4)
+
+
+class TestTable:
+    def test_grid_shape_and_flags(self):
+        rows = residual_table(ber_values=(1e-5,), m_values=(3, 5))
+        assert len(rows) == 2
+        by_m = {row.m: row for row in rows}
+        assert not by_m[3].meets_target_upper
+        assert by_m[5].meets_target_upper

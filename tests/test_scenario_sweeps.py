@@ -1,0 +1,78 @@
+"""Systematic sweeps over the scenario builders' parameters.
+
+The figure scenarios are defined for arbitrary X/Y set sizes; these
+sweeps pin the outcomes across network shapes and protocol variants in
+one table-driven pass.
+"""
+
+import pytest
+
+from repro.faults.scenarios import fig1a, fig1b, fig1c, fig3, fig5
+
+SHAPES = [(1, 1), (1, 3), (2, 2), (3, 1)]
+
+
+class TestFig1aSweep:
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    @pytest.mark.parametrize("protocol", ["can", "minorcan", "majorcan"])
+    def test_always_consistent(self, protocol, x_count, y_count):
+        outcome = fig1a(protocol, x_count=x_count, y_count=y_count)
+        assert outcome.all_delivered_once
+
+
+class TestFig1bSweep:
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    def test_can_duplicates_every_y(self, x_count, y_count):
+        outcome = fig1b("can", x_count=x_count, y_count=y_count)
+        assert outcome.double_reception
+        y_names = [name for name in outcome.deliveries if name.startswith("y")]
+        for name in y_names:
+            assert outcome.deliveries[name] == 2
+
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    def test_minorcan_consistent(self, x_count, y_count):
+        outcome = fig1b("minorcan", x_count=x_count, y_count=y_count)
+        assert outcome.all_delivered_once
+
+
+class TestFig1cSweep:
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    def test_can_omits_every_x(self, x_count, y_count):
+        outcome = fig1c("can", x_count=x_count, y_count=y_count)
+        assert outcome.inconsistent_omission
+        for name in outcome.deliveries:
+            if name.startswith("x"):
+                assert outcome.deliveries[name] == 0
+
+
+class TestFig3Sweep:
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    @pytest.mark.parametrize("protocol", ["can", "minorcan"])
+    def test_unfixed_protocols_omit(self, protocol, x_count, y_count):
+        outcome = fig3(protocol, x_count=x_count, y_count=y_count)
+        assert outcome.inconsistent_omission
+        assert outcome.crashed == []
+
+    @pytest.mark.parametrize("x_count,y_count", SHAPES)
+    def test_majorcan_consistent(self, x_count, y_count):
+        outcome = fig3("majorcan", x_count=x_count, y_count=y_count)
+        assert outcome.all_delivered_once
+
+
+class TestFig5MSweep:
+    @pytest.mark.parametrize("m", [5, 6, 7, 9])
+    def test_consistent_for_m_at_least_five(self, m):
+        """The figure's pattern injects five errors, so the guarantee
+        applies for m >= 5 (and happens to hold for some smaller m)."""
+        outcome = fig5(m=m)
+        assert outcome.all_delivered_once
+        assert outcome.errors_injected == 5
+
+    def test_pattern_degrades_gracefully_for_small_m(self):
+        """For m = 3 the figure's geometry does not fully exist (the
+        scripted sampling-window positions are outside MajorCAN_3's
+        shorter window), so fewer errors fire — and the outcome is
+        still consistent."""
+        outcome = fig5(m=3)
+        assert outcome.errors_injected < 5
+        assert outcome.consistent

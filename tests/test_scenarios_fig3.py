@@ -1,0 +1,67 @@
+"""Reproduction tests for the paper's new scenarios (Fig. 3).
+
+The headline contribution of Section 4: an inconsistent message
+omission with a *correct* transmitter, requiring only one additional
+single-bit disturbance over the Fig. 1b pattern.
+"""
+
+import pytest
+
+from repro.can.events import EventKind
+from repro.faults.scenarios import fig3, fig3a, fig3b
+
+
+class TestFig3aStandardCan:
+    def test_imo_with_correct_transmitter(self):
+        outcome = fig3a()
+        assert outcome.inconsistent_omission
+        assert outcome.crashed == []
+
+    def test_exact_deliveries(self):
+        assert fig3a().deliveries == {"tx": 1, "x": 0, "y": 1}
+
+    def test_no_retransmission(self):
+        """The transmitter considers the frame correctly transmitted."""
+        assert fig3a().attempts == 1
+
+    def test_two_single_bit_errors_suffice(self):
+        assert fig3a().errors_injected == 2
+
+    def test_transmitter_saw_no_error_during_frame(self):
+        outcome = fig3a()
+        tx = outcome.engine.node("tx")
+        assert not any(e.kind == EventKind.ERROR_DETECTED for e in tx.events)
+
+    def test_larger_x_set(self):
+        outcome = fig3a(x_count=3, y_count=2)
+        assert outcome.inconsistent_omission
+        for name in ("x1", "x2", "x3"):
+            assert outcome.deliveries[name] == 0
+
+    def test_x_rejected_the_frame(self):
+        outcome = fig3a()
+        x = outcome.engine.node("x")
+        assert any(e.kind == EventKind.FRAME_REJECTED for e in x.events)
+
+
+class TestFig3bMinorCan:
+    def test_minorcan_also_defeated(self):
+        outcome = fig3b()
+        assert outcome.inconsistent_omission
+        assert outcome.crashed == []
+
+    def test_same_disturbance_count_as_fig3a(self):
+        assert fig3b().errors_injected == fig3a().errors_injected == 2
+
+
+class TestFig3MajorCanFixes:
+    @pytest.mark.parametrize("m", [3, 4, 5, 6, 8])
+    def test_majorcan_consistent_for_all_m(self, m):
+        outcome = fig3("majorcan", m=m)
+        assert outcome.consistent
+        assert outcome.all_delivered_once
+
+    def test_majorcan_no_retransmission_needed(self):
+        """The EOF carries no data: everyone accepts the frame."""
+        outcome = fig3("majorcan")
+        assert outcome.attempts == 1

@@ -1,0 +1,144 @@
+"""Unit and property tests for bit stuffing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.stuffing import (
+    STUFF_WIDTH,
+    Destuffer,
+    StuffResult,
+    destuff,
+    stuff,
+    stuffed_length,
+    worst_case_stuffed_length,
+)
+from repro.errors import StuffingError
+
+bits_lists = st.lists(st.integers(0, 1), max_size=300)
+
+
+class TestStuff:
+    def test_empty(self):
+        assert stuff([]) == []
+
+    def test_short_run_untouched(self):
+        assert stuff([0, 0, 0, 0]) == [0, 0, 0, 0]
+
+    def test_five_zeros_get_a_one(self):
+        assert stuff([0] * 5) == [0, 0, 0, 0, 0, 1]
+
+    def test_five_ones_get_a_zero(self):
+        assert stuff([1] * 5) == [1, 1, 1, 1, 1, 0]
+
+    def test_stuff_bit_starts_new_run(self):
+        # 0x00 byte: 8 zeros -> stuff after 5, the stuff '1' breaks the
+        # run, remaining 3 zeros need no stuffing.
+        assert stuff([0] * 8) == [0, 0, 0, 0, 0, 1, 0, 0, 0]
+
+    def test_run_crossing_inserted_stuff(self):
+        # After a stuff bit, the run counter restarts at the stuff bit.
+        # 5 zeros + stuff(1) + 4 ones makes a 5-run of ones -> stuff(0).
+        assert stuff([0, 0, 0, 0, 0, 1, 1, 1, 1]) == [
+            0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0,
+        ]
+
+    def test_alternating_never_stuffed(self):
+        bits = [0, 1] * 40
+        assert stuff(bits) == bits
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            stuff([0, 1, 2])
+
+
+class TestDestuff:
+    def test_inverse_of_stuff_simple(self):
+        bits = [0] * 7 + [1] * 7
+        assert destuff(stuff(bits)) == bits
+
+    def test_six_equal_bits_is_violation(self):
+        with pytest.raises(StuffingError):
+            destuff([0] * 6)
+
+    def test_error_flag_pattern_is_violation(self):
+        # An error flag superimposed on a frame produces 6 dominant bits.
+        with pytest.raises(StuffingError):
+            destuff([1, 0, 1] + [0] * 6)
+
+    @given(bits_lists)
+    def test_roundtrip(self, bits):
+        assert destuff(stuff(bits)) == bits
+
+    @given(bits_lists)
+    def test_stuffed_never_has_six_run(self, bits):
+        stuffed = stuff(bits)
+        run = 0
+        last = None
+        for bit in stuffed:
+            run = run + 1 if bit == last else 1
+            last = bit
+            assert run <= STUFF_WIDTH
+
+
+class TestLengths:
+    @given(bits_lists)
+    def test_stuffed_length_matches(self, bits):
+        assert stuffed_length(bits) == len(stuff(bits))
+
+    @given(bits_lists)
+    def test_worst_case_is_upper_bound(self, bits):
+        assert len(stuff(bits)) <= worst_case_stuffed_length(len(bits))
+
+    def test_worst_case_achieved(self):
+        # 0b11111 0000 1111 ... achieves one stuff per 4 bits after the
+        # first five.
+        bits = [1] * 5
+        value = 0
+        while len(bits) < 29:
+            bits.extend([value] * 4)
+            value ^= 1
+        assert len(stuff(bits)) == worst_case_stuffed_length(len(bits))
+
+    def test_worst_case_of_zero(self):
+        assert worst_case_stuffed_length(0) == 0
+
+
+class TestDestuffer:
+    def test_classifies_data_and_stuff(self):
+        destuffer = Destuffer()
+        results = [destuffer.feed(bit) for bit in stuff([0] * 5)]
+        assert results == [StuffResult.DATA] * 5 + [StuffResult.STUFF]
+
+    def test_next_is_stuff_flag(self):
+        destuffer = Destuffer()
+        for bit in [0] * 5:
+            destuffer.feed(bit)
+        assert destuffer.next_is_stuff
+
+    def test_violation_reported_once(self):
+        destuffer = Destuffer()
+        for bit in [0] * 5:
+            assert destuffer.feed(bit) == StuffResult.DATA
+        assert destuffer.feed(0) == StuffResult.VIOLATION
+        with pytest.raises(StuffingError):
+            destuffer.feed(0)
+
+    def test_reset_recovers(self):
+        destuffer = Destuffer()
+        for bit in [0] * 5:
+            destuffer.feed(bit)
+        destuffer.feed(0)  # violation
+        destuffer.reset()
+        assert destuffer.feed(0) == StuffResult.DATA
+
+    @given(bits_lists)
+    def test_incremental_matches_batch(self, bits):
+        stuffed = stuff(bits)
+        destuffer = Destuffer()
+        recovered = [
+            bit
+            for bit in stuffed
+            if destuffer.feed(bit) == StuffResult.DATA
+        ]
+        assert recovered == bits

@@ -1,0 +1,71 @@
+"""Tests for the suspend-transmission rule of error-passive nodes."""
+
+from repro.can.controller import CanController, STATE_SUSPEND
+from repro.can.frame import data_frame
+from repro.simulation.engine import SimulationEngine
+
+
+def make_passive_transmitter():
+    node = CanController("passive")
+    node.counters.tec = 130  # error-passive
+    return node
+
+
+class TestSuspendAfterTransmission:
+    def test_passive_transmitter_enters_suspend(self):
+        passive = make_passive_transmitter()
+        receiver = CanController("rx")
+        engine = SimulationEngine([passive, receiver])
+        passive.submit(data_frame(0x100, b"\x01"))
+        states = set()
+        for _ in range(120):
+            engine.step()
+            states.add(passive.state)
+        assert STATE_SUSPEND in states
+
+    def test_active_transmitter_never_suspends(self):
+        active = CanController("active")
+        receiver = CanController("rx")
+        engine = SimulationEngine([active, receiver])
+        active.submit(data_frame(0x100, b"\x01"))
+        states = set()
+        for _ in range(120):
+            engine.step()
+            states.add(active.state)
+        assert STATE_SUSPEND not in states
+
+    def test_suspend_delays_own_next_frame(self):
+        """The passive node's second frame starts at least 8 bits later
+        than an active node's would."""
+
+        def completion_time(tec):
+            node = CanController("tx")
+            node.counters.tec = tec
+            receiver = CanController("rx")
+            engine = SimulationEngine([node, receiver])
+            node.submit(data_frame(0x100, b"\x01"))
+            node.submit(data_frame(0x100, b"\x02"))
+            engine.run_until_idle(20000)
+            return node.tx_successes[-1][0]
+
+        assert completion_time(130) >= completion_time(0) + 8
+
+    def test_suspended_node_yields_to_others(self):
+        """During the suspend window another node may start; the
+        passive node joins as a receiver."""
+        passive = make_passive_transmitter()
+        other = CanController("other")
+        receiver = CanController("rx")
+        engine = SimulationEngine([passive, other, receiver])
+        passive.submit(data_frame(0x200, b"\x01"))
+        passive.submit(data_frame(0x200, b"\x02"))
+        while not passive.tx_successes:
+            engine.step()
+        # The passive node is now heading into intermission + suspend;
+        # a frame queued here beats its second transmission.
+        other.submit(data_frame(0x100, b"\xbb"))
+        engine.run_until_idle(20000)
+        payloads = [d.frame.data for d in receiver.deliveries]
+        assert b"\xbb" in payloads
+        assert payloads.index(b"\xbb") < payloads.index(b"\x02")
+        assert b"\xbb" in [d.frame.data for d in passive.deliveries]

@@ -1,0 +1,91 @@
+"""Reproduction tests for Table 1 (experiment E-T1)."""
+
+import pytest
+
+from repro.analysis.table1 import (
+    PAPER_TABLE1,
+    RUFINO_IMO_PER_HOUR,
+    generate_table1,
+    relative_error,
+    render_table1,
+)
+from repro.faults.models import REFERENCE_INCIDENT_RATE
+from repro.analysis.rates import meets_reference
+from repro.workload.profiles import PAPER_PROFILE
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_table1()
+
+
+class TestAgreementWithPaper:
+    def test_three_rows(self, rows):
+        assert [row.ber for row in rows] == [1e-4, 1e-5, 1e-6]
+
+    @pytest.mark.parametrize("index,ber", [(0, 1e-4), (1, 1e-5), (2, 1e-6)])
+    def test_imo_new_column_within_one_percent(self, rows, index, ber):
+        assert relative_error(
+            rows[index].imo_new_per_hour, PAPER_TABLE1[ber]["imo_new"]
+        ) < 0.01
+
+    @pytest.mark.parametrize("index,ber", [(0, 1e-4), (1, 1e-5), (2, 1e-6)])
+    def test_imo_star_column_within_one_percent(self, rows, index, ber):
+        assert relative_error(
+            rows[index].imo_star_per_hour, PAPER_TABLE1[ber]["imo_star"]
+        ) < 0.01
+
+    def test_rufino_column_is_reference_data(self, rows):
+        for row in rows:
+            assert row.imo_rufino_per_hour == RUFINO_IMO_PER_HOUR[row.ber]
+
+    def test_star_model_reproduces_rufino_values(self, rows):
+        """The paper's point: IMO* (equation 5) closely matches the
+        values Rufino et al. published, legitimating the comparison."""
+        for row in rows:
+            assert relative_error(
+                row.imo_star_per_hour, row.imo_rufino_per_hour
+            ) < 0.02
+
+
+class TestHeadlineConclusions:
+    def test_new_scenarios_exceed_reference_rate(self, rows):
+        """Every IMOnew value is above the 1e-9/hour safety target."""
+        for row in rows:
+            assert not meets_reference(row.imo_new_per_hour, REFERENCE_INCIDENT_RATE)
+
+    def test_new_scenarios_dominate_old(self, rows):
+        for row in rows:
+            # ~2200x at ber=1e-4 shrinking to ~22x at ber=1e-6.
+            assert row.imo_new_per_hour > row.imo_star_per_hour * 10
+
+    def test_paper_row_lookup(self, rows):
+        assert rows[0].paper_row()["imo_new"] == 8.80e-3
+
+
+class TestRendering:
+    def test_render_contains_all_columns(self, rows):
+        text = render_table1(rows)
+        assert "IMOnew/hour" in text
+        assert "IMO*/hour" in text
+        for row in rows:
+            assert ("%.2e" % row.imo_new_per_hour) in text
+
+    def test_relative_error_zero_reference(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestProfile:
+    def test_paper_profile_values(self):
+        assert PAPER_PROFILE.n_nodes == 32
+        assert PAPER_PROFILE.bit_rate == 1e6
+        assert PAPER_PROFILE.load == 0.9
+        assert PAPER_PROFILE.frame_bits == 110
+
+    def test_frames_per_hour(self):
+        assert PAPER_PROFILE.frames_per_hour == pytest.approx(0.9 * 1e6 * 3600 / 110)
+
+    def test_scaled_profile(self):
+        scaled = PAPER_PROFILE.scaled(n_nodes=8)
+        assert scaled.n_nodes == 8
+        assert scaled.bit_rate == PAPER_PROFILE.bit_rate

@@ -1,0 +1,81 @@
+"""Tests for the bit-timing configuration module."""
+
+import pytest
+
+from repro.can.timing import (
+    BitTiming,
+    classic_1mbps,
+    timing_for_bit_rate,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_positive_clock(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(0, 1, 7, 5, 3)
+
+    def test_prescaler_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 0, 7, 5, 3)
+
+    def test_segment_minimums(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 0, 5, 3)
+
+    def test_quanta_per_bit_range(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 2, 2, 2)  # 7 quanta: too few
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 15, 8, 8)  # 32 quanta: too many
+
+    def test_sjw_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 7, 5, 3, sjw=5)
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 7, 5, 3, sjw=0)
+
+    def test_phase_seg2_information_processing_time(self):
+        with pytest.raises(ConfigurationError):
+            BitTiming(16e6, 1, 9, 5, 1)
+
+
+class TestDerivedQuantities:
+    def test_classic_1mbps(self):
+        timing = classic_1mbps()
+        assert timing.quanta_per_bit == 16
+        assert timing.bit_rate_bps == pytest.approx(1e6)
+        assert timing.sample_point == pytest.approx(0.8125)
+
+    def test_time_quantum(self):
+        timing = BitTiming(16e6, 2, 7, 5, 3)
+        assert timing.time_quantum_s == pytest.approx(2 / 16e6)
+        assert timing.bit_rate_bps == pytest.approx(0.5e6)
+
+    def test_bus_length_shrinks_with_bit_rate(self):
+        fast = classic_1mbps()
+        slow = timing_for_bit_rate(125_000)
+        assert slow.max_bus_length_m() > fast.max_bus_length_m()
+
+    def test_bus_length_never_negative(self):
+        timing = classic_1mbps()
+        assert timing.max_bus_length_m(node_delay_s=1.0) == 0.0
+
+
+class TestSearch:
+    @pytest.mark.parametrize("rate", [1_000_000, 500_000, 250_000, 125_000])
+    def test_exact_rates_found(self, rate):
+        timing = timing_for_bit_rate(rate)
+        assert timing.bit_rate_bps == pytest.approx(rate)
+
+    def test_sample_point_near_target(self):
+        timing = timing_for_bit_rate(500_000, sample_point_target=0.8)
+        assert 0.65 <= timing.sample_point <= 0.9
+
+    def test_impossible_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timing_for_bit_rate(1_234_567)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timing_for_bit_rate(0)

@@ -1,0 +1,137 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.can.controller import CanController
+from repro.errors import ConfigurationError
+from repro.simulation.engine import SimulationEngine
+from repro.workload.generator import (
+    PeriodicSource,
+    PoissonSource,
+    attach_sources,
+    measured_bus_load,
+    periodic_sources_for_profile,
+)
+from repro.workload.profiles import PAPER_PROFILE, NetworkProfile
+
+
+class TestProfileValidation:
+    def test_rejects_bad_load(self):
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(1e6, 4, 0.0, 110)
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(1e6, 4, 1.5, 110)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(1e6, 1, 0.5, 110)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(0, 4, 0.5, 110)
+
+
+class TestPeriodicSource:
+    def _setup(self, period=200, max_messages=None):
+        controller = CanController("n0")
+        engine = SimulationEngine([controller, CanController("sink")])
+        source = PeriodicSource(
+            controller=controller,
+            period_bits=period,
+            identifier=0x100,
+            max_messages=max_messages,
+        )
+        engine.add_tick_hook(source.tick)
+        return engine, controller, source
+
+    def test_submits_on_period(self):
+        engine, controller, source = self._setup(period=100)
+        engine.run(301)
+        assert source.sent == 4  # t = 0, 100, 200, 300
+
+    def test_max_messages_caps(self):
+        engine, controller, source = self._setup(period=50, max_messages=2)
+        engine.run(500)
+        assert source.sent == 2
+
+    def test_message_ids_are_unique(self):
+        engine, controller, source = self._setup(period=100)
+        engine.run(301)
+        tags = [frame.message_id for frame in controller.submitted]
+        assert len(set(tags)) == len(tags)
+
+    def test_period_validated(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSource(CanController("x"), period_bits=0, identifier=1)
+
+
+class TestPoissonSource:
+    def test_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(CanController("x"), rate_per_bit=2.0, identifier=1)
+
+    def test_seeded_rate_approximation(self):
+        controller = CanController("n0")
+        engine = SimulationEngine([controller, CanController("sink")])
+        source = PoissonSource(
+            controller=controller, rate_per_bit=0.01, identifier=0x100, rng=42
+        )
+        engine.add_tick_hook(source.tick)
+        engine.run(5000)
+        assert 20 <= source.sent <= 80  # ~50 expected
+
+
+class TestProfileSources:
+    def test_sources_for_paper_profile(self):
+        controllers = [CanController("n%d" % i) for i in range(4)]
+        sources = periodic_sources_for_profile(
+            controllers, PAPER_PROFILE, messages_per_node=3
+        )
+        assert len(sources) == 4
+        periods = {source.period_bits for source in sources}
+        assert len(periods) == 1
+        identifiers = {source.identifier for source in sources}
+        assert len(identifiers) == 4
+
+    def test_empty_controllers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            periodic_sources_for_profile([], PAPER_PROFILE)
+
+    def test_generated_load_is_high(self):
+        """Four nodes at the paper's 90% profile keep the bus busy."""
+        controllers = [CanController("n%d" % i) for i in range(4)]
+        engine = SimulationEngine(controllers, record_bits=False)
+        sources = periodic_sources_for_profile(
+            controllers, PAPER_PROFILE.scaled(n_nodes=4), messages_per_node=20
+        )
+        attach_sources(engine, sources)
+        engine.run(8000)
+        load = measured_bus_load(engine, start=100)
+        assert load > 0.5
+
+    def test_all_messages_delivered_under_load(self):
+        controllers = [CanController("n%d" % i) for i in range(4)]
+        engine = SimulationEngine(controllers, record_bits=False)
+        sources = periodic_sources_for_profile(
+            controllers, PAPER_PROFILE.scaled(n_nodes=4), messages_per_node=5
+        )
+        attach_sources(engine, sources)
+        engine.run(20000)
+        engine.run_until_idle(60000)
+        # Every node delivered every other node's 5 messages.
+        for controller in controllers:
+            foreign = [
+                d for d in controller.deliveries if d.frame.message_id is None
+            ]
+            assert len(foreign) == 15
+
+
+class TestMeasuredLoad:
+    def test_empty_history(self):
+        engine = SimulationEngine([CanController("a")])
+        assert measured_bus_load(engine) == 0.0
+
+    def test_idle_bus_is_zero_load(self):
+        engine = SimulationEngine([CanController("a")])
+        engine.run(100)
+        assert measured_bus_load(engine, start=20) < 0.2
