@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench bench-perf examples experiments clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Timing harness for the parallel trial layer + engine fast path;
+# writes BENCH_PR1.json at the repo root.
+bench-perf:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --out BENCH_PR1.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Performance harness for the simulation workloads (PR 1).
+
+Measures the two axes this repo's perf trajectory tracks:
+
+* **simulated bits/sec** of the engine's inner loop — with per-bit
+  recording (``record_bits=True``) and on the lean fast path
+  (``record_bits=False``), which skips all per-bit dict and
+  ``BitRecord`` construction;
+* **trials/sec** of the statistical workloads (Monte-Carlo sampling
+  and bounded exhaustive verification) — serial (``jobs=1``) versus
+  fanned out over the ``repro.parallel`` worker pool.
+
+Writes a JSON report (default ``BENCH_PR1.json`` in the repo root)
+recording the raw rates, the speedups, and the host's CPU budget —
+parallel speedup is physically bounded by ``cpu_count``, so the file
+keeps that context alongside the numbers.
+
+Usage::
+
+    python benchmarks/perf_harness.py [--smoke] [--jobs N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+
+def bench_engine_bits(frames: int, record_bits: bool) -> Dict[str, float]:
+    """Simulated bits/sec of one engine pushing ``frames`` frames."""
+    from repro.can.controller import CanController
+    from repro.can.frame import data_frame
+    from repro.simulation.engine import SimulationEngine
+
+    nodes = [CanController(name) for name in ("tx", "r1", "r2")]
+    engine = SimulationEngine(nodes, record_bits=record_bits)
+    for index in range(frames):
+        nodes[0].submit(data_frame(0x100 + (index % 0x200), b"\x55\xaa"))
+    started = time.perf_counter()
+    engine.run_until_idle(max_bits=10_000_000)
+    elapsed = time.perf_counter() - started
+    return {
+        "frames": frames,
+        "bits": engine.time,
+        "seconds": elapsed,
+        "bits_per_sec": engine.time / elapsed if elapsed else float("inf"),
+    }
+
+
+def bench_montecarlo(trials: int, jobs: int) -> Dict[str, float]:
+    """Trials/sec of the tail-window Monte-Carlo workload (E-MC)."""
+    from repro.analysis.montecarlo import monte_carlo_tail
+
+    started = time.perf_counter()
+    monte_carlo_tail("can", n_nodes=3, ber_star=0.08, trials=trials, seed=7, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return {
+        "trials": trials,
+        "jobs": jobs,
+        "seconds": elapsed,
+        "trials_per_sec": trials / elapsed if elapsed else float("inf"),
+    }
+
+
+def bench_verify(max_flips: int, jobs: int) -> Dict[str, float]:
+    """Placements/sec of the bounded exhaustive verification (E-VER)."""
+    from repro.analysis.verification import verify_consistency
+
+    started = time.perf_counter()
+    result = verify_consistency("can", m=5, n_nodes=3, max_flips=max_flips, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return {
+        "placements": result.runs,
+        "jobs": jobs,
+        "seconds": elapsed,
+        "placements_per_sec": result.runs / elapsed if elapsed else float("inf"),
+    }
+
+
+def _speedup(base: float, fast: float) -> float:
+    return fast / base if base else float("inf")
+
+
+def run_harness(jobs: int, smoke: bool) -> Dict:
+    """Run every benchmark and assemble the report dict."""
+    from repro.parallel.pool import cpu_count
+
+    frames = 8 if smoke else 60
+    trials = 32 if smoke else 256
+    flips = 1 if smoke else 2
+
+    recorded = bench_engine_bits(frames, record_bits=True)
+    fast = bench_engine_bits(frames, record_bits=False)
+    mc_serial = bench_montecarlo(trials, jobs=1)
+    mc_parallel = bench_montecarlo(trials, jobs=jobs)
+    ver_serial = bench_verify(flips, jobs=1)
+    ver_parallel = bench_verify(flips, jobs=jobs)
+
+    return {
+        "bench": "PR1 parallel trial execution + bit-loop fast path",
+        "smoke": smoke,
+        "host": {
+            "cpu_count": cpu_count(),
+            "python": sys.version.split()[0],
+            "note": "parallel speedup is bounded above by cpu_count; "
+            "the determinism contract (jobs=1 == jobs=N) holds regardless",
+        },
+        "engine": {
+            "recorded": recorded,
+            "fast_path": fast,
+            "fast_path_speedup": _speedup(
+                recorded["bits_per_sec"], fast["bits_per_sec"]
+            ),
+        },
+        "montecarlo": {
+            "serial": mc_serial,
+            "parallel": mc_parallel,
+            "speedup": _speedup(
+                mc_serial["trials_per_sec"], mc_parallel["trials_per_sec"]
+            ),
+        },
+        "verify": {
+            "serial": ver_serial,
+            "parallel": ver_parallel,
+            "speedup": _speedup(
+                ver_serial["placements_per_sec"],
+                ver_parallel["placements_per_sec"],
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="worker count for the parallel runs"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny counts — exercises every path in seconds (used by CI)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_PR1.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_harness(jobs=args.jobs, smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    print("engine     : %8.0f bits/s recorded, %8.0f bits/s fast path (x%.2f)" % (
+        report["engine"]["recorded"]["bits_per_sec"],
+        report["engine"]["fast_path"]["bits_per_sec"],
+        report["engine"]["fast_path_speedup"],
+    ))
+    print("montecarlo : %8.1f trials/s serial, %8.1f trials/s at jobs=%d (x%.2f)" % (
+        report["montecarlo"]["serial"]["trials_per_sec"],
+        report["montecarlo"]["parallel"]["trials_per_sec"],
+        args.jobs,
+        report["montecarlo"]["speedup"],
+    ))
+    print("verify     : %8.1f placements/s serial, %8.1f at jobs=%d (x%.2f)" % (
+        report["verify"]["serial"]["placements_per_sec"],
+        report["verify"]["parallel"]["placements_per_sec"],
+        args.jobs,
+        report["verify"]["speedup"],
+    ))
+    print("report     : %s (cpu_count=%d)" % (args.out, report["host"]["cpu_count"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,12 +28,17 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.can.fields import EOF
-from repro.can.frame import data_frame
 from repro.errors import AnalysisError
-from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
-from repro.faults.scenarios import make_controller, run_single_frame_scenario
-from repro.simulation.rng import SeedLike, make_rng
+from repro.faults.scenarios import make_controller
+from repro.parallel.pool import run_tasks
+from repro.parallel.seeds import chunk_sizes, spawn_seeds
+from repro.parallel.tasks import ChunkCounts, MonteCarloFullChunk, MonteCarloTailChunk
+from repro.simulation.rng import SeedLike
+
+#: Trials per task chunk.  Fixed regardless of ``jobs`` so the seed
+#: spawn tree — and therefore every aggregate count — is identical for
+#: serial and parallel runs of the same seed.
+CHUNK_TRIALS = 32
 
 
 @dataclass
@@ -80,27 +85,16 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
     return (max(0.0, centre - half), min(1.0, centre + half))
 
 
-def _classify_trial(
-    protocol: str,
-    m: int,
-    node_names: List[str],
-    faults: List[ViewFault],
-    result: MonteCarloResult,
-) -> None:
-    nodes = [make_controller(protocol, name, m=m) for name in node_names]
-    outcome = run_single_frame_scenario(
-        "mc",
-        nodes,
-        ScriptedInjector(view_faults=faults),
-        frame=data_frame(0x123, b"\x55", message_id="m"),
-        record_bits=False,
-    )
-    if outcome.inconsistent_omission:
-        result.imo += 1
-    if outcome.double_reception:
-        result.double_reception += 1
-    if not outcome.consistent:
-        result.inconsistent += 1
+def _merge_counts(trials: int, parts: List[ChunkCounts]) -> MonteCarloResult:
+    """Fold per-chunk counts (merged in chunk order) into one result."""
+    result = MonteCarloResult(trials=trials)
+    for part in parts:
+        result.imo += part.imo
+        result.double_reception += part.double_reception
+        result.inconsistent += part.inconsistent
+        result.no_fault_trials += part.no_fault_trials
+        result.flips_total += part.flips_total
+    return result
 
 
 def monte_carlo_tail(
@@ -111,6 +105,8 @@ def monte_carlo_tail(
     window: int = 2,
     m: int = 5,
     seed: SeedLike = None,
+    jobs: Optional[int] = 1,
+    chunk_trials: int = CHUNK_TRIALS,
 ) -> MonteCarloResult:
     """Sample tail-window error patterns and classify them by simulation.
 
@@ -118,34 +114,38 @@ def monte_carlo_tail(
     :func:`repro.analysis.enumeration.enumerate_tail_patterns`, so the
     estimate converges to that module's conditional exact probability
     (restricted to the window, i.e. without the clean-elsewhere factor).
+
+    Trials are split into fixed-size chunks, each with its own spawned
+    child seed, and fanned out over ``jobs`` workers; the same chunking
+    runs inline at ``jobs=1``, so the counts are identical either way.
     """
     if n_nodes < 2:
         raise AnalysisError("need at least two nodes")
-    rng = make_rng(seed)
     probe = make_controller(protocol, "probe", m=m)
     eof_length = probe.config.eof_length
     if window > eof_length:
         raise AnalysisError("window exceeds the EOF length")
-    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
-    sites = [
+    node_names = tuple(["tx"] + ["r%d" % i for i in range(1, n_nodes)])
+    sites = tuple(
         (name, eof_length - window + offset)
         for name in node_names
         for offset in range(window)
+    )
+    sizes = chunk_sizes(trials, chunk_trials)
+    children = spawn_seeds(seed, len(sizes))
+    tasks = [
+        MonteCarloTailChunk(
+            protocol=protocol,
+            m=m,
+            node_names=node_names,
+            sites=sites,
+            ber_star=ber_star,
+            trials=size,
+            seed=child,
+        )
+        for size, child in zip(sizes, children)
     ]
-    result = MonteCarloResult(trials=trials)
-    for _ in range(trials):
-        draws = rng.random(len(sites))
-        faults = [
-            ViewFault(name, Trigger(field=EOF, index=index), force=None)
-            for (name, index), draw in zip(sites, draws)
-            if draw < ber_star
-        ]
-        result.flips_total += len(faults)
-        if not faults:
-            result.no_fault_trials += 1
-            continue
-        _classify_trial(protocol, m, node_names, faults, result)
-    return result
+    return _merge_counts(trials, run_tasks(tasks, jobs))
 
 
 def monte_carlo_full(
@@ -156,34 +156,31 @@ def monte_carlo_full(
     m: int = 5,
     payload: bytes = b"",
     seed: SeedLike = None,
+    jobs: Optional[int] = 1,
+    chunk_trials: int = CHUNK_TRIALS,
 ) -> MonteCarloResult:
     """Unrestricted per-bit view errors over whole single-frame runs.
 
     Uses :class:`repro.faults.bit_errors.RandomViewErrorInjector`
     directly, so errors can hit arbitration, data, CRC, flags and
-    delimiters — everything the protocol machinery covers.
+    delimiters — everything the protocol machinery covers.  Chunked and
+    seeded like :func:`monte_carlo_tail`: ``jobs`` never changes the
+    counts, only the wall-clock time.
     """
-    from repro.faults.bit_errors import RandomViewErrorInjector
-
-    rng = make_rng(seed)
-    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
-    result = MonteCarloResult(trials=trials)
-    for _ in range(trials):
-        nodes = [make_controller(protocol, name, m=m) for name in node_names]
-        injector = RandomViewErrorInjector(ber_star, seed=rng)
-        outcome = run_single_frame_scenario(
-            "mc-full",
-            nodes,
-            injector,  # type: ignore[arg-type]
-            frame=data_frame(0x123, payload, message_id="m"),
-            record_bits=False,
+    node_names = tuple(["tx"] + ["r%d" % i for i in range(1, n_nodes)])
+    sizes = chunk_sizes(trials, chunk_trials)
+    children = spawn_seeds(seed, len(sizes))
+    tasks = [
+        MonteCarloFullChunk(
+            protocol=protocol,
+            m=m,
+            node_names=node_names,
+            ber_star=ber_star,
+            trials=size,
+            payload=payload,
             max_bits=60000,
+            seed=child,
         )
-        result.flips_total += injector.injected
-        if outcome.inconsistent_omission:
-            result.imo += 1
-        if outcome.double_reception:
-            result.double_reception += 1
-        if not outcome.consistent:
-            result.inconsistent += 1
-    return result
+        for size, child in zip(sizes, children)
+    ]
+    return _merge_counts(trials, run_tasks(tasks, jobs))

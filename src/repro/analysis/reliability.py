@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.probability import (
     p_new_scenario_per_frame,
@@ -28,6 +28,8 @@ from repro.analysis.probability import (
 )
 from repro.analysis.rates import incidents_per_hour
 from repro.errors import AnalysisError
+from repro.parallel.pool import run_tasks
+from repro.parallel.tasks import ReliabilityTask
 from repro.workload.profiles import PAPER_PROFILE, NetworkProfile
 
 
@@ -96,6 +98,28 @@ def reliability_comparison(
             )
         )
     return rows
+
+
+def reliability_sweep(
+    ber_values: Sequence[float],
+    mission_hours: Sequence[float] = (1.0, 1000.0, 100000.0),
+    profile: NetworkProfile = PAPER_PROFILE,
+    jobs: Optional[int] = 1,
+) -> Dict[float, List[ReliabilityRow]]:
+    """:func:`reliability_comparison` over many bit-error rates.
+
+    Each BER point is an independent task on the worker pool; the
+    returned mapping preserves the order of ``ber_values`` and is
+    identical for any ``jobs``.
+    """
+    tasks = [
+        ReliabilityTask(
+            ber=ber, mission_hours=tuple(mission_hours), profile=profile
+        )
+        for ber in ber_values
+    ]
+    results = run_tasks(tasks, jobs)
+    return dict(zip(ber_values, results))
 
 
 def hours_to_reliability(rate_per_hour: float, target: float) -> float:

@@ -30,6 +30,8 @@ from repro.analysis.probability import (
 from repro.analysis.rates import incidents_per_hour
 from repro.analysis.verification import header_sites, verify_consistency
 from repro.errors import AnalysisError
+from repro.parallel.pool import run_tasks
+from repro.parallel.tasks import AblationRowTask
 from repro.workload.profiles import PAPER_PROFILE, NetworkProfile
 
 
@@ -142,11 +144,44 @@ class MAblationRow:
     f1_channel_closed: Optional[bool]
 
 
+def ablation_row(
+    m: int,
+    tail_flips: int = 1,
+    check_f1: bool = True,
+    n_nodes: int = 3,
+) -> MAblationRow:
+    """Compute one m-value row of the ablation (worker-side entry)."""
+    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
+    tail = verify_consistency(
+        "majorcan", m=m, n_nodes=n_nodes, max_flips=tail_flips
+    )
+    f1_closed: Optional[bool] = None
+    if check_f1:
+        f1 = verify_consistency(
+            "majorcan",
+            m=m,
+            n_nodes=n_nodes,
+            max_flips=1,
+            extra_sites=header_sites(node_names, data_bits=0),
+            include_window=True,
+        )
+        f1_closed = f1.holds
+    return MAblationRow(
+        m=m,
+        best_case_bits=best_case_overhead_bits(m),
+        worst_case_bits=worst_case_overhead_bits(m),
+        tail_errors_verified=tail.runs,
+        tail_consistent=tail.holds,
+        f1_channel_closed=f1_closed,
+    )
+
+
 def m_ablation(
     m_values: Sequence[int] = (3, 4, 5, 6, 7),
     tail_flips: int = 1,
     check_f1: bool = True,
     n_nodes: int = 3,
+    jobs: Optional[int] = 1,
 ) -> List[MAblationRow]:
     """Ablate the choice of m (the paper proposes m = 5).
 
@@ -155,32 +190,15 @@ def m_ablation(
     errors, and whether the finding-F1 desynchronisation channel is
     closed (requires the node's 6-bit flag, starting six bits after
     the ACK slot, to land in the *first* sub-field: m >= 6).
+
+    The per-m rows are independent, so ``jobs > 1`` computes them on
+    the worker pool (one task per m; each task's verification runs
+    serially to avoid nested pools).  Row order follows ``m_values``.
     """
-    rows = []
-    node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
-    for m in m_values:
-        tail = verify_consistency(
-            "majorcan", m=m, n_nodes=n_nodes, max_flips=tail_flips
+    tasks = [
+        AblationRowTask(
+            m=m, tail_flips=tail_flips, check_f1=check_f1, n_nodes=n_nodes
         )
-        f1_closed: Optional[bool] = None
-        if check_f1:
-            f1 = verify_consistency(
-                "majorcan",
-                m=m,
-                n_nodes=n_nodes,
-                max_flips=1,
-                extra_sites=header_sites(node_names, data_bits=0),
-                include_window=True,
-            )
-            f1_closed = f1.holds
-        rows.append(
-            MAblationRow(
-                m=m,
-                best_case_bits=best_case_overhead_bits(m),
-                worst_case_bits=worst_case_overhead_bits(m),
-                tail_errors_verified=tail.runs,
-                tail_consistent=tail.holds,
-                f1_channel_closed=f1_closed,
-            )
-        )
-    return rows
+        for m in m_values
+    ]
+    return run_tasks(tasks, jobs)

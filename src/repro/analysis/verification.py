@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.can.fields import (
     ACK_DELIM,
@@ -37,9 +37,16 @@ from repro.can.frame import data_frame
 from repro.errors import AnalysisError
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.faults.scenarios import make_controller, run_single_frame_scenario
+from repro.parallel.pool import effective_jobs, run_tasks
+from repro.parallel.tasks import VerificationChunk
 
 #: A fault site: (node name, field label, index within the field).
 Site = Tuple[str, str, int]
+
+#: Flip placements per task chunk on the parallel path.  The placement
+#: enumeration order is fixed, so chunking only partitions it; results
+#: merged in chunk order are identical to the serial sweep.
+CHUNK_PLACEMENTS = 64
 
 
 @dataclass(frozen=True)
@@ -141,6 +148,8 @@ def verify_consistency(
     include_window: bool = True,
     stop_at_first: bool = False,
     payload: bytes = b"\x55",
+    jobs: Optional[int] = 1,
+    chunk_placements: int = CHUNK_PLACEMENTS,
 ) -> VerificationResult:
     """Exhaustively explore every ≤ ``max_flips`` placement of view
     errors over the chosen site universe.
@@ -149,6 +158,12 @@ def verify_consistency(
     inconsistent: some live node delivers the frame a different number
     of times than another (inconsistent omission), or any node delivers
     it twice (double reception).
+
+    ``jobs > 1`` partitions the (fixed, deterministic) placement
+    enumeration into chunks and explores them on a worker pool; the
+    counterexample list and run count are identical to the serial
+    sweep.  ``stop_at_first`` keeps the serial early-exit semantics and
+    therefore always runs inline.
     """
     if n_nodes < 2:
         raise AnalysisError("need a transmitter and at least one receiver")
@@ -172,48 +187,79 @@ def verify_consistency(
         max_flips=max_flips,
         site_count=len(sites),
     )
-    for size in range(1, max_flips + 1):
-        for combo in itertools.combinations(sites, size):
-            outcome = _run_placement(protocol, m, node_names, combo, payload)
+    combos = itertools.chain.from_iterable(
+        itertools.combinations(sites, size) for size in range(1, max_flips + 1)
+    )
+    if stop_at_first or effective_jobs(jobs) == 1:
+        for combo in combos:
             result.runs += 1
-            kind = None
-            if outcome.inconsistent_omission:
-                kind = "imo"
-            elif outcome.double_reception:
-                kind = "double"
-            elif not outcome.consistent:
-                kind = "inconsistent"
-            if kind is not None:
-                result.counterexamples.append(
-                    Counterexample(
-                        sites=tuple(combo),
-                        deliveries=tuple(sorted(outcome.deliveries.items())),
-                        attempts=outcome.attempts,
-                        kind=kind,
-                    )
-                )
+            hit = classify_placement(protocol, m, node_names, combo, payload)
+            if hit is not None:
+                result.counterexamples.append(Counterexample(*hit))
                 if stop_at_first:
                     return result
+        return result
+    tasks = (
+        VerificationChunk(
+            protocol=protocol,
+            m=m,
+            node_names=tuple(node_names),
+            combos=tuple(chunk),
+            payload=payload,
+        )
+        for chunk in _chunked(combos, chunk_placements)
+    )
+    for part in run_tasks(tasks, jobs):
+        result.runs += part.runs
+        result.counterexamples.extend(Counterexample(*hit) for hit in part.hits)
     return result
 
 
-def _run_placement(
+def _chunked(combos: Iterator, size: int) -> Iterator[List]:
+    while True:
+        chunk = list(itertools.islice(combos, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def classify_placement(
     protocol: str,
     m: int,
     node_names: Sequence[str],
     combo: Sequence[Site],
     payload: bytes,
-):
+) -> Optional[Tuple]:
+    """Simulate one flip placement; return Counterexample args or None.
+
+    Returns plain picklable data (not a :class:`Counterexample`) so the
+    worker side of :class:`repro.parallel.tasks.VerificationChunk` can
+    ship results across the process boundary cheaply.
+    """
     nodes = [make_controller(protocol, name, m=m) for name in node_names]
     faults = [
         ViewFault(name, Trigger(field=field_name, index=index), force=None)
         for name, field_name, index in combo
     ]
-    return run_single_frame_scenario(
+    outcome = run_single_frame_scenario(
         "verify",
         nodes,
         ScriptedInjector(view_faults=faults),
         frame=data_frame(0x123, payload, message_id="m"),
         record_bits=False,
         max_bits=60000,
+    )
+    if outcome.inconsistent_omission:
+        kind = "imo"
+    elif outcome.double_reception:
+        kind = "double"
+    elif not outcome.consistent:
+        kind = "inconsistent"
+    else:
+        return None
+    return (
+        tuple(combo),
+        tuple(sorted(outcome.deliveries.items())),
+        outcome.attempts,
+        kind,
     )

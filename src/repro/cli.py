@@ -115,6 +115,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         ber_star=args.ber_star,
         trials=args.trials,
         seed=args.seed,
+        jobs=args.jobs,
     )
     low, high = result.imo_confidence_interval()
     print("trials=%d flips=%d" % (result.trials, result.flips_total))
@@ -135,6 +136,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.metrics.report import render_table
 
     outcomes = compare_protocols(
+        jobs=args.jobs,
         rounds=args.rounds,
         attack_probability=args.attack,
         noise_ber_star=args.noise,
@@ -159,20 +161,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
-    from repro.analysis.reliability import reliability_comparison
+    from repro.analysis.reliability import reliability_sweep
 
-    rows = reliability_comparison(args.ber, mission_hours=(1.0, 8760.0))
-    print("Channel-error IMO reliability at ber=%.0e (paper profile):" % args.ber)
-    for row in rows:
-        print(
-            "  %-9s rate=%.3e /h  MTTF=%s h  P(survive 1 year)=%.6f"
-            % (
-                row.protocol,
-                row.imo_rate_per_hour,
-                "inf" if row.mttf_hours == float("inf") else "%.3e" % row.mttf_hours,
-                row.mission_survival[8760.0],
+    ber_values = args.bers if args.bers else [args.ber]
+    sweep = reliability_sweep(
+        ber_values, mission_hours=(1.0, 8760.0), jobs=args.jobs
+    )
+    for ber, rows in sweep.items():
+        print("Channel-error IMO reliability at ber=%.0e (paper profile):" % ber)
+        for row in rows:
+            print(
+                "  %-9s rate=%.3e /h  MTTF=%s h  P(survive 1 year)=%.6f"
+                % (
+                    row.protocol,
+                    row.imo_rate_per_hour,
+                    "inf" if row.mttf_hours == float("inf") else "%.3e" % row.mttf_hours,
+                    row.mission_survival[8760.0],
+                )
             )
-        )
     return 0
 
 
@@ -180,7 +186,9 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import m_ablation, omission_degree_revision
     from repro.metrics.report import render_table
 
-    rows = m_ablation(m_values=tuple(args.m_values), tail_flips=args.flips)
+    rows = m_ablation(
+        m_values=tuple(args.m_values), tail_flips=args.flips, jobs=args.jobs
+    )
     print(
         render_table(
             [
@@ -220,6 +228,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         max_flips=args.flips,
         extra_sites=extra,
+        jobs=args.jobs,
     )
     print(result.summary())
     for counterexample in result.counterexamples[:20]:
@@ -227,6 +236,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if len(result.counterexamples) > 20:
         print("  ... and %d more" % (len(result.counterexamples) - 20))
     return 0 if result.holds else 1
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or 1; -1 = all CPUs); "
+        "results are identical for any value",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,10 +292,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attack", type=float, default=0.3)
     p.add_argument("--noise", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=7)
+    _add_jobs(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("reliability", help="mission reliability comparison")
     p.add_argument("--ber", type=float, default=1e-4)
+    p.add_argument(
+        "--bers",
+        type=float,
+        nargs="+",
+        default=None,
+        help="sweep several bit-error rates (overrides --ber)",
+    )
+    _add_jobs(p)
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("ablation", help="m-choice ablation and CAN6' revision")
@@ -288,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="m_values",
     )
     p.add_argument("--flips", type=int, default=1)
+    _add_jobs(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser(
@@ -302,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add DLC/DATA sites (exposes finding F1)",
     )
+    _add_jobs(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("montecarlo", help="stochastic model validation")
@@ -310,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=500)
     p.add_argument("--ber-star", type=float, default=0.05, dest="ber_star")
     p.add_argument("--seed", type=int, default=None)
+    _add_jobs(p)
     p.set_defaults(func=_cmd_montecarlo)
 
     return parser

@@ -25,8 +25,15 @@ from repro.faults.injector import (
     ViewFault,
 )
 from repro.faults.scenarios import make_controller
+from repro.parallel.pool import run_tasks
+from repro.parallel.seeds import chunk_sizes, spawn_seeds
+from repro.parallel.tasks import CampaignRoundsChunk
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.rng import SeedLike, make_rng
+from repro.simulation.rng import SeedLike
+
+#: Rounds per task chunk (fixed regardless of ``jobs``; see
+#: :mod:`repro.parallel`).
+CHUNK_ROUNDS = 8
 
 
 @dataclass(frozen=True)
@@ -84,38 +91,80 @@ class CampaignOutcome:
         }
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignOutcome:
-    """Run the campaign described by ``spec``."""
-    rng = make_rng(spec.seed)
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: Optional[int] = 1,
+    chunk_rounds: int = CHUNK_ROUNDS,
+) -> CampaignOutcome:
+    """Run the campaign described by ``spec``.
+
+    Every round gets its own child seed spawned from ``spec.seed``, so
+    the attack schedule (and each round's noise stream) depends only on
+    the seed and the round index — never on the protocol under test or
+    on how many workers executed the rounds.  ``jobs > 1`` fans chunks
+    of rounds out over the worker pool with identical results.
+    """
     outcome = CampaignOutcome(spec=spec)
-    node_names = ["critical"] + ["bg%d" % i for i in range(1, spec.n_nodes)]
-    for round_index in range(spec.rounds):
-        attacked = bool(rng.random() < spec.attack_probability)
-        victim = node_names[1 + int(rng.integers(0, spec.n_nodes - 1))]
-        counts, injected = _run_round(spec, node_names, attacked, victim, rng)
-        outcome.rounds += 1
-        outcome.attacked_rounds += int(attacked)
-        outcome.errors_injected += injected
-        if any(count == 0 for count in counts) and any(count > 0 for count in counts):
-            outcome.omissions += 1
-            outcome.omission_rounds.append(round_index)
-        elif any(count > 1 for count in counts):
-            outcome.duplications += 1
-        else:
-            outcome.consistent += 1
+    children = spawn_seeds(spec.seed, spec.rounds)
+    tasks = []
+    start = 0
+    for size in chunk_sizes(spec.rounds, chunk_rounds):
+        tasks.append(
+            CampaignRoundsChunk(
+                protocol=spec.protocol,
+                m=spec.m,
+                n_nodes=spec.n_nodes,
+                attack_probability=spec.attack_probability,
+                noise_ber_star=spec.noise_ber_star,
+                background_frames=spec.background_frames,
+                rounds=tuple(
+                    (index, children[index])
+                    for index in range(start, start + size)
+                ),
+            )
+        )
+        start += size
+    for chunk_results in run_tasks(tasks, jobs):
+        for round_index, attacked, category, injected in chunk_results:
+            outcome.rounds += 1
+            outcome.attacked_rounds += int(attacked)
+            outcome.errors_injected += injected
+            if category == "imo":
+                outcome.omissions += 1
+                outcome.omission_rounds.append(round_index)
+            elif category == "double":
+                outcome.duplications += 1
+            else:
+                outcome.consistent += 1
     return outcome
 
 
-def _run_round(
-    spec: CampaignSpec,
+def classify_counts(counts: Sequence[int]) -> str:
+    """Classify one round's delivery counts: imo, double or consistent."""
+    if any(count == 0 for count in counts) and any(count > 0 for count in counts):
+        return "imo"
+    if any(count > 1 for count in counts):
+        return "double"
+    return "consistent"
+
+
+def run_round(
+    protocol: str,
+    m: int,
     node_names: Sequence[str],
+    background_frames: int,
+    noise_ber_star: float,
     attacked: bool,
     victim: str,
     rng,
 ):
-    controllers = [
-        make_controller(spec.protocol, name, m=spec.m) for name in node_names
-    ]
+    """Execute one campaign round; returns (delivery counts, injected).
+
+    Pure function of its arguments (including the generator state) so
+    :class:`repro.parallel.tasks.CampaignRoundsChunk` can run rounds in
+    worker processes.
+    """
+    controllers = [make_controller(protocol, name, m=m) for name in node_names]
     eof_last = controllers[0].config.eof_length - 1
     faults = []
     if attacked:
@@ -128,14 +177,14 @@ def _run_round(
     scripted = ScriptedInjector(view_faults=faults)
     injector = scripted
     noise: Optional[RandomViewErrorInjector] = None
-    if spec.noise_ber_star > 0.0:
-        noise = RandomViewErrorInjector(spec.noise_ber_star, seed=rng)
+    if noise_ber_star > 0.0:
+        noise = RandomViewErrorInjector(noise_ber_star, seed=rng)
         injector = CompositeInjector([scripted, noise])
     engine = SimulationEngine(controllers, injector=injector, record_bits=False)
     command = data_frame(0x010, b"\xc0\x01", message_id="critical")
     controllers[0].submit(command)
     for index, controller in enumerate(controllers[1:], start=1):
-        for seq in range(spec.background_frames):
+        for seq in range(background_frames):
             controller.submit(
                 data_frame(0x100 + index, bytes([index, seq]))
             )
@@ -161,10 +210,11 @@ def _run_round(
 
 def compare_protocols(
     protocols: Sequence[str] = ("can", "minorcan", "majorcan"),
+    jobs: Optional[int] = 1,
     **spec_kwargs: object,
 ) -> List[CampaignOutcome]:
     """Run the same campaign (same seed) for several protocols."""
     return [
-        run_campaign(CampaignSpec(protocol=protocol, **spec_kwargs))  # type: ignore[arg-type]
+        run_campaign(CampaignSpec(protocol=protocol, **spec_kwargs), jobs=jobs)  # type: ignore[arg-type]
         for protocol in protocols
     ]

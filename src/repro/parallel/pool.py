@@ -1,0 +1,79 @@
+"""The worker pool: fan picklable tasks out over processes.
+
+``run_tasks`` is the single entry point the analysis layer uses.  Its
+contract:
+
+* ``jobs=1`` executes tasks inline in submission order — byte-for-byte
+  the serial behaviour, with no ``multiprocessing`` machinery touched;
+* ``jobs>1`` maps the same tasks over a process pool, *preserving
+  submission order* in the returned results, so merging partial results
+  is identical either way;
+* if a pool cannot be created (sandboxes without semaphore support,
+  restricted platforms), it silently falls back to the serial path —
+  the results are the same, only slower.
+
+``jobs=None``/``0`` resolves through ``REPRO_JOBS`` (then 1) and a
+negative ``jobs`` means "all visible CPUs".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, List, Optional
+
+from repro.parallel.tasks import execute
+
+
+def cpu_count() -> int:
+    """Number of CPUs this process may actually use."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``jobs`` request to a concrete worker count.
+
+    ``None``/``0`` consult the ``REPRO_JOBS`` environment variable and
+    default to 1 (serial); negative values mean every visible CPU.
+    """
+    if jobs is None or jobs == 0:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = 1
+        else:
+            jobs = 1
+    if jobs < 0:
+        jobs = cpu_count()
+    return max(1, jobs)
+
+
+def run_tasks(tasks: Iterable, jobs: Optional[int] = None, chunksize: int = 1) -> List:
+    """Execute ``tasks`` and return their results in submission order.
+
+    ``tasks`` may be any iterable of objects with a ``run()`` method
+    (see :mod:`repro.parallel.tasks`); generators are consumed lazily
+    on the parallel path via ``imap``.
+    """
+    workers = effective_jobs(jobs)
+    if workers == 1:
+        return [execute(task) for task in tasks]
+    task_list = tasks if isinstance(tasks, (list, tuple)) else None
+    try:
+        context = multiprocessing.get_context()
+        pool = context.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError, ValueError):
+        # No process support here (e.g. sandboxed semaphores): degrade
+        # gracefully — same results, serial execution.
+        return [execute(task) for task in (task_list if task_list is not None else tasks)]
+    try:
+        source = task_list if task_list is not None else tasks
+        return list(pool.imap(execute, source, chunksize))
+    finally:
+        pool.close()
+        pool.join()

@@ -1,0 +1,266 @@
+"""Picklable task specs for the worker pool.
+
+Each task describes one *chunk* of independent trials — everything a
+worker needs (protocol, m, node set, fault universe, child seed) as
+plain picklable data — and implements ``run()`` returning an equally
+picklable partial result.  The parent merges partial results in chunk
+order, which together with :mod:`repro.parallel.seeds` makes the
+aggregate independent of the worker count.
+
+The heavy domain modules are imported lazily inside ``run()`` so this
+module stays import-light in the parent and avoids import cycles with
+the analysis layer (which imports the task classes to build chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.parallel.seeds import ChildSeed, rng_from
+
+#: A fault site as used by the verification universe.
+Site = Tuple[str, str, int]
+
+
+def execute(task):
+    """Run one task (the pool's map function — must be module level)."""
+    return task.run()
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo chunks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChunkCounts:
+    """Additive partial classification counts of one Monte-Carlo chunk."""
+
+    trials: int = 0
+    imo: int = 0
+    double_reception: int = 0
+    inconsistent: int = 0
+    no_fault_trials: int = 0
+    flips_total: int = 0
+
+    def absorb_outcome(self, outcome) -> None:
+        """Fold one :class:`ScenarioOutcome` classification in."""
+        if outcome.inconsistent_omission:
+            self.imo += 1
+        if outcome.double_reception:
+            self.double_reception += 1
+        if not outcome.consistent:
+            self.inconsistent += 1
+
+
+@dataclass(frozen=True)
+class MonteCarloTailChunk:
+    """A chunk of tail-window Monte-Carlo trials (experiment E-MC)."""
+
+    protocol: str
+    m: int
+    node_names: Tuple[str, ...]
+    sites: Tuple[Tuple[str, int], ...]  # (node name, EOF index)
+    ber_star: float
+    trials: int
+    seed: ChildSeed
+
+    def run(self) -> ChunkCounts:
+        from repro.can.fields import EOF
+        from repro.can.frame import data_frame
+        from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+        from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+        rng = rng_from(self.seed)
+        counts = ChunkCounts(trials=self.trials)
+        for _ in range(self.trials):
+            draws = rng.random(len(self.sites))
+            faults = [
+                ViewFault(name, Trigger(field=EOF, index=index), force=None)
+                for (name, index), draw in zip(self.sites, draws)
+                if draw < self.ber_star
+            ]
+            counts.flips_total += len(faults)
+            if not faults:
+                counts.no_fault_trials += 1
+                continue
+            nodes = [
+                make_controller(self.protocol, name, m=self.m)
+                for name in self.node_names
+            ]
+            outcome = run_single_frame_scenario(
+                "mc",
+                nodes,
+                ScriptedInjector(view_faults=faults),
+                frame=data_frame(0x123, b"\x55", message_id="m"),
+                record_bits=False,
+            )
+            counts.absorb_outcome(outcome)
+        return counts
+
+
+@dataclass(frozen=True)
+class MonteCarloFullChunk:
+    """A chunk of whole-frame random-view-error Monte-Carlo trials."""
+
+    protocol: str
+    m: int
+    node_names: Tuple[str, ...]
+    ber_star: float
+    trials: int
+    payload: bytes
+    max_bits: int
+    seed: ChildSeed
+
+    def run(self) -> ChunkCounts:
+        from repro.can.frame import data_frame
+        from repro.faults.bit_errors import RandomViewErrorInjector
+        from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+        rng = rng_from(self.seed)
+        counts = ChunkCounts(trials=self.trials)
+        for _ in range(self.trials):
+            nodes = [
+                make_controller(self.protocol, name, m=self.m)
+                for name in self.node_names
+            ]
+            injector = RandomViewErrorInjector(self.ber_star, seed=rng)
+            outcome = run_single_frame_scenario(
+                "mc-full",
+                nodes,
+                injector,  # type: ignore[arg-type]
+                frame=data_frame(0x123, self.payload, message_id="m"),
+                record_bits=False,
+                max_bits=self.max_bits,
+            )
+            counts.flips_total += injector.injected
+            counts.absorb_outcome(outcome)
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# Bounded exhaustive verification chunks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VerificationChunkResult:
+    """Partial result of one chunk of flip placements."""
+
+    runs: int = 0
+    #: (sites, sorted deliveries, attempts, kind) per broken placement.
+    hits: List[Tuple[Tuple[Site, ...], Tuple[Tuple[str, int], ...], int, str]] = field(
+        default_factory=list
+    )
+
+
+@dataclass(frozen=True)
+class VerificationChunk:
+    """A chunk of exhaustive ≤ max_flips placements (experiment E-VER)."""
+
+    protocol: str
+    m: int
+    node_names: Tuple[str, ...]
+    combos: Tuple[Tuple[Site, ...], ...]
+    payload: bytes
+
+    def run(self) -> VerificationChunkResult:
+        from repro.analysis.verification import classify_placement
+
+        result = VerificationChunkResult()
+        for combo in self.combos:
+            result.runs += 1
+            hit = classify_placement(
+                self.protocol, self.m, self.node_names, combo, self.payload
+            )
+            if hit is not None:
+                result.hits.append(hit)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Fault-campaign chunks
+# ---------------------------------------------------------------------------
+
+#: (round index, attacked, category in {"imo", "double", "consistent"},
+#: errors injected) — one entry per campaign round.
+RoundResult = Tuple[int, bool, str, int]
+
+
+@dataclass(frozen=True)
+class CampaignRoundsChunk:
+    """A chunk of independent campaign rounds, one child seed each."""
+
+    protocol: str
+    m: int
+    n_nodes: int
+    attack_probability: float
+    noise_ber_star: float
+    background_frames: int
+    rounds: Tuple[Tuple[int, ChildSeed], ...]
+
+    def run(self) -> List[RoundResult]:
+        from repro.faults.campaigns import classify_counts, run_round
+
+        results: List[RoundResult] = []
+        node_names = ["critical"] + ["bg%d" % i for i in range(1, self.n_nodes)]
+        for round_index, child in self.rounds:
+            rng = rng_from(child)
+            attacked = bool(rng.random() < self.attack_probability)
+            victim = node_names[1 + int(rng.integers(0, self.n_nodes - 1))]
+            counts, injected = run_round(
+                protocol=self.protocol,
+                m=self.m,
+                node_names=node_names,
+                background_frames=self.background_frames,
+                noise_ber_star=self.noise_ber_star,
+                attacked=attacked,
+                victim=victim,
+                rng=rng,
+            )
+            results.append(
+                (round_index, attacked, classify_counts(counts), injected)
+            )
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Sweep / reliability tasks (one row each — coarse-grained fan-out)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AblationRowTask:
+    """One m-value row of the m-choice ablation (experiment E-ABL)."""
+
+    m: int
+    tail_flips: int
+    check_f1: bool
+    n_nodes: int
+
+    def run(self):
+        from repro.analysis.sweeps import ablation_row
+
+        return ablation_row(
+            m=self.m,
+            tail_flips=self.tail_flips,
+            check_f1=self.check_f1,
+            n_nodes=self.n_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class ReliabilityTask:
+    """The protocol-comparison rows for one bit-error rate."""
+
+    ber: float
+    mission_hours: Tuple[float, ...]
+    profile: object  # NetworkProfile (a picklable dataclass)
+
+    def run(self):
+        from repro.analysis.reliability import reliability_comparison
+
+        return reliability_comparison(
+            self.ber, mission_hours=self.mission_hours, profile=self.profile
+        )

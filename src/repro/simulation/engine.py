@@ -19,6 +19,7 @@ time per step, following the model in DESIGN.md:
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.can.bits import Level
@@ -63,9 +64,21 @@ class SimulationEngine:
         self.trace = Trace(record_bits=record_bits)
         self.time = 0
         self._tick_hooks: List[Callable[[int], None]] = []
+        self._nodes_by_name: Dict[str, CanController] = {}
         names = [node.name for node in self.nodes]
         if len(set(names)) != len(names):
             raise SimulationError("node names must be unique: %r" % names)
+        self._nodes_by_name = {node.name: node for node in self.nodes}
+        injector_type = type(self.injector)
+        self._injector_drives = (
+            injector_type.perturb_drive is not FaultInjector.perturb_drive
+        )
+        self._injector_views = (
+            injector_type.perturb_view is not FaultInjector.perturb_view
+        )
+        self._injector_bit_start = (
+            injector_type.on_bit_start is not FaultInjector.on_bit_start
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -73,17 +86,23 @@ class SimulationEngine:
 
     def attach(self, node: CanController) -> CanController:
         """Attach another controller to the bus."""
-        if any(existing.name == node.name for existing in self.nodes):
+        if len(self._nodes_by_name) != len(self.nodes):
+            self._nodes_by_name = {n.name: n for n in self.nodes}
+        if node.name in self._nodes_by_name:
             raise SimulationError("duplicate node name %r" % node.name)
         self.nodes.append(node)
+        self._nodes_by_name[node.name] = node
         return node
 
     def node(self, name: str) -> CanController:
-        """Look up an attached controller by name."""
-        for candidate in self.nodes:
-            if candidate.name == name:
-                return candidate
-        raise SimulationError("no node named %r" % name)
+        """Look up an attached controller by name (O(1) via an index)."""
+        if len(self._nodes_by_name) != len(self.nodes):
+            # self.nodes was mutated directly; rebuild the index.
+            self._nodes_by_name = {n.name: n for n in self.nodes}
+        try:
+            return self._nodes_by_name[name]
+        except KeyError:
+            raise SimulationError("no node named %r" % name)
 
     def add_tick_hook(self, hook: Callable[[int], None]) -> None:
         """Register a callable invoked after every simulated bit time.
@@ -101,6 +120,8 @@ class SimulationEngine:
         """Advance the simulation by one bus bit time."""
         if not self.nodes:
             raise SimulationError("cannot simulate an empty bus")
+        if not self.trace.record_bits:
+            return self._step_fast()
         time = self.time
         self.injector.on_bit_start(time, self.nodes)
         drives: Dict[str, Level] = {}
@@ -130,6 +151,43 @@ class SimulationEngine:
             hook(time)
         self.time += 1
         return bus_level
+
+    def _step_fast(self) -> Level:
+        """One bit time without per-bit dict/record construction.
+
+        Semantically identical to the recording path — same perturb and
+        ``on_bit`` call order per node — but skips the ``drives`` /
+        ``views`` / ``positions`` / ``states`` dicts and the
+        :class:`BitRecord` (which :meth:`Trace.record` would discard
+        anyway), and skips injector calls the injector never overrode.
+        """
+        nodes = self.nodes
+        injector = self.injector
+        time = self.time
+        if self._injector_bit_start:
+            injector.on_bit_start(time, nodes)
+        level = Level.RECESSIVE
+        if self._injector_drives:
+            for node in nodes:
+                node.now = time
+                if injector.perturb_drive(node, time, node.drive()) is Level.DOMINANT:
+                    level = Level.DOMINANT
+        else:
+            for node in nodes:
+                node.now = time
+                if node.drive() is Level.DOMINANT:
+                    level = Level.DOMINANT
+        self.bus.push(level)
+        if self._injector_views:
+            for node in nodes:
+                node.on_bit(injector.perturb_view(node, time, level))
+        else:
+            for node in nodes:
+                node.on_bit(level)
+        for hook in self._tick_hooks:
+            hook(time)
+        self.time += 1
+        return level
 
     def run(self, bits: int) -> None:
         """Advance the simulation by ``bits`` bit times."""
@@ -176,10 +234,16 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def collect_events(self) -> Trace:
-        """Merge all controller events into the trace and return it."""
-        merged: List = []
-        for node in self.nodes:
-            merged.extend(node.events)
-        self.trace.events = []
-        self.trace.add_events(merged)
+        """Merge all controller events into the trace and return it.
+
+        Each controller's event stream is already time-ordered (events
+        are emitted at the monotonically advancing ``now``), so an
+        N-way sorted merge suffices — no full re-sort.
+        """
+        self.trace.events = list(
+            heapq.merge(
+                *(node.events for node in self.nodes),
+                key=lambda event: event.time,
+            )
+        )
         return self.trace

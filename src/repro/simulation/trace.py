@@ -8,6 +8,8 @@ reproduce the d/r timeline diagrams used in the figures of the paper.
 
 from __future__ import annotations
 
+import heapq
+import operator
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -41,9 +43,21 @@ class Trace:
             self.bits.append(record)
 
     def add_events(self, events: Iterable[Event]) -> None:
-        """Merge controller events into the trace, keeping time order."""
-        self.events.extend(events)
-        self.events.sort(key=lambda event: event.time)
+        """Merge controller events into the trace, keeping time order.
+
+        The incoming batch is sorted on its own (cheap: controller
+        streams arrive nearly sorted, which timsort exploits) and then
+        merged with the already-sorted trace in O(n + k) — repeated
+        merges no longer re-sort the full accumulated list.
+        """
+        key = operator.attrgetter("time")
+        incoming = sorted(events, key=key)
+        if not incoming:
+            return
+        if not self.events:
+            self.events = incoming
+        else:
+            self.events = list(heapq.merge(self.events, incoming, key=key))
 
     # ------------------------------------------------------------------
     # Queries

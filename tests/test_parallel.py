@@ -1,0 +1,232 @@
+"""Tests for the parallel batch-execution layer (PR 1).
+
+The central contract: for the same seed, ``jobs=1`` and ``jobs=N``
+produce *bit-identical* aggregate results — the worker count decides
+where a chunk runs, never what it computes.  Plus the engine fast
+path: ``record_bits=False`` runs reach the same scenario outcomes as
+``record_bits=True``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_full, monte_carlo_tail
+from repro.analysis.reliability import reliability_comparison, reliability_sweep
+from repro.analysis.sweeps import m_ablation
+from repro.analysis.verification import verify_consistency
+from repro.can.controller import CanController
+from repro.errors import SimulationError
+from repro.faults.campaigns import CampaignSpec, run_campaign
+from repro.faults.scenarios import fig1b, fig3, make_controller, run_single_frame_scenario
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.can.fields import EOF
+from repro.parallel.pool import cpu_count, effective_jobs, run_tasks
+from repro.parallel.seeds import chunk_sizes, rng_from, spawn_seeds
+from repro.parallel.tasks import MonteCarloTailChunk
+from repro.simulation.engine import SimulationEngine
+
+
+class TestSeedSplitting:
+    def test_spawn_is_deterministic(self):
+        first = [rng_from(s).random() for s in spawn_seeds(42, 5)]
+        second = [rng_from(s).random() for s in spawn_seeds(42, 5)]
+        assert first == second
+
+    def test_children_are_independent(self):
+        values = {rng_from(s).random() for s in spawn_seeds(3, 6)}
+        assert len(values) == 6
+
+    def test_generator_seed_supported(self):
+        rng = np.random.default_rng(7)
+        children = spawn_seeds(rng, 3)
+        assert len(children) == 3
+
+    def test_chunk_sizes_partition(self):
+        assert chunk_sizes(100, 32) == [32, 32, 32, 4]
+        assert chunk_sizes(10, 32) == [10]
+        assert chunk_sizes(0, 32) == []
+        assert sum(chunk_sizes(997, 64)) == 997
+
+    def test_chunk_sizes_validation(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 0)
+        with pytest.raises(ValueError):
+            chunk_sizes(-1, 4)
+
+
+class TestPool:
+    def test_effective_jobs_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert effective_jobs(None) == 1
+        assert effective_jobs(3) == 3
+        assert effective_jobs(-1) == cpu_count()
+
+    def test_effective_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert effective_jobs(None) == 5
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert effective_jobs(None) == 1
+
+    def test_run_tasks_preserves_order(self):
+        tasks = [
+            MonteCarloTailChunk(
+                protocol="can",
+                m=5,
+                node_names=("tx", "r1", "r2"),
+                sites=(("tx", 5), ("r1", 5)),
+                ber_star=0.0,
+                trials=index,
+                seed=seed,
+            )
+            for index, seed in zip(range(1, 5), spawn_seeds(1, 4))
+        ]
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=2)
+        assert [part.trials for part in serial] == [1, 2, 3, 4]
+        assert [part.trials for part in parallel] == [1, 2, 3, 4]
+
+
+class TestMonteCarloEquivalence:
+    def test_tail_jobs_equivalence(self):
+        kwargs = dict(protocol="can", n_nodes=3, ber_star=0.08, trials=96, seed=11)
+        serial = monte_carlo_tail(jobs=1, **kwargs)
+        parallel = monte_carlo_tail(jobs=4, **kwargs)
+        assert (
+            serial.imo,
+            serial.double_reception,
+            serial.inconsistent,
+            serial.no_fault_trials,
+            serial.flips_total,
+        ) == (
+            parallel.imo,
+            parallel.double_reception,
+            parallel.inconsistent,
+            parallel.no_fault_trials,
+            parallel.flips_total,
+        )
+        assert serial.trials == parallel.trials == 96
+
+    def test_full_jobs_equivalence(self):
+        kwargs = dict(protocol="can", n_nodes=3, ber_star=3e-3, trials=48, seed=3)
+        serial = monte_carlo_full(jobs=1, **kwargs)
+        parallel = monte_carlo_full(jobs=3, **kwargs)
+        assert (serial.imo, serial.inconsistent, serial.flips_total) == (
+            parallel.imo,
+            parallel.inconsistent,
+            parallel.flips_total,
+        )
+
+    def test_chunking_never_changes_counts(self):
+        # Different chunk sizes change the spawn tree (documented), but
+        # a fixed chunk size must survive any job count.
+        base = monte_carlo_tail("can", ber_star=0.1, trials=50, seed=2, jobs=1)
+        for jobs in (2, 3, 8):
+            other = monte_carlo_tail("can", ber_star=0.1, trials=50, seed=2, jobs=jobs)
+            assert (base.imo, base.flips_total) == (other.imo, other.flips_total)
+
+
+class TestVerificationEquivalence:
+    def test_counterexample_sets_identical(self):
+        serial = verify_consistency("can", m=5, n_nodes=3, max_flips=1, jobs=1)
+        parallel = verify_consistency("can", m=5, n_nodes=3, max_flips=1, jobs=4)
+        assert serial.runs == parallel.runs
+        assert [str(c) for c in serial.counterexamples] == [
+            str(c) for c in parallel.counterexamples
+        ]
+
+    def test_holds_verdict_matches(self):
+        serial = verify_consistency("majorcan", m=5, n_nodes=3, max_flips=1, jobs=1)
+        parallel = verify_consistency("majorcan", m=5, n_nodes=3, max_flips=1, jobs=2)
+        assert serial.holds and parallel.holds
+        assert serial.runs == parallel.runs
+
+
+class TestCampaignEquivalence:
+    def test_rows_and_omission_rounds_identical(self):
+        spec = CampaignSpec(
+            protocol="can",
+            rounds=20,
+            attack_probability=0.4,
+            noise_ber_star=5e-4,
+            seed=9,
+        )
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=4)
+        assert serial.as_row() == parallel.as_row()
+        assert serial.omission_rounds == parallel.omission_rounds
+
+    def test_attack_schedule_protocol_independent(self):
+        schedules = set()
+        for protocol in ("can", "minorcan", "majorcan"):
+            spec = CampaignSpec(
+                protocol=protocol, rounds=12, attack_probability=0.5, seed=21
+            )
+            schedules.add(run_campaign(spec, jobs=2).attacked_rounds)
+        assert len(schedules) == 1
+
+
+class TestSweepAndReliabilityParallel:
+    def test_m_ablation_jobs_equivalence(self):
+        serial = m_ablation(m_values=(3, 5), tail_flips=1, check_f1=False, jobs=1)
+        parallel = m_ablation(m_values=(3, 5), tail_flips=1, check_f1=False, jobs=2)
+        assert serial == parallel
+        assert [row.m for row in parallel] == [3, 5]
+
+    def test_reliability_sweep_matches_pointwise(self):
+        sweep = reliability_sweep([1e-4, 1e-6], jobs=2)
+        assert list(sweep) == [1e-4, 1e-6]
+        for ber, rows in sweep.items():
+            assert rows == reliability_comparison(ber)
+
+
+class TestEngineFastPath:
+    def _outcome_pair(self, builder):
+        """Run the same scripted scenario with and without recording."""
+        results = []
+        for record_bits in (True, False):
+            nodes = [
+                make_controller("can", name, m=5) for name in ("tx", "x", "y")
+            ]
+            eof_last = nodes[0].config.eof_length - 1
+            faults = [
+                ViewFault("x", Trigger(field=EOF, index=eof_last - 1), force=None)
+            ]
+            outcome = run_single_frame_scenario(
+                "fastpath",
+                nodes,
+                ScriptedInjector(view_faults=faults),
+                record_bits=record_bits,
+            )
+            results.append(outcome)
+        return results
+
+    def test_same_outcome_without_recording(self):
+        recorded, fast = self._outcome_pair(None)
+        assert recorded.deliveries == fast.deliveries
+        assert recorded.consistent == fast.consistent
+        assert recorded.attempts == fast.attempts
+        assert recorded.errors_injected == fast.errors_injected
+
+    def test_fast_path_records_no_bits_but_full_bus_history(self):
+        node = CanController("solo")
+        engine = SimulationEngine([node], record_bits=False)
+        engine.run(25)
+        assert engine.trace.bits == []
+        assert engine.bus.time == 25
+
+    def test_canonical_scenarios_keep_their_verdicts(self):
+        assert fig1b("can").double_reception
+        assert fig3("can").inconsistent_omission
+
+    def test_node_lookup_uses_index_and_detects_external_mutation(self):
+        a, b = CanController("a"), CanController("b")
+        engine = SimulationEngine([a])
+        engine.nodes.append(b)  # bypass attach() on purpose
+        assert engine.node("b") is b
+        with pytest.raises(SimulationError):
+            engine.node("missing")
+
+    def test_attach_duplicate_still_rejected(self):
+        engine = SimulationEngine([CanController("a")])
+        with pytest.raises(SimulationError):
+            engine.attach(CanController("a"))

@@ -1,0 +1,40 @@
+"""Smoke test of the perf harness — exercises the parallel path on
+every test run with tiny trial counts and checks the report schema."""
+
+import json
+import os
+import subprocess
+import sys
+
+HARNESS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "perf_harness.py",
+)
+
+
+def test_smoke_run_writes_report(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(HARNESS), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, HARNESS, "--smoke", "--jobs", "2", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(out.read_text())
+    assert report["smoke"] is True
+    assert report["host"]["cpu_count"] >= 1
+    for section, rate_key in (
+        ("montecarlo", "trials_per_sec"),
+        ("verify", "placements_per_sec"),
+    ):
+        assert report[section]["serial"][rate_key] > 0
+        assert report[section]["parallel"][rate_key] > 0
+        assert report[section]["speedup"] > 0
+    assert report["engine"]["fast_path"]["bits_per_sec"] > 0
+    assert report["engine"]["fast_path_speedup"] > 0
