@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-perf examples experiments clean
+.PHONY: install test bench bench-perf corpus-check corpus-update examples experiments clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,15 @@ bench:
 # writes BENCH_PR1.json at the repo root.
 bench-perf:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --out BENCH_PR1.json
+
+# Golden-scenario trace corpus (see docs/traces.md).  check replays
+# every recording and fails on any behavioural diff; update re-records
+# the corpus after an *intended* behaviour change (review the diff!).
+corpus-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli corpus check --dir corpus
+
+corpus-update:
+	PYTHONPATH=src $(PYTHON) -m repro.cli corpus update --dir corpus
 
 examples:
 	$(PYTHON) examples/quickstart.py

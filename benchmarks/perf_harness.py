@@ -60,6 +60,70 @@ def bench_engine_bits(frames: int, record_bits: bool) -> Dict[str, float]:
     }
 
 
+def _fast_path_engine(frames: int):
+    from repro.can.controller import CanController
+    from repro.can.frame import data_frame
+    from repro.simulation.engine import SimulationEngine
+
+    nodes = [CanController(name) for name in ("tx", "r1", "r2")]
+    engine = SimulationEngine(nodes, record_bits=False)
+    for index in range(frames):
+        nodes[0].submit(data_frame(0x100 + (index % 0x200), b"\x55\xaa"))
+    return engine
+
+
+def bench_fast_path_capture(frames: int) -> Dict[str, float]:
+    """Fast-path engine run *plus* a post-run trace-store dump.
+
+    The trace store takes no per-bit hook: capture reads the bus history
+    and the controller event streams after the run, so the only cost
+    recording adds to a ``record_bits=False`` run is a one-time
+    serialization pass that amortises over the run's length.  This
+    measures that end-to-end cost against :func:`bench_fast_path_bare`.
+    """
+    import tempfile
+
+    from repro.tracestore.recorder import TraceRecorder, event_record
+
+    engine = _fast_path_engine(frames)
+    started = time.perf_counter()
+    engine.run_until_idle(max_bits=10_000_000)
+    with tempfile.TemporaryDirectory() as tmp:
+        with TraceRecorder(os.path.join(tmp, "bench.jsonl")) as recorder:
+            recorder.write_record(
+                {
+                    "type": "bus",
+                    "levels": "".join(
+                        level.symbol for level in engine.bus.history
+                    ),
+                }
+            )
+            recorder.write_records(
+                event_record(event) for event in engine.trace.events
+            )
+    elapsed = time.perf_counter() - started
+    return {
+        "frames": frames,
+        "bits": engine.time,
+        "seconds": elapsed,
+        "bits_per_sec": engine.time / elapsed if elapsed else float("inf"),
+    }
+
+
+def bench_fast_path_bare(frames: int) -> Dict[str, float]:
+    """The identical fast-path engine workload without the dump."""
+    engine = _fast_path_engine(frames)
+    started = time.perf_counter()
+    engine.run_until_idle(max_bits=10_000_000)
+    elapsed = time.perf_counter() - started
+    return {
+        "frames": frames,
+        "bits": engine.time,
+        "seconds": elapsed,
+        "bits_per_sec": engine.time / elapsed if elapsed else float("inf"),
+    }
+
+
 def bench_montecarlo(trials: int, jobs: int) -> Dict[str, float]:
     """Trials/sec of the tail-window Monte-Carlo workload (E-MC)."""
     from repro.analysis.montecarlo import monte_carlo_tail
@@ -104,6 +168,8 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
 
     recorded = bench_engine_bits(frames, record_bits=True)
     fast = bench_engine_bits(frames, record_bits=False)
+    capture_base = bench_fast_path_bare(frames)
+    capture_rec = bench_fast_path_capture(frames)
     mc_serial = bench_montecarlo(trials, jobs=1)
     mc_parallel = bench_montecarlo(trials, jobs=jobs)
     ver_serial = bench_verify(flips, jobs=1)
@@ -123,6 +189,17 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
             "fast_path": fast,
             "fast_path_speedup": _speedup(
                 recorded["bits_per_sec"], fast["bits_per_sec"]
+            ),
+        },
+        "capture": {
+            "fast_path": capture_base,
+            "fast_path_with_recording": capture_rec,
+            # Relative slowdown of persisting each fast-path run via the
+            # trace store; the PR 2 acceptance budget for this is <= 5%.
+            "overhead": (
+                capture_rec["seconds"] / capture_base["seconds"] - 1.0
+                if capture_base["seconds"]
+                else 0.0
             ),
         },
         "montecarlo": {
@@ -169,6 +246,11 @@ def main(argv=None) -> int:
         report["engine"]["recorded"]["bits_per_sec"],
         report["engine"]["fast_path"]["bits_per_sec"],
         report["engine"]["fast_path_speedup"],
+    ))
+    print("capture    : %8.0f bits/s bare, %8.0f bits/s recording (%+.1f%% overhead)" % (
+        report["capture"]["fast_path"]["bits_per_sec"],
+        report["capture"]["fast_path_with_recording"]["bits_per_sec"],
+        report["capture"]["overhead"] * 100.0,
     ))
     print("montecarlo : %8.1f trials/s serial, %8.1f trials/s at jobs=%d (x%.2f)" % (
         report["montecarlo"]["serial"]["trials_per_sec"],

@@ -37,6 +37,10 @@ The package is organised in layers:
 ``repro.workload`` / ``repro.metrics``
     Traffic generation matching the paper's evaluation profile, and
     result collection/reporting.
+
+``repro.tracestore``
+    Persistent trace capture (versioned JSONL), deterministic replay
+    with structured diffing, and the golden-scenario regression corpus.
 """
 
 from repro._version import __version__
@@ -48,6 +52,19 @@ from repro.can import (
 )
 from repro.core import MajorCanController, MinorCanController
 from repro.simulation import Bus, SimulationEngine, Trace
+from repro.tracestore import (
+    RecordedTrace,
+    Replayer,
+    ScenarioSpec,
+    TraceDiff,
+    TraceRecorder,
+    check_corpus,
+    diff_traces,
+    load_trace,
+    record_outcome,
+    replay_trace,
+    update_corpus,
+)
 
 __all__ = [
     "__version__",
@@ -58,6 +75,17 @@ __all__ = [
     "Frame",
     "MajorCanController",
     "MinorCanController",
+    "RecordedTrace",
+    "Replayer",
+    "ScenarioSpec",
     "SimulationEngine",
     "Trace",
+    "TraceDiff",
+    "TraceRecorder",
+    "check_corpus",
+    "diff_traces",
+    "load_trace",
+    "record_outcome",
+    "replay_trace",
+    "update_corpus",
 ]

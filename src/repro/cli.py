@@ -14,6 +14,13 @@ Each sub-command regenerates one of the paper's artefacts:
 * ``ablation``    — the m-choice ablation and the CAN6' revision;
 * ``campaign``    — seeded multi-round attack campaigns;
 * ``reliability`` — Table 1 restated as mission survival.
+
+The trace store (:mod:`repro.tracestore`) adds four more:
+
+* ``record``      — run a figure scenario and persist it as JSONL;
+* ``replay``      — re-run a recording and diff against it;
+* ``diff``        — structured diff of two recordings;
+* ``corpus``      — check/update the golden-scenario corpus.
 """
 
 from __future__ import annotations
@@ -238,6 +245,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.holds else 1
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIOS, fig3
+    from repro.tracestore import record_outcome
+
+    name = args.scenario
+    if name == "fig3":
+        outcome = fig3(args.protocol or "can", m=args.m)
+    elif name in ("fig3a", "fig3b", "fig5"):
+        outcome = SCENARIOS[name](m=args.m)
+    else:
+        outcome = SCENARIOS[name](args.protocol or "can", m=args.m)
+    out = args.out or ("%s-%s.jsonl" % (outcome.name, outcome.protocol.lower()))
+    path = record_outcome(out, outcome)
+    print("recorded %s -> %s" % (outcome.summary(), path))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.tracestore import replay_trace
+
+    result = replay_trace(args.recording)
+    if result.bit_identical:
+        print("replay of %s: bit-identical" % result.recorded.name)
+        return 0
+    print("replay of %s DIVERGED:" % result.recorded.name)
+    print(result.diff.summary())
+    return 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.tracestore import diff_traces, load_trace
+
+    diff = diff_traces(load_trace(args.expected), load_trace(args.actual))
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.tracestore import check_corpus, update_corpus
+
+    if args.action == "update":
+        for path in update_corpus(args.dir):
+            print("wrote %s" % path)
+        return 0
+    report = check_corpus(args.dir, jobs=args.jobs)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -333,6 +389,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("record", help="record a figure scenario as JSONL")
+    p.add_argument(
+        "scenario",
+        choices=["fig1a", "fig1b", "fig1c", "fig3", "fig3a", "fig3b", "fig5"],
+    )
+    p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])
+    p.add_argument("--m", type=int, default=5)
+    p.add_argument("--out", help="output path (default: <scenario>-<protocol>.jsonl)")
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser("replay", help="re-run a recording and diff against it")
+    p.add_argument("recording", help="path to a .jsonl recording")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("diff", help="structured diff of two recordings")
+    p.add_argument("expected", help="reference recording")
+    p.add_argument("actual", help="candidate recording")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("corpus", help="golden-scenario corpus maintenance")
+    p.add_argument("action", choices=["check", "update"])
+    p.add_argument("--dir", default="corpus", help="corpus directory")
+    _add_jobs(p)
+    p.set_defaults(func=_cmd_corpus)
 
     p = sub.add_parser("montecarlo", help="stochastic model validation")
     p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])

@@ -45,3 +45,11 @@ class ProtocolError(ReproError):
 
 class AnalysisError(ReproError):
     """An analytical computation received out-of-domain parameters."""
+
+
+class TraceError(SimulationError):
+    """A simulation trace invariant (e.g. event time order) was violated."""
+
+
+class TraceStoreError(ReproError):
+    """A persisted trace is malformed, unreadable, or not replayable."""

@@ -14,12 +14,26 @@ force=DOMINANT)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.can.bits import Level
 from repro.can.controller import CanController
 from repro.errors import ConfigurationError
 from repro.simulation.engine import FaultInjector
+
+
+def _level_to_symbol(level: Optional[Level]) -> Optional[str]:
+    return None if level is None else level.symbol
+
+
+def _level_from_symbol(symbol: Optional[str]) -> Optional[Level]:
+    if symbol is None:
+        return None
+    if symbol == "d":
+        return Level.DOMINANT
+    if symbol == "r":
+        return Level.RECESSIVE
+    raise ConfigurationError("unknown level symbol %r (expected 'd'/'r')" % symbol)
 
 
 @dataclass
@@ -64,6 +78,33 @@ class Trigger:
         """Forget past matches (for reusing a scenario definition)."""
         self._matches = 0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the trigger *condition* (no runtime state).
+
+        Round-trips through :meth:`from_dict`; used by the trace store
+        manifests and campaign logs.
+        """
+        return {
+            "field": self.field,
+            "index": self.index,
+            "time": self.time,
+            "state": self.state,
+            "occurrence": self.occurrence,
+            "repeat": self.repeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trigger":
+        """Rebuild a fresh (unfired) trigger from :meth:`to_dict` output."""
+        return cls(
+            field=data.get("field"),
+            index=data.get("index"),
+            time=data.get("time"),
+            state=data.get("state"),
+            occurrence=data.get("occurrence", 1),
+            repeat=bool(data.get("repeat", False)),
+        )
+
 
 @dataclass
 class ViewFault:
@@ -80,6 +121,23 @@ class ViewFault:
     def apply(self, level: Level) -> Level:
         return self.force if self.force is not None else level.flipped()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the fault script (no runtime state)."""
+        return {
+            "node": self.node,
+            "trigger": self.trigger.to_dict(),
+            "force": _level_to_symbol(self.force),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ViewFault":
+        """Rebuild a fresh (unfired) fault from :meth:`to_dict` output."""
+        return cls(
+            node=data["node"],
+            trigger=Trigger.from_dict(data["trigger"]),
+            force=_level_from_symbol(data.get("force")),
+        )
+
 
 @dataclass
 class DriveFault:
@@ -93,6 +151,23 @@ class DriveFault:
     def apply(self, level: Level) -> Level:
         return self.force if self.force is not None else level.flipped()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the fault script (no runtime state)."""
+        return {
+            "node": self.node,
+            "trigger": self.trigger.to_dict(),
+            "force": _level_to_symbol(self.force),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DriveFault":
+        """Rebuild a fresh (unfired) fault from :meth:`to_dict` output."""
+        return cls(
+            node=data["node"],
+            trigger=Trigger.from_dict(data["trigger"]),
+            force=_level_from_symbol(data.get("force")),
+        )
+
 
 @dataclass
 class CrashFault:
@@ -101,6 +176,15 @@ class CrashFault:
     node: str
     trigger: Trigger
     fired_at: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the fault script (no runtime state)."""
+        return {"node": self.node, "trigger": self.trigger.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashFault":
+        """Rebuild a fresh (unfired) fault from :meth:`to_dict` output."""
+        return cls(node=data["node"], trigger=Trigger.from_dict(data["trigger"]))
 
 
 class ScriptedInjector(FaultInjector):
@@ -161,6 +245,51 @@ class ScriptedInjector(FaultInjector):
         """Whether every scripted fault has fired at least once."""
         faults = self.view_faults + self.drive_faults + self.crash_faults
         return all(fault.fired_at for fault in faults)
+
+    # ------------------------------------------------------------------
+    # Serialization (trace store manifests, campaign logs)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the whole fault script.
+
+        Only the *configuration* is serialized — trigger match counts
+        and ``fired_at`` logs are runtime state and deliberately
+        dropped, so a deserialized injector is always fresh.
+        """
+        return {
+            "kind": "scripted",
+            "view_faults": [fault.to_dict() for fault in self.view_faults],
+            "drive_faults": [fault.to_dict() for fault in self.drive_faults],
+            "crash_faults": [fault.to_dict() for fault in self.crash_faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScriptedInjector":
+        """Rebuild a fresh injector from :meth:`to_dict` output."""
+        kind = data.get("kind", "scripted")
+        if kind != "scripted":
+            raise ConfigurationError(
+                "cannot rebuild a ScriptedInjector from kind %r" % kind
+            )
+        return cls(
+            view_faults=[ViewFault.from_dict(f) for f in data.get("view_faults", ())],
+            drive_faults=[DriveFault.from_dict(f) for f in data.get("drive_faults", ())],
+            crash_faults=[CrashFault.from_dict(f) for f in data.get("crash_faults", ())],
+        )
+
+
+def injector_from_dict(data: Dict[str, Any]) -> "ScriptedInjector":
+    """Rebuild an injector from its serialized form.
+
+    Currently only ``kind == "scripted"`` scripts round-trip; the random
+    injectors are reconstructed from their seeds by the workloads that
+    own them, not by the trace store.
+    """
+    kind = data.get("kind")
+    if kind == "scripted":
+        return ScriptedInjector.from_dict(data)
+    raise ConfigurationError("unknown serialized injector kind %r" % kind)
 
 
 class CompositeInjector(FaultInjector):

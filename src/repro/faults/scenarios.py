@@ -77,6 +77,9 @@ class ScenarioOutcome:
     errors_injected: int
     trace: Trace
     engine: SimulationEngine = field(repr=False, default=None)
+    #: The frame the scenario transmitted (the trace store serializes
+    #: it into recording manifests so the scenario can be rebuilt).
+    frame: Optional[Frame] = None
 
     @property
     def live_nodes(self) -> List[str]:
@@ -167,6 +170,7 @@ def run_single_frame_scenario(
         errors_injected=injected,
         trace=trace,
         engine=engine,
+        frame=frame,
     )
 
 

@@ -25,16 +25,78 @@ def _normalise_row(row: Any) -> Dict[str, Any]:
     raise ReproError("rows must be dicts or dataclasses, got %r" % type(row))
 
 
-def _normalise_value(value: Any) -> Any:
+def normalise_value(value: Any) -> Any:
+    """Map ``value`` to a JSON-representable equivalent, recursively.
+
+    Bytes become hex strings, infinities become strings, tuples become
+    lists, dict keys become strings, and dataclass instances become
+    dicts.  This is the single normalisation used by every JSON/CSV/
+    JSONL emitter in the package (exports and the trace store alike).
+    """
     if isinstance(value, float) and value in (float("inf"), float("-inf")):
         return str(value)
     if isinstance(value, bytes):
         return value.hex()
     if isinstance(value, (list, tuple)):
-        return [_normalise_value(item) for item in value]
+        return [normalise_value(item) for item in value]
     if isinstance(value, dict):
-        return {str(key): _normalise_value(val) for key, val in value.items()}
+        return {str(key): normalise_value(val) for key, val in value.items()}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {key: normalise_value(val) for key, val in asdict(value).items()}
     return value
+
+
+#: Backwards-compatible private alias (pre trace-store name).
+_normalise_value = normalise_value
+
+
+def json_line(record: Any) -> str:
+    """Serialise one record as a compact, deterministic JSON line.
+
+    The record is :func:`normalise_value`-normalised first; keys are
+    sorted and separators minimal, so equal records always produce
+    byte-identical lines — the property the trace-store diffs and the
+    golden corpus rely on.
+    """
+    return json.dumps(normalise_value(record), sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path_or_handle: Any, records: Iterable[Any]) -> int:
+    """Stream ``records`` to a file as JSON Lines; returns the count.
+
+    Accepts a path or an open text handle.  Each record is emitted with
+    :func:`json_line`, so the output is deterministic line by line.
+    """
+    count = 0
+    if hasattr(path_or_handle, "write"):
+        for record in records:
+            path_or_handle.write(json_line(record) + "\n")
+            count += 1
+        return count
+    with open(path_or_handle, "w") as handle:
+        for record in records:
+            handle.write(json_line(record) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path_or_handle: Any) -> List[Dict[str, Any]]:
+    """Load a JSON Lines file written by :func:`write_jsonl`."""
+    if hasattr(path_or_handle, "read"):
+        lines = path_or_handle.read().splitlines()
+    else:
+        with open(path_or_handle) as handle:
+            lines = handle.read().splitlines()
+    records = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            raise ReproError("invalid JSONL at line %d: %s" % (number, exc))
+    return records
 
 
 def rows_to_json(rows: Sequence[Any], indent: int = 2) -> str:

@@ -264,3 +264,25 @@ class ReliabilityTask:
         return reliability_comparison(
             self.ber, mission_hours=self.mission_hours, profile=self.profile
         )
+
+
+# ---------------------------------------------------------------------------
+# Trace-store corpus checks (one recording replayed per task)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusCheckTask:
+    """Replay one recorded trace and diff it against the recording.
+
+    Used by ``repro.tracestore.corpus.check_corpus`` to fan the golden
+    corpus out over the pool.  Replays are deterministic, so the result
+    is independent of which worker runs the task.
+    """
+
+    path: str
+
+    def run(self):
+        from repro.tracestore.corpus import check_recording
+
+        return check_recording(self.path)

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.can.bits import Level
 from repro.can.events import Event
+from repro.errors import TraceError
 
 
 @dataclass
@@ -49,6 +50,12 @@ class Trace:
         streams arrive nearly sorted, which timsort exploits) and then
         merged with the already-sorted trace in O(n + k) — repeated
         merges no longer re-sort the full accumulated list.
+
+        Precondition: ``self.events`` must already be time-sorted.
+        That invariant holds as long as the list is only populated via
+        :meth:`add_events` / :meth:`SimulationEngine.collect_events`;
+        callers assigning ``trace.events`` directly must keep it sorted
+        (the guard below surfaces violations before a silent bad merge).
         """
         key = operator.attrgetter("time")
         incoming = sorted(events, key=key)
@@ -56,8 +63,16 @@ class Trace:
             return
         if not self.events:
             self.events = incoming
-        else:
-            self.events = list(heapq.merge(self.events, incoming, key=key))
+            return
+        existing = self.events
+        if any(
+            existing[i].time > existing[i + 1].time for i in range(len(existing) - 1)
+        ):
+            raise TraceError(
+                "Trace.events is not time-sorted; it was mutated outside "
+                "add_events/collect_events — sort it before merging"
+            )
+        self.events = list(heapq.merge(existing, incoming, key=key))
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,89 @@
+"""Persistent trace capture, deterministic replay, and the golden corpus.
+
+The trace store turns in-memory simulation runs into durable,
+replayable artifacts:
+
+``repro.tracestore.schema``
+    The versioned JSONL recording format (manifest, bus stream,
+    optional per-bit records, events, verdict) and its validator.
+
+``repro.tracestore.spec``
+    :class:`ScenarioSpec` — the plain-data description of a scenario
+    (nodes, frame, injector script, engine config) that a manifest
+    stores and a replay rebuilds.
+
+``repro.tracestore.recorder``
+    :class:`TraceRecorder` — a streaming JSONL writer that captures a
+    completed run.  Capture reads the structures the engine already
+    maintains, so the ``record_bits=False`` fast path is untouched.
+
+``repro.tracestore.replay``
+    :class:`Replayer` — rebuild the scenario from a manifest, re-run
+    it, and produce a structured :class:`TraceDiff` (bus divergence,
+    per-bit, event and verdict mismatches).
+
+``repro.tracestore.corpus``
+    The checked-in golden corpus (Fig. 1b/1c and Fig. 3 across CAN,
+    MinorCAN and MajorCAN_m, plus EOF/overload edge cases) with
+    ``update`` and parallel ``check`` operations.
+
+CLI: ``majorcan-repro record | replay | diff | corpus``.
+"""
+
+from repro.tracestore.corpus import (
+    DEFAULT_CORPUS_DIR,
+    CorpusCheckResult,
+    CorpusReport,
+    GOLDEN_BUILDERS,
+    check_corpus,
+    check_recording,
+    corpus_entries,
+    update_corpus,
+)
+from repro.tracestore.recorder import TraceRecorder, outcome_records, record_outcome
+from repro.tracestore.replay import (
+    RecordedTrace,
+    Replayer,
+    ReplayResult,
+    TraceDiff,
+    diff_traces,
+    load_trace,
+    recorded_from_outcome,
+    replay_trace,
+)
+from repro.tracestore.schema import SCHEMA_VERSION, require_valid, validate_records
+from repro.tracestore.spec import (
+    ScenarioSpec,
+    frame_from_dict,
+    frame_to_dict,
+    spec_from_outcome,
+)
+
+__all__ = [
+    "CorpusCheckResult",
+    "CorpusReport",
+    "DEFAULT_CORPUS_DIR",
+    "GOLDEN_BUILDERS",
+    "RecordedTrace",
+    "Replayer",
+    "ReplayResult",
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "TraceDiff",
+    "TraceRecorder",
+    "check_corpus",
+    "check_recording",
+    "corpus_entries",
+    "diff_traces",
+    "frame_from_dict",
+    "frame_to_dict",
+    "load_trace",
+    "outcome_records",
+    "record_outcome",
+    "recorded_from_outcome",
+    "replay_trace",
+    "require_valid",
+    "spec_from_outcome",
+    "update_corpus",
+    "validate_records",
+]

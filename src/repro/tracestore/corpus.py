@@ -1,0 +1,264 @@
+"""The golden-scenario regression corpus.
+
+A corpus directory holds one recording per canonical scenario — the
+paper's Fig. 1b/1c (double reception, inconsistent omission) and the
+new Fig. 3 scenario for each of standard CAN, MinorCAN and MajorCAN_m,
+plus EOF/overload edge cases that pin exact wire patterns (the MinorCAN
+primary-error overload choreography and the MajorCAN extended error
+flag).
+
+Two operations maintain it:
+
+* :func:`update_corpus` re-records every entry from the live scenario
+  builders (run after an *intended* behaviour change, then review the
+  diff in version control);
+* :func:`check_corpus` replays every checked-in recording and diffs it
+  against the recording itself — any mismatch is a behavioural
+  regression.  Checking fans out over :mod:`repro.parallel`, one task
+  per entry, and is deterministic for any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TraceStoreError
+
+#: Default corpus directory (repo-root relative).
+DEFAULT_CORPUS_DIR = "corpus"
+
+
+# ---------------------------------------------------------------------------
+# Golden entry builders
+# ---------------------------------------------------------------------------
+
+
+def _scenario(name: str, protocol: str):
+    from repro.faults.scenarios import SCENARIOS, fig3, fig5
+
+    if name == "fig3":
+        return fig3(protocol)
+    if name == "fig5":
+        return fig5(protocol=protocol)
+    return SCENARIOS[name](protocol)
+
+
+def _eof_extended_flag():
+    """MajorCAN_5 extended-flag wire pattern (was an inline golden test)."""
+    from repro.can.bits import DOMINANT
+    from repro.can.fields import EOF
+    from repro.can.frame import data_frame
+    from repro.core.majorcan import MajorCanController
+    from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+    from repro.faults.scenarios import run_single_frame_scenario
+
+    m = 5
+    nodes = [MajorCanController(name, m=m) for name in ("tx", "x", "y")]
+    injector = ScriptedInjector(
+        view_faults=[ViewFault("x", Trigger(field=EOF, index=m), force=DOMINANT)]
+    )
+    return run_single_frame_scenario(
+        "eof-extended-flag",
+        nodes,
+        injector,
+        frame=data_frame(0x123, b"\x55", message_id="m"),
+    )
+
+
+def _overload_primary():
+    """MinorCAN primary-error overload choreography (was an inline golden test)."""
+    from repro.can.bits import DOMINANT
+    from repro.can.fields import EOF
+    from repro.can.frame import data_frame
+    from repro.core.minorcan import MinorCanController
+    from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+    from repro.faults.scenarios import run_single_frame_scenario
+
+    nodes = [MinorCanController(name) for name in ("tx", "x", "y")]
+    injector = ScriptedInjector(
+        view_faults=[ViewFault("x", Trigger(field=EOF, index=6), force=DOMINANT)]
+    )
+    return run_single_frame_scenario(
+        "overload-primary",
+        nodes,
+        injector,
+        frame=data_frame(0x123, b"\x55", message_id="m"),
+    )
+
+
+def _golden_builders() -> Dict[str, Callable[[], object]]:
+    builders: Dict[str, Callable[[], object]] = {}
+    for scenario in ("fig1b", "fig1c"):
+        for protocol in ("can", "minorcan", "majorcan"):
+            name = "%s-%s" % (scenario, protocol)
+            builders[name] = (
+                lambda scenario=scenario, protocol=protocol: _scenario(
+                    scenario, protocol
+                )
+            )
+    # The Fig. 3 scenario family: the paper labels the standard-CAN run
+    # Fig. 3a and the MinorCAN run Fig. 3b; the MajorCAN run of the same
+    # fault script has no figure letter of its own.
+    builders["fig3a-can"] = lambda: _scenario("fig3", "can")
+    builders["fig3b-minorcan"] = lambda: _scenario("fig3", "minorcan")
+    builders["fig3-majorcan"] = lambda: _scenario("fig3", "majorcan")
+    # EOF / overload edge cases beyond the core figure set.
+    builders["fig1a-can"] = lambda: _scenario("fig1a", "can")
+    builders["fig5-majorcan"] = lambda: _scenario("fig5", "majorcan")
+    builders["eof-extended-flag-majorcan"] = _eof_extended_flag
+    builders["overload-primary-minorcan"] = _overload_primary
+    return builders
+
+
+#: Entry name -> builder returning a fresh ``ScenarioOutcome``.
+GOLDEN_BUILDERS = _golden_builders()
+
+
+def corpus_entries() -> List[str]:
+    """The canonical golden entry names, sorted."""
+    return sorted(GOLDEN_BUILDERS)
+
+
+def entry_path(directory: str, name: str) -> str:
+    """Path of one corpus entry file."""
+    return os.path.join(directory, name + ".jsonl")
+
+
+# ---------------------------------------------------------------------------
+# update
+# ---------------------------------------------------------------------------
+
+
+def update_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+    names: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """(Re-)record the golden entries into ``directory``.
+
+    Returns the paths written.  Entries are recorded serially — each is
+    a sub-second single-frame run — in sorted name order, so the output
+    is deterministic file by file.
+    """
+    from repro.tracestore.recorder import record_outcome
+    from repro.tracestore.spec import spec_from_outcome
+
+    selected = corpus_entries() if names is None else list(names)
+    unknown = [name for name in selected if name not in GOLDEN_BUILDERS]
+    if unknown:
+        raise TraceStoreError(
+            "unknown corpus entries %s (known: %s)" % (unknown, corpus_entries())
+        )
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for name in selected:
+        outcome = GOLDEN_BUILDERS[name]()
+        spec = spec_from_outcome(outcome)
+        written.append(
+            record_outcome(
+                entry_path(directory, name),
+                outcome,
+                spec=spec,
+                meta={"entry": name},
+            )
+        )
+    return written
+
+
+# ---------------------------------------------------------------------------
+# check
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusCheckResult:
+    """Replay verdict for one corpus entry (picklable)."""
+
+    entry: str
+    path: str
+    ok: bool
+    detail: str = "identical"
+
+
+@dataclass
+class CorpusReport:
+    """Aggregate result of one corpus check."""
+
+    results: List[CorpusCheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every entry replayed bit-identically."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[CorpusCheckResult]:
+        """The entries that failed."""
+        return [result for result in self.results if not result.ok]
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "%-4s %-32s %s"
+            % ("ok" if result.ok else "FAIL", result.entry, result.detail.splitlines()[0])
+            for result in self.results
+        ]
+        lines.append(
+            "%d/%d entries bit-identical"
+            % (len(self.results) - len(self.failures), len(self.results))
+        )
+        return "\n".join(lines)
+
+
+def check_recording(path: str) -> CorpusCheckResult:
+    """Validate and replay one recording; compare against itself."""
+    entry = os.path.splitext(os.path.basename(path))[0]
+    try:
+        from repro.tracestore.replay import replay_trace
+
+        result = replay_trace(path)
+    except TraceStoreError as exc:
+        return CorpusCheckResult(entry=entry, path=path, ok=False, detail=str(exc))
+    if result.bit_identical:
+        return CorpusCheckResult(entry=entry, path=path, ok=True)
+    return CorpusCheckResult(
+        entry=entry, path=path, ok=False, detail=result.diff.summary()
+    )
+
+
+def check_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+    jobs: Optional[int] = None,
+    require_golden: bool = True,
+) -> CorpusReport:
+    """Replay every ``.jsonl`` recording under ``directory``.
+
+    One :class:`repro.parallel.tasks.CorpusCheckTask` per entry is
+    fanned out over the worker pool; results keep sorted-path order, so
+    the report is identical for any ``jobs`` value.  With
+    ``require_golden`` (the default) a missing canonical entry is
+    reported as a failure.
+    """
+    from repro.parallel.pool import run_tasks
+    from repro.parallel.tasks import CorpusCheckTask
+
+    if not os.path.isdir(directory):
+        raise TraceStoreError("corpus directory %r does not exist" % directory)
+    paths = sorted(glob.glob(os.path.join(directory, "*.jsonl")))
+    tasks = [CorpusCheckTask(path=path) for path in paths]
+    report = CorpusReport(results=list(run_tasks(tasks, jobs=jobs)))
+    if require_golden:
+        present = {result.entry for result in report.results}
+        for name in corpus_entries():
+            if name not in present:
+                report.results.append(
+                    CorpusCheckResult(
+                        entry=name,
+                        path=entry_path(directory, name),
+                        ok=False,
+                        detail="golden entry missing (run corpus update)",
+                    )
+                )
+    return report

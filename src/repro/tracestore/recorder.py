@@ -1,0 +1,172 @@
+"""Recording completed simulation runs to the JSONL trace schema.
+
+:class:`TraceRecorder` streams one record (JSON line) at a time to its
+sink — it never materialises the whole document — using the shared
+deterministic emitter :func:`repro.metrics.export.json_line`.
+
+The recorder deliberately does **not** hook the engine's per-bit loop:
+the engine already maintains everything a recording needs (the resolved
+bus history in both paths, per-bit :class:`BitRecord` objects when
+``record_bits=True``, and the controller event streams), so capture
+happens once, after the run, from those structures.  That is what keeps
+the ``record_bits=False`` fast path untouched — recording a fast-path
+run costs one post-run serialization pass and zero per-bit work.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.errors import TraceStoreError
+from repro.metrics.export import json_line, normalise_value
+from repro.tracestore.spec import ScenarioSpec, spec_from_outcome
+
+
+def event_record(event) -> Dict[str, Any]:
+    """The JSONL record of one controller :class:`Event`."""
+    return {
+        "type": "event",
+        "t": event.time,
+        "node": event.node,
+        "kind": event.kind,
+        "data": normalise_value(event.data),
+    }
+
+
+def bit_record(record) -> Dict[str, Any]:
+    """The JSONL record of one per-bit :class:`BitRecord`."""
+    return {
+        "type": "bit",
+        "t": record.time,
+        "bus": record.bus.symbol,
+        "drives": {name: level.symbol for name, level in record.drives.items()},
+        "views": {name: level.symbol for name, level in record.views.items()},
+        "pos": {name: list(pos) for name, pos in record.positions.items()},
+        "state": dict(record.states),
+    }
+
+
+def verdict_record(outcome) -> Dict[str, Any]:
+    """The JSONL verdict line of a completed scenario outcome."""
+    return {
+        "type": "verdict",
+        "deliveries": dict(outcome.deliveries),
+        "crashed": list(outcome.crashed),
+        "attempts": outcome.attempts,
+        "errors_injected": outcome.errors_injected,
+        "consistent": outcome.consistent,
+        "inconsistent_omission": outcome.inconsistent_omission,
+        "double_reception": outcome.double_reception,
+    }
+
+
+def outcome_records(
+    outcome,
+    spec: Optional[ScenarioSpec] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield the full recording of ``outcome``, line by line, in order.
+
+    ``spec`` defaults to :func:`spec_from_outcome`, i.e. the manifest is
+    derived from the very engine that ran.  Supply it explicitly when
+    the outcome was produced by :meth:`ScenarioSpec.run` and you want
+    the original manifest round-tripped untouched.
+    """
+    if spec is None:
+        spec = spec_from_outcome(outcome)
+    yield spec.to_manifest(meta=meta)
+    engine = outcome.engine
+    if engine is None:
+        raise TraceStoreError("outcome %r carries no engine" % outcome.name)
+    yield {
+        "type": "bus",
+        "levels": "".join(level.symbol for level in engine.bus.history),
+    }
+    for record in outcome.trace.bits:
+        yield bit_record(record)
+    for event in outcome.trace.events:
+        yield event_record(event)
+    yield verdict_record(outcome)
+
+
+class TraceRecorder:
+    """Streaming JSONL writer for simulation recordings.
+
+    Usable as a context manager around a path or an open text handle::
+
+        with TraceRecorder("fig1b-can.jsonl") as recorder:
+            recorder.write_outcome(outcome)
+    """
+
+    def __init__(self, sink) -> None:
+        if hasattr(sink, "write"):
+            self._handle = sink
+            self._owns_handle = False
+            self.path: Optional[str] = getattr(sink, "name", None)
+        else:
+            self._handle = open(sink, "w")
+            self._owns_handle = True
+            self.path = str(sink)
+        self.lines_written = 0
+
+    # ------------------------------------------------------------------
+    # Streaming primitives
+    # ------------------------------------------------------------------
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Emit one schema record as a deterministic JSON line."""
+        self._handle.write(json_line(record) + "\n")
+        self.lines_written += 1
+
+    def write_records(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Emit a stream of schema records; returns the count written."""
+        before = self.lines_written
+        for record in records:
+            self.write_record(record)
+        return self.lines_written - before
+
+    # ------------------------------------------------------------------
+    # High-level capture
+    # ------------------------------------------------------------------
+
+    def write_outcome(
+        self,
+        outcome,
+        spec: Optional[ScenarioSpec] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Record a completed scenario run (manifest through verdict)."""
+        return self.write_records(outcome_records(outcome, spec=spec, meta=meta))
+
+    def close(self) -> None:
+        """Flush and, if the recorder opened the sink, close it."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def record_outcome(
+    path,
+    outcome,
+    spec: Optional[ScenarioSpec] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Record ``outcome`` to ``path``; returns the path written."""
+    with TraceRecorder(path) as recorder:
+        recorder.write_outcome(outcome, spec=spec, meta=meta)
+    return str(path)
+
+
+def records_to_text(records: Iterable[Dict[str, Any]]) -> str:
+    """Render a record stream as in-memory JSONL (replay comparisons)."""
+    buffer = io.StringIO()
+    with TraceRecorder(buffer) as recorder:
+        recorder.write_records(records)
+    return buffer.getvalue()

@@ -1,0 +1,272 @@
+"""Deterministic replay of recorded traces, with structured diffing.
+
+:func:`load_trace` parses and validates a recording;
+:class:`Replayer` rebuilds the scenario from the manifest (fresh
+controllers, a fresh injector script, the recorded frame), re-runs it,
+and produces a :class:`TraceDiff` against the recording.  Replay is
+fully deterministic — the scripted scenarios contain no randomness and
+the engine is single-threaded — so any non-empty diff is a behavioural
+change in the simulator or protocol code, which is exactly what the
+golden corpus exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import TraceStoreError
+from repro.metrics.export import json_line, read_jsonl
+from repro.tracestore.recorder import outcome_records
+from repro.tracestore.schema import require_valid
+from repro.tracestore.spec import ScenarioSpec
+
+
+@dataclass
+class RecordedTrace:
+    """A parsed, schema-valid recording, split by record type."""
+
+    manifest: Dict[str, Any]
+    bus: str
+    bits: List[Dict[str, Any]]
+    events: List[Dict[str, Any]]
+    verdict: Dict[str, Any]
+    source: str = "<memory>"
+
+    @classmethod
+    def from_records(
+        cls, records: List[Dict[str, Any]], source: str = "<memory>"
+    ) -> "RecordedTrace":
+        """Partition a validated record stream into its sections."""
+        require_valid(records, source=source)
+        manifest = records[0]
+        bus = ""
+        bits: List[Dict[str, Any]] = []
+        events: List[Dict[str, Any]] = []
+        verdict: Dict[str, Any] = {}
+        for record in records[1:]:
+            kind = record["type"]
+            if kind == "bus":
+                bus = record["levels"]
+            elif kind == "bit":
+                bits.append(record)
+            elif kind == "event":
+                events.append(record)
+            elif kind == "verdict":
+                verdict = record
+        return cls(
+            manifest=manifest,
+            bus=bus,
+            bits=bits,
+            events=events,
+            verdict=verdict,
+            source=source,
+        )
+
+    def spec(self) -> ScenarioSpec:
+        """The rebuildable scenario spec stored in the manifest."""
+        return ScenarioSpec.from_manifest(self.manifest)
+
+    @property
+    def name(self) -> str:
+        """The recorded scenario's name."""
+        return self.manifest.get("name", "<unnamed>")
+
+
+def load_trace(path) -> RecordedTrace:
+    """Load and validate one ``.jsonl`` recording from disk."""
+    try:
+        records = read_jsonl(path)
+    except OSError as exc:
+        raise TraceStoreError("cannot read recording %s: %s" % (path, exc))
+    return RecordedTrace.from_records(records, source=str(path))
+
+
+def recorded_from_outcome(outcome, spec: Optional[ScenarioSpec] = None) -> RecordedTrace:
+    """Capture a completed run as an in-memory :class:`RecordedTrace`."""
+    return RecordedTrace.from_records(
+        list(outcome_records(outcome, spec=spec)), source="<replay>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+
+#: Context radius (bits) shown around a bus divergence.
+_BUS_CONTEXT = 12
+#: Maximum per-section mismatch lines before truncating.
+_MAX_REPORTED = 5
+
+
+@dataclass
+class TraceDiff:
+    """Structured difference between two recordings.
+
+    Each section lists human-readable mismatch descriptions; an empty
+    diff (``identical`` true) means the two recordings are
+    byte-equivalent in every section.
+    """
+
+    manifest: List[str] = field(default_factory=list)
+    bus: List[str] = field(default_factory=list)
+    bits: List[str] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+    verdict: List[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        """Whether no section differs."""
+        return not (self.manifest or self.bus or self.bits or self.events or self.verdict)
+
+    def problems(self) -> List[str]:
+        """All mismatches, prefixed with their section."""
+        out: List[str] = []
+        for section, entries in (
+            ("manifest", self.manifest),
+            ("bus", self.bus),
+            ("bits", self.bits),
+            ("events", self.events),
+            ("verdict", self.verdict),
+        ):
+            out.extend("%s: %s" % (section, entry) for entry in entries)
+        return out
+
+    def summary(self) -> str:
+        """One human-readable block: 'identical' or the mismatch list."""
+        if self.identical:
+            return "identical"
+        return "\n".join(self.problems())
+
+
+def _diff_record_lists(
+    expected: List[Dict[str, Any]],
+    actual: List[Dict[str, Any]],
+    label: str,
+) -> List[str]:
+    problems: List[str] = []
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if json_line(want) != json_line(got):
+            problems.append(
+                "%s %d differs: expected %s, got %s"
+                % (label, index, json_line(want), json_line(got))
+            )
+            if len(problems) >= _MAX_REPORTED:
+                problems.append("... (further %s diffs suppressed)" % label)
+                break
+    if len(expected) != len(actual):
+        problems.append(
+            "%s count differs: expected %d, got %d"
+            % (label, len(expected), len(actual))
+        )
+    return problems
+
+
+def _diff_bus(expected: str, actual: str) -> List[str]:
+    if expected == actual:
+        return []
+    divergence = next(
+        (i for i, (a, b) in enumerate(zip(expected, actual)) if a != b),
+        min(len(expected), len(actual)),
+    )
+    start = max(0, divergence - _BUS_CONTEXT)
+    end = divergence + _BUS_CONTEXT
+    problems = [
+        "first divergence at bit %d" % divergence,
+        "expected ...%s..." % expected[start:end],
+        "actual   ...%s..." % actual[start:end],
+    ]
+    if len(expected) != len(actual):
+        problems.append(
+            "length differs: expected %d bits, got %d" % (len(expected), len(actual))
+        )
+    return problems
+
+
+def diff_traces(expected: RecordedTrace, actual: RecordedTrace) -> TraceDiff:
+    """Compare two recordings section by section.
+
+    ``expected`` is the reference (e.g. the checked-in corpus entry),
+    ``actual`` the candidate (e.g. a fresh replay).
+    """
+    diff = TraceDiff()
+    if json_line(expected.manifest) != json_line(actual.manifest):
+        for key in sorted(set(expected.manifest) | set(actual.manifest)):
+            want = expected.manifest.get(key)
+            got = actual.manifest.get(key)
+            if json_line(want) != json_line(got):
+                diff.manifest.append(
+                    "%r: expected %s, got %s" % (key, json_line(want), json_line(got))
+                )
+    diff.bus = _diff_bus(expected.bus, actual.bus)
+    diff.bits = _diff_record_lists(expected.bits, actual.bits, "bit")
+    diff.events = _diff_record_lists(expected.events, actual.events, "event")
+    if json_line(expected.verdict) != json_line(actual.verdict):
+        for key in sorted(set(expected.verdict) | set(actual.verdict)):
+            want = expected.verdict.get(key)
+            got = actual.verdict.get(key)
+            if json_line(want) != json_line(got):
+                diff.verdict.append(
+                    "%r: expected %s, got %s" % (key, json_line(want), json_line(got))
+                )
+    return diff
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one recording."""
+
+    recorded: RecordedTrace
+    replayed: RecordedTrace
+    diff: TraceDiff
+    outcome: Any = field(repr=False, default=None)
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether the replay reproduced the recording exactly."""
+        return self.diff.identical
+
+
+class Replayer:
+    """Rebuild and re-run a recorded scenario, diffing against it.
+
+    Accepts a path to a ``.jsonl`` recording or an already-loaded
+    :class:`RecordedTrace`.
+    """
+
+    def __init__(self, recording: Union[str, RecordedTrace]) -> None:
+        if isinstance(recording, RecordedTrace):
+            self.recorded = recording
+        else:
+            self.recorded = load_trace(recording)
+
+    def spec(self) -> ScenarioSpec:
+        """The scenario spec the replay will run."""
+        return self.recorded.spec()
+
+    def replay(self) -> ReplayResult:
+        """Re-run the recorded scenario and diff it against the recording."""
+        spec = self.spec()
+        outcome = spec.run()
+        replayed = recorded_from_outcome(outcome, spec=spec)
+        # The recorded manifest may carry free-form metadata; replays
+        # compare scenario substance, so mirror it before diffing.
+        if "meta" in self.recorded.manifest:
+            replayed.manifest = dict(replayed.manifest)
+            replayed.manifest["meta"] = self.recorded.manifest["meta"]
+        return ReplayResult(
+            recorded=self.recorded,
+            replayed=replayed,
+            diff=diff_traces(self.recorded, replayed),
+            outcome=outcome,
+        )
+
+
+def replay_trace(path) -> ReplayResult:
+    """Convenience: load ``path``, replay it, return the result."""
+    return Replayer(path).replay()

@@ -1,0 +1,157 @@
+"""The versioned on-disk trace schema (JSON Lines).
+
+A recording is one ``.jsonl`` file.  Every line is a JSON object with a
+``type`` field; the line order is fixed:
+
+1. exactly one ``manifest`` line (first line of the file) — everything
+   needed to *rebuild* the run: schema version, scenario name, per-node
+   protocol parameters, the transmitted frame, the serialized injector
+   script, and the engine configuration;
+2. exactly one ``bus`` line — the resolved bus level stream as a
+   compact ``d``/``r`` string (present in every recording, including
+   fast-path ones where per-bit records are off);
+3. zero or more ``bit`` lines — full per-bit observability (drives,
+   views, positions, MAC states per node), present only when the run
+   recorded bits;
+4. zero or more ``event`` lines — the merged controller event stream;
+5. exactly one ``verdict`` line (last line) — per-node delivery counts
+   and the consistency classification.
+
+The schema is versioned with :data:`SCHEMA_VERSION`; readers refuse
+files from a different major version rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import TraceStoreError
+
+#: Version stamp written into (and required from) every manifest.
+SCHEMA_VERSION = 1
+
+#: Line types, in their mandatory file order.
+MANIFEST = "manifest"
+BUS = "bus"
+BIT = "bit"
+EVENT = "event"
+VERDICT = "verdict"
+
+#: Keys a manifest line must carry.
+MANIFEST_KEYS = frozenset(
+    {"type", "version", "name", "nodes", "frame", "injector", "engine"}
+)
+
+#: Keys every per-node entry of ``manifest["nodes"]`` must carry.
+NODE_KEYS = frozenset({"name", "protocol", "m"})
+
+#: Keys a verdict line must carry.
+VERDICT_KEYS = frozenset(
+    {
+        "type",
+        "deliveries",
+        "crashed",
+        "attempts",
+        "errors_injected",
+        "consistent",
+        "inconsistent_omission",
+        "double_reception",
+    }
+)
+
+
+def _problem(problems: List[str], line_number: int, message: str) -> None:
+    problems.append("line %d: %s" % (line_number, message))
+
+
+def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check a parsed recording against the schema; return the problems.
+
+    An empty list means the recording is well-formed.  The check covers
+    structure only (line order, required keys, value shapes) — replaying
+    is how behavioural fidelity is checked.
+    """
+    problems: List[str] = []
+    records = list(records)
+    if not records:
+        return ["file is empty (expected a manifest line)"]
+
+    manifest = records[0]
+    if manifest.get("type") != MANIFEST:
+        _problem(problems, 1, "first line must be the manifest")
+    else:
+        missing = MANIFEST_KEYS - set(manifest)
+        if missing:
+            _problem(problems, 1, "manifest missing keys %s" % sorted(missing))
+        version = manifest.get("version")
+        if version != SCHEMA_VERSION:
+            _problem(
+                problems,
+                1,
+                "unsupported schema version %r (expected %d)"
+                % (version, SCHEMA_VERSION),
+            )
+        for node in manifest.get("nodes", ()):
+            if not isinstance(node, dict) or NODE_KEYS - set(node):
+                _problem(problems, 1, "malformed node entry %r" % (node,))
+
+    seen_bus = 0
+    seen_verdict = 0
+    last_bit_time: Optional[int] = None
+    stage = 0  # 0 manifest, 1 bus, 2 bits, 3 events, 4 verdict
+    order = {MANIFEST: 0, BUS: 1, BIT: 2, EVENT: 3, VERDICT: 4}
+    for number, record in enumerate(records[1:], 2):
+        kind = record.get("type")
+        if kind not in order:
+            _problem(problems, number, "unknown record type %r" % kind)
+            continue
+        if order[kind] < stage:
+            _problem(
+                problems,
+                number,
+                "%r record out of order (manifest, bus, bits, events, verdict)"
+                % kind,
+            )
+        stage = max(stage, order[kind])
+        if kind == MANIFEST:
+            _problem(problems, number, "duplicate manifest")
+        elif kind == BUS:
+            seen_bus += 1
+            levels = record.get("levels")
+            if not isinstance(levels, str) or set(levels) - {"d", "r"}:
+                _problem(problems, number, "bus levels must be a d/r string")
+        elif kind == BIT:
+            time = record.get("t")
+            if not isinstance(time, int):
+                _problem(problems, number, "bit record needs an integer 't'")
+            elif last_bit_time is not None and time <= last_bit_time:
+                _problem(problems, number, "bit times must increase strictly")
+            else:
+                last_bit_time = time
+            for field_name in ("bus", "drives", "views", "pos", "state"):
+                if field_name not in record:
+                    _problem(problems, number, "bit record missing %r" % field_name)
+        elif kind == EVENT:
+            for field_name in ("t", "node", "kind"):
+                if field_name not in record:
+                    _problem(problems, number, "event missing %r" % field_name)
+        elif kind == VERDICT:
+            seen_verdict += 1
+            missing = VERDICT_KEYS - set(record)
+            if missing:
+                _problem(problems, number, "verdict missing keys %s" % sorted(missing))
+    if seen_bus != 1:
+        problems.append("expected exactly one bus line, found %d" % seen_bus)
+    if seen_verdict != 1:
+        problems.append("expected exactly one verdict line, found %d" % seen_verdict)
+    return problems
+
+
+def require_valid(records: Iterable[Dict[str, Any]], source: str = "<trace>") -> None:
+    """Raise :class:`TraceStoreError` if ``records`` violate the schema."""
+    problems = validate_records(records)
+    if problems:
+        raise TraceStoreError(
+            "%s is not a valid v%d recording:\n  %s"
+            % (source, SCHEMA_VERSION, "\n  ".join(problems))
+        )

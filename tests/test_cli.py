@@ -96,3 +96,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MajorCAN" in out
         assert "EDCAN" in out
+
+
+class TestTraceCommands:
+    """The trace-store sub-commands: record, replay, diff, corpus."""
+
+    def test_record_then_replay(self, capsys, tmp_path):
+        out = str(tmp_path / "fig1b-can.jsonl")
+        assert main(["record", "fig1b", "--protocol", "can", "--out", out]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["replay", out]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_record_fig3a_takes_no_protocol(self, capsys, tmp_path):
+        out = str(tmp_path / "fig3a.jsonl")
+        assert main(["record", "fig3a", "--out", out]) == 0
+        assert "recorded" in capsys.readouterr().out
+
+    def test_diff_identical_and_divergent(self, capsys, tmp_path):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        assert main(["record", "fig1b", "--out", a]) == 0
+        assert main(["record", "fig1b", "--out", b]) == 0
+        assert main(["diff", a, b]) == 0
+        c = str(tmp_path / "c.jsonl")
+        assert main(["record", "fig1c", "--out", c]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, c]) == 1
+        assert "diverg" in capsys.readouterr().out.lower()
+
+    def test_corpus_update_and_check(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "update", "--dir", corpus_dir]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "check", "--dir", corpus_dir, "--jobs", "2"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_corpus_check_fails_on_missing_dir(self, tmp_path):
+        from repro.errors import TraceStoreError
+
+        with pytest.raises(TraceStoreError):
+            main(["corpus", "check", "--dir", str(tmp_path / "nope")])

@@ -177,3 +177,67 @@ class TestBurstAndBudget:
         engine = SimulationEngine(nodes, injector=injector)
         engine.run(20)
         assert injector.applied == 0
+
+
+class TestScriptSerde:
+    """Round-tripping injector scripts through plain dicts (trace store)."""
+
+    def test_trigger_round_trip(self):
+        trigger = Trigger(field=EOF, index=5, occurrence=2, repeat=True)
+        rebuilt = Trigger.from_dict(trigger.to_dict())
+        assert rebuilt.to_dict() == trigger.to_dict()
+
+    def test_fired_trigger_serializes_fresh(self):
+        node = CanController("n")
+        node.position = (EOF, 0)
+        trigger = Trigger(field=EOF)
+        assert trigger.fires(node, 0)
+        rebuilt = Trigger.from_dict(trigger.to_dict())
+        assert rebuilt.fires(node, 1)  # runtime state was not serialized
+
+    def test_view_fault_round_trip_preserves_force(self):
+        fault = ViewFault("x", Trigger(field=EOF, index=5), force=DOMINANT)
+        rebuilt = ViewFault.from_dict(fault.to_dict())
+        assert rebuilt.node == "x"
+        assert rebuilt.force is DOMINANT
+        assert rebuilt.to_dict() == fault.to_dict()
+
+    def test_flip_fault_round_trips_force_none(self):
+        fault = DriveFault("x", Trigger(field=DATA, index=0), force=None)
+        rebuilt = DriveFault.from_dict(fault.to_dict())
+        assert rebuilt.force is None
+        assert rebuilt.apply(RECESSIVE) is DOMINANT
+
+    def test_crash_fault_round_trip(self):
+        from repro.faults.injector import injector_from_dict
+
+        injector = ScriptedInjector(crash_faults=[CrashFault("tx", Trigger(time=40))])
+        rebuilt = injector_from_dict(injector.to_dict())
+        assert rebuilt.to_dict() == injector.to_dict()
+
+    def test_round_tripped_script_reproduces_the_run(self):
+        from repro.faults.injector import injector_from_dict
+
+        def script():
+            return ScriptedInjector(
+                view_faults=[
+                    ViewFault("x", Trigger(field=EOF, index=5), force=DOMINANT)
+                ]
+            )
+
+        frame = data_frame(0x123, b"\x55", message_id="m")
+        original = run_one_frame(
+            [CanController(n) for n in ("tx", "x", "y")], frame, script()
+        )
+        rebuilt = run_one_frame(
+            [CanController(n) for n in ("tx", "x", "y")],
+            frame,
+            injector_from_dict(script().to_dict()),
+        )
+        assert original.engine.bus.history == rebuilt.engine.bus.history
+
+    def test_unknown_kind_rejected(self):
+        from repro.faults.injector import injector_from_dict
+
+        with pytest.raises(ConfigurationError):
+            injector_from_dict({"kind": "random"})

@@ -76,42 +76,63 @@ class TestFig1bWirePattern:
         assert times == [retransmit_sof]
 
 
-class TestMinorCanPrimaryWirePattern:
-    def test_lone_last_bit_error_produces_flag_then_overloads(self):
-        """MinorCAN, Fig. 1a pattern: x's error flag is answered by the
-        others' overload flags whose tail gives x its primary-error
-        indication."""
-        from repro.core.minorcan import MinorCanController
+def _corpus_path(entry):
+    import os
 
-        nodes = [MinorCanController(n) for n in ("tx", "x", "y")]
-        injector = ScriptedInjector(
-            view_faults=[ViewFault("x", Trigger(field=EOF, index=6), force=DOMINANT)]
-        )
-        outcome = run_one_frame(nodes, FRAME, injector)
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "corpus",
+        entry + ".jsonl",
+    )
+
+
+class TestMinorCanPrimaryWirePattern:
+    """MinorCAN, Fig. 1a pattern: x's error flag is answered by the
+    others' overload flags whose tail gives x its primary-error
+    indication.
+
+    The scenario now lives in the golden corpus
+    (``corpus/overload-primary-minorcan.jsonl``); the wire-pattern
+    assertion runs against the checked-in recording, and a replay pins
+    the recording to the live controllers.
+    """
+
+    def test_lone_last_bit_error_produces_flag_then_overloads(self):
+        from repro.tracestore import load_trace
+
+        recorded = load_trace(_corpus_path("overload-primary-minorcan"))
         wire = encode_frame(FRAME)
         flag_start = wire.eof_start + 7  # bit after the last EOF bit
         # x flags 6 bits; tx/y react one bit later; superposition is 7
         # dominant bits; then the 8-bit recessive delimiter.
-        window = outcome.engine.bus.as_string(flag_start, flag_start + 15)
-        assert window == "dddddddrrrrrrrr"
+        assert recorded.bus[flag_start : flag_start + 15] == "dddddddrrrrrrrr"
+
+    def test_recording_replays_bit_identically(self):
+        from repro.tracestore import replay_trace
+
+        assert replay_trace(_corpus_path("overload-primary-minorcan")).bit_identical
 
 
 class TestMajorCanExtendedFlagWirePattern:
+    """MajorCAN_5 extended error flag, pinned by the golden corpus
+    entry ``corpus/eof-extended-flag-majorcan.jsonl``."""
+
     def test_second_subfield_error_extends_to_3m_plus_5(self):
-        from repro.core.majorcan import MajorCanController
+        from repro.tracestore import load_trace
 
         m = 5
-        nodes = [MajorCanController(n, m=m) for n in ("tx", "x", "y")]
-        injector = ScriptedInjector(
-            view_faults=[ViewFault("x", Trigger(field=EOF, index=m), force=DOMINANT)]
-        )
-        outcome = run_one_frame(nodes, FRAME, injector)
+        recorded = load_trace(_corpus_path("eof-extended-flag-majorcan"))
         wire = encode_frame(FRAME, eof_length=2 * m)
         eof_start = wire.eof_start
         # x detects at EOF bit m+1, extends through bit 3m+5; the other
         # nodes see x's flag at bit m+2 and extend as well.  On the bus:
         # recessive EOF bits 1..m+1 (x's error was only in its view),
         # then dominant through 3m+5, then the 2m+1-bit delimiter.
-        pattern = outcome.engine.bus.as_string(eof_start, eof_start + 3 * m + 5 + 2 * m + 1)
+        pattern = recorded.bus[eof_start : eof_start + 3 * m + 5 + 2 * m + 1]
         expected = "r" * (m + 1) + "d" * (2 * m + 4) + "r" * (2 * m + 1)
         assert pattern == expected
+
+    def test_recording_replays_bit_identically(self):
+        from repro.tracestore import replay_trace
+
+        assert replay_trace(_corpus_path("eof-extended-flag-majorcan")).bit_identical

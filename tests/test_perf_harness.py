@@ -38,3 +38,10 @@ def test_smoke_run_writes_report(tmp_path):
         assert report[section]["speedup"] > 0
     assert report["engine"]["fast_path"]["bits_per_sec"] > 0
     assert report["engine"]["fast_path_speedup"] > 0
+    capture = report["capture"]
+    assert capture["fast_path"]["bits_per_sec"] > 0
+    assert capture["fast_path_with_recording"]["bits_per_sec"] > 0
+    # Overhead is a ratio relative to the bare fast path; smoke counts on a
+    # loaded 1-CPU host are too noisy for a tight bound, but the key must
+    # exist and be a finite number.
+    assert isinstance(capture["overhead"], float)

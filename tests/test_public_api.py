@@ -11,10 +11,12 @@ import repro.can
 import repro.core
 import repro.faults
 import repro.metrics
+import repro.parallel
 import repro.properties
 import repro.protocols
 import repro.redundancy
 import repro.simulation
+import repro.tracestore
 import repro.workload
 
 
@@ -32,6 +34,14 @@ class TestTopLevel:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_tracestore_entry_points(self):
+        assert callable(repro.TraceRecorder)
+        assert callable(repro.Replayer)
+        assert callable(repro.load_trace)
+        assert callable(repro.replay_trace)
+        assert callable(repro.check_corpus)
+        assert repro.tracestore.SCHEMA_VERSION == 1
+
 
 class TestSubpackageAllLists:
     def test_every_all_entry_exists(self):
@@ -41,10 +51,12 @@ class TestSubpackageAllLists:
             repro.core,
             repro.faults,
             repro.metrics,
+            repro.parallel,
             repro.properties,
             repro.protocols,
             repro.redundancy,
             repro.simulation,
+            repro.tracestore,
             repro.workload,
         ):
             for name in module.__all__:
@@ -80,10 +92,12 @@ class TestDocstrings:
             repro.core,
             repro.faults,
             repro.metrics,
+            repro.parallel,
             repro.properties,
             repro.protocols,
             repro.redundancy,
             repro.simulation,
+            repro.tracestore,
             repro.workload,
         ):
             for name in module.__all__:
