@@ -1,22 +1,30 @@
 # Convenience targets for the MajorCAN reproduction.
 
 PYTHON ?= python
+# JSON report written by bench-perf (override: make bench-perf OUT=foo.json).
+OUT ?= BENCH_PR3.json
 
-.PHONY: install test bench bench-perf corpus-check corpus-update examples experiments clean
+.PHONY: install test lint bench bench-perf corpus-check corpus-update examples experiments clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
+# Same invocation as the tier-1 CI job — works without an editable install.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
+
+# Uses ruff (configured in pyproject.toml) when available; otherwise the
+# stdlib fallback checker in tools/lint.py covers the same error classes.
+lint:
+	$(PYTHON) tools/lint.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Timing harness for the parallel trial layer + engine fast path;
-# writes BENCH_PR1.json at the repo root.
+# Timing harness for the controller fast path, the parallel trial layer
+# and the engine bit loop; writes $(OUT) at the repo root.
 bench-perf:
-	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --out BENCH_PR1.json
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --out $(OUT)
 
 # Golden-scenario trace corpus (see docs/traces.md).  check replays
 # every recording and fails on any behavioural diff; update re-records

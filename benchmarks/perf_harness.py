@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""Performance harness for the simulation workloads (PR 1).
+"""Performance harness for the simulation workloads.
 
-Measures the two axes this repo's perf trajectory tracks:
+Measures the axes this repo's perf trajectory tracks:
 
 * **simulated bits/sec** of the engine's inner loop — with per-bit
   recording (``record_bits=True``) and on the lean fast path
   (``record_bits=False``), which skips all per-bit dict and
   ``BitRecord`` construction;
+* **simulated bits/sec** of the controller hot loop on the
+  ``record_bits=False`` engine — the table-driven controller fast path
+  (``ControllerConfig(fast_path=True)``, the default) versus the
+  branchy reference state machine (``fast_path=False``);
 * **trials/sec** of the statistical workloads (Monte-Carlo sampling
   and bounded exhaustive verification) — serial (``jobs=1``) versus
   fanned out over the ``repro.parallel`` worker pool.
 
-Writes a JSON report (default ``BENCH_PR1.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR3.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -124,6 +128,38 @@ def bench_fast_path_bare(frames: int) -> Dict[str, float]:
     }
 
 
+def bench_controller(frames: int, fast_path: bool) -> Dict[str, float]:
+    """Simulated bits/sec of the controller hot loop.
+
+    Runs the same three-node workload as :func:`bench_engine_bits` on
+    the ``record_bits=False`` engine — where per-bit cost is dominated
+    by ``CanController.drive`` / ``on_bit`` — with the table-driven
+    fast path either enabled (the default configuration) or disabled
+    (the branchy reference state machine kept for differential
+    testing).
+    """
+    from repro.can.controller import CanController
+    from repro.can.controller_config import ControllerConfig
+    from repro.can.frame import data_frame
+    from repro.simulation.engine import SimulationEngine
+
+    config = ControllerConfig(fast_path=fast_path)
+    nodes = [CanController(name, config) for name in ("tx", "r1", "r2")]
+    engine = SimulationEngine(nodes, record_bits=False)
+    for index in range(frames):
+        nodes[0].submit(data_frame(0x100 + (index % 0x200), b"\x55\xaa"))
+    started = time.perf_counter()
+    engine.run_until_idle(max_bits=10_000_000)
+    elapsed = time.perf_counter() - started
+    return {
+        "frames": frames,
+        "fast_path": fast_path,
+        "bits": engine.time,
+        "seconds": elapsed,
+        "bits_per_sec": engine.time / elapsed if elapsed else float("inf"),
+    }
+
+
 def bench_montecarlo(trials: int, jobs: int) -> Dict[str, float]:
     """Trials/sec of the tail-window Monte-Carlo workload (E-MC)."""
     from repro.analysis.montecarlo import monte_carlo_tail
@@ -168,6 +204,8 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
 
     recorded = bench_engine_bits(frames, record_bits=True)
     fast = bench_engine_bits(frames, record_bits=False)
+    ctrl_reference = bench_controller(frames, fast_path=False)
+    ctrl_fast = bench_controller(frames, fast_path=True)
     capture_base = bench_fast_path_bare(frames)
     capture_rec = bench_fast_path_capture(frames)
     mc_serial = bench_montecarlo(trials, jobs=1)
@@ -176,7 +214,8 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
     ver_parallel = bench_verify(flips, jobs=jobs)
 
     return {
-        "bench": "PR1 parallel trial execution + bit-loop fast path",
+        "bench": "PR3 table-driven controller fast path "
+        "(+ PR1 parallel trials and engine bit loop)",
         "smoke": smoke,
         "host": {
             "cpu_count": cpu_count(),
@@ -189,6 +228,15 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
             "fast_path": fast,
             "fast_path_speedup": _speedup(
                 recorded["bits_per_sec"], fast["bits_per_sec"]
+            ),
+        },
+        "controller": {
+            "reference": ctrl_reference,
+            "fast_path": ctrl_fast,
+            # The PR 3 acceptance bar for this is >= 1.5x on the
+            # record_bits=False hot loop.
+            "fast_path_speedup": _speedup(
+                ctrl_reference["bits_per_sec"], ctrl_fast["bits_per_sec"]
             ),
         },
         "capture": {
@@ -232,7 +280,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR1.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR3.json"),
         help="where to write the JSON report",
     )
     args = parser.parse_args(argv)
@@ -246,6 +294,11 @@ def main(argv=None) -> int:
         report["engine"]["recorded"]["bits_per_sec"],
         report["engine"]["fast_path"]["bits_per_sec"],
         report["engine"]["fast_path_speedup"],
+    ))
+    print("controller : %8.0f bits/s reference, %8.0f bits/s fast path (x%.2f)" % (
+        report["controller"]["reference"]["bits_per_sec"],
+        report["controller"]["fast_path"]["bits_per_sec"],
+        report["controller"]["fast_path_speedup"],
     ))
     print("capture    : %8.0f bits/s bare, %8.0f bits/s recording (%+.1f%% overhead)" % (
         report["capture"]["fast_path"]["bits_per_sec"],

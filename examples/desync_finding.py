@@ -23,7 +23,7 @@ Run with::
 
 from repro.can import CanController, data_frame
 from repro.core import MajorCanController, MinorCanController
-from repro.faults import ErrorBudgetInjector, make_controller
+from repro.faults import ErrorBudgetInjector
 from repro.faults.scenarios import run_single_frame_scenario
 
 #: Bit time of the DLC bit whose corruption desynchronises receiver x

@@ -17,10 +17,8 @@ Run with::
 """
 
 from repro.can.bits import DOMINANT, RECESSIVE
-from repro.can.controller import CanController
 from repro.can.fields import EOF
 from repro.can.frame import data_frame
-from repro.core.majorcan import MajorCanController
 from repro.faults import ScriptedInjector, Trigger, ViewFault
 from repro.faults.scenarios import fig3
 from repro.redundancy import DualBusSystem

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.majorcan import MajorCanController, majorcan_config
+from repro.core.majorcan import MajorCanController
 from repro.errors import AnalysisError
 
 

@@ -25,7 +25,7 @@ rates and the *numbers* with the closed forms.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import AnalysisError

@@ -24,7 +24,6 @@ m should be considered").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 

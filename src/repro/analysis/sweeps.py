@@ -17,7 +17,7 @@ The paper evaluates one operating point (Table 1) and one tolerance
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.overhead import (
     best_case_overhead_bits,

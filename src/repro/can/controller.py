@@ -29,11 +29,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Union
 
 from repro.can.bits import DOMINANT, RECESSIVE, Level
 from repro.can.controller_config import ControllerConfig
-from repro.can.encoding import WireFrame, encode_frame
+from repro.can.encoding import (
+    OP_ACK,
+    OP_EOF,
+    OP_MATCH,
+    WireFrame,
+    WireProgram,
+    encode_frame,
+    wire_program,
+)
 from repro.can.error_counters import ConfinementState, ErrorCounters
 from repro.can.events import Delivery, ErrorReason, Event, EventKind
 from repro.can.fields import (
@@ -56,7 +64,15 @@ from repro.can.fields import (
 )
 from repro.can.frame import Frame
 from repro.can.identifiers import CanId
-from repro.can.parser import FrameParser
+from repro.can.parser import (
+    STEP_ACK_DELIM,
+    STEP_EOF,
+    STEP_FORM_VIOLATION,
+    STEP_OK,
+    STEP_STUFF_VIOLATION,
+    FastFrameParser,
+    FrameParser,
+)
 from repro.errors import SimulationError
 
 # ---------------------------------------------------------------------------
@@ -129,8 +145,11 @@ class CanController:
 
         self._state = STATE_IDLE
         self._wire: Optional[WireFrame] = None
+        self._program: Optional[WireProgram] = None
         self._tx_pos = 0
-        self._parser: Optional[FrameParser] = None
+        #: Reference parser or its fast-path equivalent, depending on
+        #: ``config.fast_path`` (both expose the same verdict surface).
+        self._parser: Optional[Union[FrameParser, FastFrameParser]] = None
         self._parser_failed = False
         self._driven: Level = RECESSIVE
         self._flag_remaining = 0
@@ -180,6 +199,15 @@ class CanController:
             STATE_SUSPEND: self._bit_suspend,
             STATE_BUS_OFF: self._bit_bus_off,
         }
+        if self.config.fast_path:
+            # Table-driven hot loop: only the steady transmit/receive
+            # states are replaced; error, overload and inter-frame
+            # states always run the reference step (and every protocol
+            # extension point is invoked identically).
+            self._drive_handlers[STATE_RECEIVING] = self._drive_receiving_fast
+            self._drive_handlers[STATE_TRANSMITTING] = self._drive_transmitting_fast
+            self._bit_handlers[STATE_RECEIVING] = self._bit_receiving_fast
+            self._bit_handlers[STATE_TRANSMITTING] = self._bit_transmitting_fast
 
     # ------------------------------------------------------------------
     # Public API
@@ -502,18 +530,135 @@ class CanController:
             self._state = STATE_IDLE
 
     # ------------------------------------------------------------------
+    # Fast-path handlers (table-driven transmit/receive hot loop)
+    #
+    # These are drop-in replacements for _drive_receiving /
+    # _drive_transmitting / _bit_receiving / _bit_transmitting,
+    # installed when ``config.fast_path`` is set.  They publish the
+    # same positions, raise the same errors at the same bit times and
+    # call the same protocol extension points (_rx_eof_bit /
+    # _tx_eof_bit), so MinorCAN and MajorCAN run on them unchanged;
+    # the differential suite pins the equivalence.
+    # ------------------------------------------------------------------
+
+    def _drive_receiving_fast(self) -> Level:
+        parser = self._parser
+        self.position = parser.next_position
+        if (
+            parser.next_field is ACK_SLOT
+            and not parser.next_is_stuff
+            and parser.header_complete
+            and parser.crc_ok
+        ):
+            return DOMINANT
+        return RECESSIVE
+
+    def _drive_transmitting_fast(self) -> Level:
+        program = self._program
+        position = self._tx_pos
+        self.position = program.positions[position]
+        return program.levels[position]
+
+    def _bit_receiving_fast(self, seen: Level) -> None:
+        parser = self._parser
+        code = parser.feed_code(seen)
+        if code == STEP_OK:
+            return
+        if code == STEP_EOF:
+            self._rx_eof_bit(parser.last_index, seen)
+            return
+        if code == STEP_STUFF_VIOLATION:
+            self._enter_error(ErrorReason.STUFF)
+            return
+        if code == STEP_FORM_VIOLATION:
+            self._enter_error(ErrorReason.FORM)
+            return
+        if code == STEP_ACK_DELIM and parser.crc_ok is False:
+            self._enter_error(ErrorReason.CRC)
+
+    def _bit_transmitting_fast(self, seen: Level) -> None:
+        program = self._program
+        position = self._tx_pos
+        op = program.ops[position]
+        if op == OP_MATCH:  # any mismatch is a bit error
+            if seen is program.levels[position]:
+                self._tx_pos = position + 1
+                if position + 1 >= program.length:  # pragma: no cover - EOF ends frames
+                    self._tx_success()
+                return
+            self._enter_error(ErrorReason.BIT, field=program.positions[position][0])
+            return
+        if op == OP_EOF:
+            if self._tx_eof_bit(program.positions[position][1], seen):
+                return
+            self._tx_pos = position + 1
+            if position + 1 >= program.length:
+                self._tx_success()
+            return
+        if op == OP_ACK:
+            if seen is not DOMINANT:
+                self._enter_error(ErrorReason.ACK)
+                return
+            self._tx_pos = position + 1
+            return
+        # OP_ARB: recessive non-stuff arbitration bit; a dominant view
+        # means the arbitration is lost and the node turns receiver.
+        if seen is program.levels[position]:
+            self._tx_pos = position + 1
+            return
+        self._materialize_rx_parser(position, seen)
+        field, index = program.positions[position]
+        self._log(EventKind.ARBITRATION_LOST, field=field, index=index)
+        self.is_transmitter = False
+        self._wire = None
+        self._program = None
+        self._state = STATE_RECEIVING
+
+    def _materialize_rx_parser(self, upto: int, seen: Level) -> None:
+        """Build the receive parser a fast-path transmitter skipped.
+
+        The reference implementation keeps a parallel receive parser in
+        sync on every transmitted bit (:meth:`_feed_parser_quietly`) so
+        a node that loses arbitration can continue as a receiver.  On
+        the fast path that per-bit work is elided: until the first
+        divergence the observed levels equal the precompiled wire
+        levels exactly (any earlier mismatch would have ended the
+        transmission), so the parser state is reconstructed here, once,
+        by replaying the first ``upto`` program bits plus the observed
+        bit that lost the arbitration.
+        """
+        parser = FastFrameParser(eof_length=self.config.eof_length)
+        feed = parser.feed_code
+        for value in self._program.bit_values[:upto]:
+            feed(value)
+        feed(seen)
+        self._parser = parser
+        self._parser_failed = False
+
+    # ------------------------------------------------------------------
     # Frame start/stop helpers
     # ------------------------------------------------------------------
 
-    def _start_transmission(self, skip_sof: bool = False, observed_sof: Optional[Level] = None) -> Level:
+    def _start_transmission(
+        self, skip_sof: bool = False, observed_sof: Optional[Level] = None
+    ) -> Level:
         job = self.tx_queue[0]
         job.attempts += 1
-        self._wire = encode_frame(job.frame, eof_length=self.config.eof_length)
         self._tx_pos = 1 if skip_sof else 0
-        self._parser = FrameParser(eof_length=self.config.eof_length)
-        self._parser_failed = False
-        if skip_sof and observed_sof is not None:
-            self._parser.feed(observed_sof)
+        if self.config.fast_path:
+            # Compiled program; the parallel receive parser stays
+            # unmaterialized until an arbitration loss needs it (see
+            # _materialize_rx_parser).
+            self._program = wire_program(job.frame, self.config.eof_length)
+            self._wire = self._program.wire
+            self._parser = None
+            self._parser_failed = False
+        else:
+            self._wire = encode_frame(job.frame, eof_length=self.config.eof_length)
+            self._parser = FrameParser(eof_length=self.config.eof_length)
+            self._parser_failed = False
+            if skip_sof and observed_sof is not None:
+                self._parser.feed(observed_sof)
         self.is_transmitter = True
         self._frame_open = True
         self._rx_delivered = False
@@ -529,9 +674,13 @@ class CanController:
         return wire_bit.level
 
     def _start_reception(self, sof_level: Level) -> None:
-        self._parser = FrameParser(eof_length=self.config.eof_length)
+        if self.config.fast_path:
+            self._parser = FastFrameParser(eof_length=self.config.eof_length)
+            self._parser.feed_code(sof_level)
+        else:
+            self._parser = FrameParser(eof_length=self.config.eof_length)
+            self._parser.feed(sof_level)
         self._parser_failed = False
-        self._parser.feed(sof_level)
         self.is_transmitter = False
         self._frame_open = True
         self._rx_delivered = False
@@ -558,6 +707,7 @@ class CanController:
         if self.config.self_delivery:
             self._record_delivery(job.frame, attempt=job.attempts)
         self._wire = None
+        self._program = None
         self._enter_intermission()
 
     def _should_ack(self) -> bool:
@@ -713,6 +863,7 @@ class CanController:
         if self.config.self_delivery:
             self._record_delivery(job.frame, attempt=job.attempts)
         self._wire = None
+        self._program = None
 
     def _enter_overload(self, reactive: bool) -> None:
         self._log(EventKind.OVERLOAD_FLAG_START, reactive=reactive)

@@ -45,6 +45,15 @@ class ControllerConfig:
         of 11 consecutive recessive bits (the optional ISO 11898
         recovery sequence).  Off by default: the paper treats bus-off
         as a crash within the reference interval.
+    fast_path:
+        Whether the controller uses the table-driven hot loop
+        (precompiled transmit programs and the allocation-free receive
+        parser) for the ``transmitting``/``receiving`` states.  The
+        behaviour is bit-identical to the reference implementation —
+        ``tests/test_controller_fastpath.py`` and ``make corpus-check``
+        enforce it — so this stays on by default; set it to ``False``
+        to run the branchy reference state machine (differential
+        testing, debugging).
     """
 
     eof_length: int = STANDARD_EOF_LENGTH
@@ -53,6 +62,7 @@ class ControllerConfig:
     self_delivery: bool = True
     max_retransmissions: Optional[int] = None
     bus_off_recovery: bool = False
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.eof_length < 2:

@@ -11,6 +11,7 @@ arbitration instead of a bit error).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.can.bits import Level
@@ -19,7 +20,6 @@ from repro.can.fields import (
     ARBITRATION_FIELDS,
     EOF,
     STANDARD_EOF_LENGTH,
-    FieldSegment,
     header_segments,
     tail_segments,
 )
@@ -130,3 +130,83 @@ def encode_frame(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> WireFra
                 )
             )
     return WireFrame(frame=frame, bits=tuple(wire_bits), eof_length=eof_length)
+
+
+# ---------------------------------------------------------------------------
+# Precompiled transmit programs (the controller fast path)
+# ---------------------------------------------------------------------------
+
+#: Per-bit opcodes of a :class:`WireProgram`.  The transmitter's steady
+#: state reduces to "compare the observed level against the precompiled
+#: one and advance"; the opcode tells the controller which *exception*
+#: rule applies on this bit, so the hot loop never inspects field names.
+OP_MATCH = 0  #: mismatch is a bit error
+OP_ARB = 1  #: recessive non-stuff arbitration bit: mismatch is a lost arbitration
+OP_ACK = 2  #: ACK slot: a recessive bus is an ACK error
+OP_EOF = 3  #: EOF bit: delegate to the protocol's ``_tx_eof_bit`` policy
+
+
+@dataclass(frozen=True)
+class WireProgram:
+    """A :class:`WireFrame` flattened for index-driven transmission.
+
+    ``levels``, ``positions`` and ``ops`` are parallel tuples, one entry
+    per on-the-wire bit: the driven :class:`Level`, the prebuilt
+    ``(field, index)`` position tuple the controller publishes, and the
+    :data:`OP_MATCH`-family opcode consumed by the transmit bit handler.
+    ``bit_values`` carries the same levels as plain ints for the lazy
+    receive-parser replay after a lost arbitration.
+    """
+
+    wire: WireFrame
+    levels: Tuple[Level, ...]
+    bit_values: Tuple[int, ...]
+    positions: Tuple[Tuple[str, int], ...]
+    ops: Tuple[int, ...]
+    length: int
+
+
+def compile_wire(wire: WireFrame) -> WireProgram:
+    """Flatten ``wire`` into the parallel arrays of a :class:`WireProgram`."""
+    levels: List[Level] = []
+    bit_values: List[int] = []
+    positions: List[Tuple[str, int]] = []
+    ops: List[int] = []
+    for wire_bit in wire.bits:
+        levels.append(wire_bit.level)
+        bit_values.append(int(wire_bit.level))
+        positions.append((wire_bit.field, wire_bit.index))
+        if wire_bit.field == EOF:
+            ops.append(OP_EOF)
+        elif wire_bit.field == ACK_SLOT:
+            ops.append(OP_ACK)
+        elif (
+            wire_bit.in_arbitration
+            and wire_bit.level is Level.RECESSIVE
+            and not wire_bit.is_stuff
+        ):
+            ops.append(OP_ARB)
+        else:
+            ops.append(OP_MATCH)
+    return WireProgram(
+        wire=wire,
+        levels=tuple(levels),
+        bit_values=tuple(bit_values),
+        positions=tuple(positions),
+        ops=tuple(ops),
+        length=len(wire.bits),
+    )
+
+
+@lru_cache(maxsize=512)
+def wire_program(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> WireProgram:
+    """Encode ``frame`` and compile it, caching by frame identity.
+
+    Retransmissions re-enter :meth:`CanController._start_transmission`
+    once per attempt; the cache makes every attempt after the first —
+    and every identical frame in a workload — reuse one encoded and
+    compiled program.  :class:`Frame` is frozen and hashable, and the
+    compiled arrays are immutable, so sharing across controllers (and
+    protocol variants with equal ``eof_length``) is safe.
+    """
+    return compile_wire(encode_frame(frame, eof_length=eof_length))

@@ -10,7 +10,7 @@ inspecting payload bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.can.identifiers import CanId

@@ -16,6 +16,7 @@ standard CAN, MinorCAN and MajorCAN differ).
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.can.bits import Level, int_from_bits
@@ -40,7 +41,7 @@ from repro.can.fields import (
 )
 from repro.can.frame import Frame
 from repro.can.identifiers import CanId
-from repro.can.stuffing import Destuffer, StuffResult
+from repro.can.stuffing import STUFF_WIDTH, Destuffer, StuffResult
 from repro.errors import DecodingError
 
 
@@ -318,3 +319,327 @@ class FrameParser:
             extension = int_from_bits(self._fields[ID_B])
             return CanId((base << 18) | extension, extended=True)
         return CanId(base, extended=False)
+
+
+# ---------------------------------------------------------------------------
+# Table-driven fast parser (the controller fast path)
+# ---------------------------------------------------------------------------
+
+#: Integer step codes returned by :meth:`FastFrameParser.feed_code`.
+#: They carry exactly the information the controller's receive handler
+#: branches on, replacing the per-bit :class:`ParserStep` allocation.
+STEP_OK = 0  #: nothing to decide; keep receiving
+STEP_STUFF_VIOLATION = 1  #: six identical bits in the stuffed region
+STEP_FORM_VIOLATION = 2  #: dominant level at a fixed-form delimiter bit
+STEP_ACK_DELIM = 3  #: ACK delimiter consumed; check ``crc_ok`` now
+STEP_EOF = 4  #: an EOF bit (its index is in :attr:`FastFrameParser.last_index`)
+
+#: CRC-15 constants inlined into the fast feed loop.
+_CRC_POLY = 0x4599
+_CRC_TOP_SHIFT = CRC_WIDTH - 1
+_CRC_MASK = 0x7FFF
+
+
+@lru_cache(maxsize=8)
+def _tail_positions(eof_length: int) -> Tuple[Tuple[str, int], ...]:
+    """Prebuilt ``(field, index)`` tuples for the fixed-form frame tail.
+
+    Indexed by the number of tail bits already consumed, with a final
+    sentinel repeating the last EOF position (what ``upcoming`` reports
+    once the frame is complete).  Shared by every frame of the same
+    ``eof_length``, so steady-state tail bits allocate no tuples.
+    """
+    positions: List[Tuple[str, int]] = [(CRC_DELIM, 0), (ACK_SLOT, 0), (ACK_DELIM, 0)]
+    positions.extend((EOF, index) for index in range(eof_length))
+    positions.append((EOF, eof_length - 1))
+    return tuple(positions)
+
+
+class FastFrameParser:
+    """Allocation-free equivalent of :class:`FrameParser`.
+
+    Consumes the same observed bus levels and reaches the same verdicts
+    (positions, stuff/form violations, CRC verdict, reconstructed
+    frame), but reports each bit as an integer :data:`STEP_OK`-family
+    code instead of a :class:`ParserStep`, keeps the destuffer and the
+    CRC-15 register inlined as plain ints, and walks the field sequence
+    with a single cursor over interned field names.  The fixed-form
+    tail steps through the precompiled :func:`_tail_positions` table.
+
+    The controller-facing surface mirrors the reference parser:
+    ``crc_ok``, ``header_complete``, ``complete``, ``upcoming`` and
+    ``frame()`` behave identically, which is what keeps the MinorCAN
+    and MajorCAN extension points working unchanged on the fast path.
+    ``tests/test_controller_fastpath.py`` enforces the equivalence
+    bit-for-bit against the reference implementation.
+    """
+
+    __slots__ = (
+        "eof_length",
+        "complete",
+        "header_complete",
+        "crc_ok",
+        "failed",
+        "last_index",
+        "next_field",
+        "next_index",
+        "next_is_stuff",
+        "next_position",
+        "_field",
+        "_length",
+        "_consumed",
+        "_acc",
+        "_run_value",
+        "_run_length",
+        "_expect_stuff",
+        "_stuffed",
+        "_crc",
+        "_pending_header",
+        "_crc_received",
+        "_id_a",
+        "_id_b",
+        "_rtr_bit",
+        "_extended",
+        "_remote",
+        "_dlc",
+        "_data_int",
+        "_data_bits",
+        "_tail_consumed",
+        "_tail_table",
+    )
+
+    def __init__(self, eof_length: int = STANDARD_EOF_LENGTH) -> None:
+        if eof_length < 2:
+            raise DecodingError("EOF must be at least 2 bits long")
+        self.eof_length = eof_length
+        self.complete = False
+        self.header_complete = False
+        self.crc_ok: Optional[bool] = None
+        self.failed = False
+        self.last_index = 0
+        self.next_field = SOF
+        self.next_index = 0
+        self.next_is_stuff = False
+        self.next_position: Tuple[str, int] = (SOF, 0)
+        self._field = SOF
+        self._length = 1
+        self._consumed = 0
+        self._acc = 0
+        self._run_value = -1
+        self._run_length = 0
+        self._expect_stuff = False
+        self._stuffed = True
+        self._crc = 0
+        self._pending_header = False
+        self._crc_received = 0
+        self._id_a = 0
+        self._id_b = 0
+        self._rtr_bit = 0
+        self._extended: Optional[bool] = None
+        self._remote: Optional[bool] = None
+        self._dlc = 0
+        self._data_int = 0
+        self._data_bits = 0
+        self._tail_consumed = 0
+        self._tail_table = _tail_positions(eof_length)
+
+    # ------------------------------------------------------------------
+    # Reference-parser API surface
+    # ------------------------------------------------------------------
+
+    @property
+    def upcoming(self) -> Tuple[str, int, bool]:
+        """``(field, index, is_stuff)`` of the next bit, as the reference."""
+        return (self.next_field, self.next_index, self.next_is_stuff)
+
+    def frame(self) -> Frame:
+        """Reconstruct the received frame (valid once the header is in)."""
+        if not self.header_complete:
+            raise DecodingError("frame not yet fully received")
+        if self._extended:
+            identifier = CanId((self._id_a << 18) | self._id_b, extended=True)
+        else:
+            identifier = CanId(self._id_a, extended=False)
+        nbytes = self._data_bits >> 3
+        data = self._data_int.to_bytes(nbytes, "big") if nbytes else b""
+        return Frame(
+            can_id=identifier, data=data, remote=bool(self._remote), dlc=self._dlc
+        )
+
+    def feed(self, level: Level) -> int:
+        """Alias of :meth:`feed_code` (for drop-in replay loops)."""
+        return self.feed_code(level)
+
+    # ------------------------------------------------------------------
+    # Bit consumption
+    # ------------------------------------------------------------------
+
+    def feed_code(self, level: Level) -> int:
+        """Consume one observed level; return a ``STEP_*`` code."""
+        if self.complete:
+            raise DecodingError("parser fed past the end of the frame")
+        if self.failed:
+            raise DecodingError("parser fed after an unrecoverable violation")
+        bit = 1 if level else 0
+        if self._stuffed or self._expect_stuff:
+            if self._expect_stuff:
+                self._expect_stuff = False
+                if bit == self._run_value:
+                    self.failed = True
+                    self.next_field = EOF
+                    self.next_index = self.eof_length - 1
+                    self.next_is_stuff = False
+                    self.next_position = self._tail_table[-1]
+                    return STEP_STUFF_VIOLATION
+                self._run_value = bit
+                self._run_length = 1
+                if self._pending_header:
+                    self._finish_header()
+                self._set_next()
+                return STEP_OK
+            if bit == self._run_value:
+                self._run_length += 1
+                if self._run_length == STUFF_WIDTH:
+                    self._expect_stuff = True
+            else:
+                self._run_value = bit
+                self._run_length = 1
+            field = self._field
+            if field is not CRC:
+                register = self._crc
+                if bit ^ (register >> _CRC_TOP_SHIFT):
+                    self._crc = ((register << 1) ^ _CRC_POLY) & _CRC_MASK
+                else:
+                    self._crc = (register << 1) & _CRC_MASK
+            self._acc = (self._acc << 1) | bit
+            self._consumed += 1
+            if self._consumed == self._length:
+                self._advance_after(field)
+            if self._pending_header and not self._expect_stuff:
+                self._finish_header()
+            self._set_next()
+            return STEP_OK
+        # Fixed-form tail: CRC delimiter, ACK field, EOF.
+        field = self._field
+        index = self._consumed
+        self._consumed += 1
+        self._tail_consumed += 1
+        code = STEP_OK
+        if field is EOF:
+            self.last_index = index
+            code = STEP_EOF
+            if self._consumed == self._length:
+                self.complete = True
+        elif field is ACK_DELIM:
+            code = STEP_FORM_VIOLATION if bit == 0 else STEP_ACK_DELIM
+            self._field = EOF
+            self._length = self.eof_length
+            self._consumed = 0
+        elif field is ACK_SLOT:
+            self._field = ACK_DELIM
+            self._length = 1
+            self._consumed = 0
+        else:  # CRC_DELIM
+            if not self.header_complete:  # pragma: no cover - defensive parity
+                self._finish_header()
+            if bit == 0:
+                code = STEP_FORM_VIOLATION
+            self._field = ACK_SLOT
+            self._length = 1
+            self._consumed = 0
+        position = self._tail_table[self._tail_consumed]
+        self.next_field = position[0]
+        self.next_index = position[1]
+        self.next_is_stuff = False
+        self.next_position = position
+        return code
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _finish_header(self) -> None:
+        self._pending_header = False
+        self.header_complete = True
+        self.crc_ok = self._crc_received == self._crc
+
+    def _set_next(self) -> None:
+        """Publish the reference parser's ``upcoming`` for the next bit."""
+        field = self._field
+        if self._expect_stuff:
+            if field is CRC_DELIM:
+                self.next_field = CRC
+                self.next_index = CRC_WIDTH - 1
+            else:
+                self.next_field = field
+                consumed = self._consumed
+                self.next_index = consumed - 1 if consumed > 0 else 0
+            self.next_is_stuff = True
+        else:
+            self.next_field = field
+            self.next_index = self._consumed
+            self.next_is_stuff = False
+        self.next_position = (self.next_field, self.next_index)
+
+    def _advance_after(self, finished: str) -> None:
+        """Field-walk transitions of the stuffed region (see reference)."""
+        acc = self._acc
+        self._acc = 0
+        self._consumed = 0
+        if finished is SOF:
+            self._field = ID_A
+            self._length = 11
+        elif finished is ID_A:
+            self._id_a = acc
+            self._field = RTR
+            self._length = 1
+        elif finished is RTR:
+            if self._extended:
+                self._remote = bool(acc)
+                self._field = R1
+            else:
+                # Provisional slot: RTR (base) or SRR (extended); the IDE
+                # bit decides.
+                self._rtr_bit = acc
+                self._field = IDE
+            self._length = 1
+        elif finished is IDE:
+            if acc:
+                self._extended = True
+                self._field = ID_B
+                self._length = 18
+            else:
+                self._extended = False
+                self._remote = bool(self._rtr_bit)
+                self._field = R0
+                self._length = 1
+        elif finished is ID_B:
+            self._id_b = acc
+            self._field = RTR
+            self._length = 1
+        elif finished is R1:
+            self._field = R0
+            self._length = 1
+        elif finished is R0:
+            self._field = DLC
+            self._length = 4
+        elif finished is DLC:
+            self._dlc = acc
+            data_bits = 0 if self._remote else 8 * min(acc, 8)
+            self._data_bits = data_bits
+            if data_bits:
+                self._field = DATA
+                self._length = data_bits
+            else:
+                self._field = CRC
+                self._length = CRC_WIDTH
+        elif finished is DATA:
+            self._data_int = acc
+            self._field = CRC
+            self._length = CRC_WIDTH
+        else:  # CRC: the stuffed region ends here
+            self._crc_received = acc
+            self._pending_header = True
+            self._stuffed = False
+            self._field = CRC_DELIM
+            self._length = 1

@@ -92,7 +92,19 @@ def majorcan_config(m: int = DEFAULT_M, **overrides: object) -> ControllerConfig
 
 
 class MajorCanController(CanController):
-    """A CAN controller implementing the MajorCAN_m agreement rules."""
+    """A CAN controller implementing the MajorCAN_m agreement rules.
+
+    The agreement machinery plugs into the base class exclusively
+    through the ``_rx_eof_bit`` / ``_tx_eof_bit`` extension points, the
+    ``_enter_error`` override, and the extra MAC states registered in
+    ``__init__`` — all of which the table-driven fast path
+    (``ControllerConfig.fast_path``) reaches exactly as the reference
+    state machine does.  ``_handle_eof_error`` reads only the
+    ``header_complete`` / ``frame()`` surface of the receive parser,
+    which :class:`repro.can.parser.FastFrameParser` provides with
+    identical timing; error signalling and the sampling window always
+    run on the reference handlers.
+    """
 
     protocol_name = "MajorCAN"
 

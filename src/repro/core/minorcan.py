@@ -43,6 +43,12 @@ class MinorCanController(CanController):
     pending, the first bit observed after the node's own error flag
     decides — dominant (primary error) means accept, recessive means
     reject.  This class only routes last-EOF-bit errors into it.
+
+    The class overrides nothing but the ``_rx_eof_bit`` / ``_tx_eof_bit``
+    extension points, which the table-driven fast path
+    (``ControllerConfig.fast_path``) invokes with the same ``(index,
+    seen)`` arguments as the reference state machine — MinorCAN
+    therefore runs unchanged on either path.
     """
 
     protocol_name = "MinorCAN"

@@ -10,7 +10,7 @@ over whole fault-injection campaigns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from repro.faults.scenarios import ScenarioOutcome
 from repro.properties.can_properties import classify_omissions

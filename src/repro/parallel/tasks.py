@@ -15,7 +15,7 @@ the analysis layer (which imports the task classes to build chunks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.parallel.seeds import ChildSeed, rng_from
 

@@ -18,7 +18,7 @@ claims become a checkable table:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.can.bits import DOMINANT, RECESSIVE
 from repro.can.controller import STATE_ERROR_FLAG

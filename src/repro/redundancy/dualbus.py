@@ -19,8 +19,8 @@ the same frame on both channels — or a receiver desynchronised on both
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.can.controller import CanController
 from repro.can.events import Delivery

@@ -147,8 +147,9 @@ class SimulationEngine:
                 states=states,
             )
         )
-        for hook in self._tick_hooks:
-            hook(time)
+        if self._tick_hooks:
+            for hook in self._tick_hooks:
+                hook(time)
         self.time += 1
         return bus_level
 
@@ -184,15 +185,17 @@ class SimulationEngine:
         else:
             for node in nodes:
                 node.on_bit(level)
-        for hook in self._tick_hooks:
-            hook(time)
+        if self._tick_hooks:
+            for hook in self._tick_hooks:
+                hook(time)
         self.time += 1
         return level
 
     def run(self, bits: int) -> None:
         """Advance the simulation by ``bits`` bit times."""
+        step = self.step
         for _ in range(bits):
-            self.step()
+            step()
 
     def run_until_idle(self, max_bits: int = 100000, settle_bits: int = 12) -> int:
         """Run until the bus has been quiet for ``settle_bits`` bits.
@@ -207,8 +210,9 @@ class SimulationEngine:
             If the bus does not become idle within ``max_bits``.
         """
         quiet = 0
+        step = self.step
         for elapsed in range(max_bits):
-            level = self.step()
+            level = step()
             if level is Level.RECESSIVE and self._all_idle():
                 quiet += 1
                 if quiet >= settle_bits:

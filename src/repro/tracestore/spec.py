@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.can.frame import Frame, data_frame
+from repro.can.frame import Frame
 from repro.errors import TraceStoreError
 from repro.tracestore.schema import SCHEMA_VERSION
 

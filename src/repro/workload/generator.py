@@ -9,14 +9,14 @@ contention, back-to-back frames, queue buildup after error frames).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.can.controller import CanController
-from repro.can.frame import Frame, data_frame
+from repro.can.frame import data_frame
 from repro.errors import ConfigurationError
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.rng import SeedLike, make_rng
+from repro.simulation.rng import make_rng
 from repro.workload.profiles import NetworkProfile
 
 PayloadFn = Callable[[int], bytes]

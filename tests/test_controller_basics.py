@@ -5,7 +5,6 @@ import pytest
 from repro.can.controller import (
     CanController,
     STATE_IDLE,
-    STATE_INTERMISSION,
     STATE_RECEIVING,
     STATE_TRANSMITTING,
 )
@@ -15,7 +14,7 @@ from repro.can.frame import data_frame, remote_frame
 from repro.errors import SimulationError
 from repro.simulation.engine import SimulationEngine
 
-from helpers import delivered_payloads, run_one_frame
+from helpers import delivered_payloads
 
 
 class TestErrorFreeTransfer:

@@ -14,8 +14,6 @@ from repro.can.controller import (
     STATE_ERROR_DELIM,
     STATE_ERROR_FLAG,
     STATE_ERROR_WAIT,
-    STATE_IDLE,
-    STATE_INTERMISSION,
     STATE_OVERLOAD_FLAG,
     STATE_RECEIVING,
     STATE_TRANSMITTING,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.can.bits import DOMINANT, RECESSIVE
-from repro.can.controller import CanController
 from repro.can.fields import EOF
 from repro.can.frame import data_frame
 from repro.core.majorcan import MajorCanController

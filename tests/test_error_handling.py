@@ -1,18 +1,17 @@
 """Controller tests: error detection, signalling and fault confinement."""
 
-import pytest
 
-from repro.can.bits import DOMINANT, RECESSIVE
+from repro.can.bits import DOMINANT
 from repro.can.controller import CanController, STATE_BUS_OFF
 from repro.can.controller_config import ControllerConfig
 from repro.can.error_counters import ConfinementState, ErrorCounters
 from repro.can.events import ErrorReason, EventKind
-from repro.can.fields import ACK_DELIM, CRC, DATA, EOF
+from repro.can.fields import ACK_DELIM, CRC, DATA
 from repro.can.frame import data_frame
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.simulation.engine import SimulationEngine
 
-from helpers import delivered_payloads, run_one_frame
+from helpers import run_one_frame
 
 
 def _nodes(*names, config=None):

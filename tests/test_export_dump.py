@@ -9,7 +9,6 @@ from repro.can.events import Delivery
 from repro.can.frame import data_frame, remote_frame
 from repro.errors import ReproError
 from repro.metrics.dump import (
-    dump_deliveries,
     dump_node,
     format_delivery,
     format_frame,

@@ -1,10 +1,8 @@
 """Unit tests for field layout and wire encoding."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.can.bits import Level
 from repro.can.crc import crc15
 from repro.can.encoding import encode_frame
 from repro.can.fields import (

@@ -13,7 +13,6 @@ from repro.can.fields import EOF
 from repro.can.frame import data_frame
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.can.bits import DOMINANT
-from repro.simulation.engine import SimulationEngine
 
 from helpers import run_one_frame
 

@@ -1,6 +1,5 @@
 """Behavioural tests for EDCAN, RELCAN and TOTCAN."""
 
-import pytest
 
 from repro.can.bits import DOMINANT, RECESSIVE
 from repro.can.controller import STATE_ERROR_FLAG

@@ -8,7 +8,6 @@ proposes it as a controller modification precisely because every node
 must be upgraded together.
 """
 
-import pytest
 
 from repro.can.bits import DOMINANT
 from repro.can.controller import CanController
@@ -19,7 +18,7 @@ from repro.core.minorcan import MinorCanController
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.simulation.engine import SimulationEngine
 
-from helpers import delivered_payloads, run_one_frame
+from helpers import run_one_frame
 
 
 class TestMinorCanInterop:

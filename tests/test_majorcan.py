@@ -4,7 +4,7 @@ import pytest
 
 from repro.can.bits import DOMINANT, RECESSIVE
 from repro.can.controller import CanController
-from repro.can.events import ErrorReason, EventKind
+from repro.can.events import EventKind
 from repro.can.fields import DATA, EOF, SAMPLING
 from repro.can.frame import data_frame
 from repro.core.majorcan import (

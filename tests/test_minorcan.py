@@ -1,7 +1,6 @@
 """Reproduction tests for MinorCAN (Section 3 / Fig. 2) and its defeat
 by the new scenarios (Fig. 3b)."""
 
-import pytest
 
 from repro.can.bits import DOMINANT
 from repro.can.events import EventKind

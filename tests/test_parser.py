@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.can.bits import DOMINANT, RECESSIVE, Level
+from repro.can.bits import DOMINANT, RECESSIVE
 from repro.can.encoding import encode_frame
 from repro.can.fields import ACK_SLOT, CRC, CRC_DELIM, EOF
 from repro.can.frame import data_frame, remote_frame

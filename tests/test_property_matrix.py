@@ -10,7 +10,6 @@ from repro.properties.matrix import (
     core_matrix,
     hlp_matrix,
     render_matrix,
-    run_core_cell,
     run_hlp_cell,
 )
 

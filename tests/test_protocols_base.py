@@ -6,7 +6,6 @@ from repro.can.frame import data_frame, remote_frame
 from repro.errors import ProtocolError
 from repro.protocols.base import (
     AppMessage,
-    AppNode,
     BroadcastProtocol,
     KIND_ACCEPT,
     KIND_CONFIRM,

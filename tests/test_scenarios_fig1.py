@@ -5,7 +5,6 @@ via the last-bit rule (1a), double reception (1b), and inconsistent
 message omission under a transmitter crash (1c).
 """
 
-import pytest
 
 from repro.can.events import EventKind
 from repro.faults.scenarios import fig1a, fig1b, fig1c

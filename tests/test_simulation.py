@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.can.bits import DOMINANT, RECESSIVE, Level
+from repro.can.bits import DOMINANT, RECESSIVE
 from repro.can.controller import CanController
 from repro.can.fields import EOF, SOF
 from repro.can.frame import data_frame
@@ -10,7 +10,6 @@ from repro.errors import SimulationError
 from repro.simulation.bus import Bus
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.rng import make_rng, spawn
-from repro.simulation.trace import Trace
 
 
 class TestBus:

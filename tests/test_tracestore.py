@@ -19,7 +19,6 @@ from repro.errors import TraceError, TraceStoreError
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.tracestore import (
     GOLDEN_BUILDERS,
-    RecordedTrace,
     Replayer,
     ScenarioSpec,
     check_corpus,
