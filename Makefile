@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 # JSON report written by bench-perf (override: make bench-perf OUT=foo.json).
-OUT ?= BENCH_PR3.json
+OUT ?= BENCH_PR4.json
 
-.PHONY: install test lint bench bench-perf corpus-check corpus-update examples experiments clean
+.PHONY: install test lint bench bench-perf bench-batch corpus-check corpus-update examples experiments clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,10 +21,16 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Timing harness for the controller fast path, the parallel trial layer
-# and the engine bit loop; writes $(OUT) at the repo root.
+# Timing harness for the controller fast path, the parallel trial layer,
+# the engine bit loop and the batch-replay backend; writes $(OUT) at the
+# repo root.
 bench-perf:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --out $(OUT)
+
+# Only the vectorised batch-enumeration section (engine vs batch backend
+# on identical verify_consistency universes, verdicts asserted equal).
+bench-batch:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_harness.py --section batch_enumeration --out BENCH_BATCH.json
 
 # Golden-scenario trace corpus (see docs/traces.md).  check replays
 # every recording and fails on any behavioural diff; update re-records

@@ -13,9 +13,14 @@ Measures the axes this repo's perf trajectory tracks:
   branchy reference state machine (``fast_path=False``);
 * **trials/sec** of the statistical workloads (Monte-Carlo sampling
   and bounded exhaustive verification) — serial (``jobs=1``) versus
-  fanned out over the ``repro.parallel`` worker pool.
+  fanned out over the ``repro.parallel`` worker pool;
+* **placements/sec** of the batch-replay backend
+  (``backend="batch"``, :mod:`repro.analysis.batchreplay`) versus one
+  engine run per placement on the same ``verify_consistency``
+  universe — the two backends' verdicts are asserted identical before
+  the speedup is reported.
 
-Writes a JSON report (default ``BENCH_PR3.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR4.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -23,6 +28,7 @@ keeps that context alongside the numbers.
 Usage::
 
     python benchmarks/perf_harness.py [--smoke] [--jobs N] [--out PATH]
+        [--section NAME ...]
 """
 
 from __future__ import annotations
@@ -190,32 +196,87 @@ def bench_verify(max_flips: int, jobs: int) -> Dict[str, float]:
     }
 
 
+def bench_batch_enumeration(max_flips: int, protocol: str = "can") -> Dict:
+    """Engine vs batch backend on one ``verify_consistency`` universe.
+
+    Runs the identical placement universe through both backends,
+    asserts the verdicts match placement for placement, and reports
+    the wall-clock speedup (the PR 4 acceptance bar is >= 5x on the
+    full-size ``can``/2-flip universe).
+    """
+    from repro.analysis.batchreplay import HAVE_NUMPY
+    from repro.analysis.verification import verify_consistency
+
+    started = time.perf_counter()
+    engine = verify_consistency(
+        protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1
+    )
+    engine_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    batch = verify_consistency(
+        protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1, backend="batch"
+    )
+    batch_elapsed = time.perf_counter() - started
+    identical = engine.runs == batch.runs and [
+        str(c) for c in engine.counterexamples
+    ] == [str(c) for c in batch.counterexamples]
+    if not identical:
+        raise AssertionError(
+            "batch backend diverged from the engine on %s flips=%d"
+            % (protocol, max_flips)
+        )
+    return {
+        "protocol": protocol,
+        "max_flips": max_flips,
+        "placements": engine.runs,
+        "counterexamples": len(engine.counterexamples),
+        "verdicts_identical": identical,
+        "vector_backend": "numpy" if HAVE_NUMPY else "python",
+        "engine": {
+            "seconds": engine_elapsed,
+            "placements_per_sec": (
+                engine.runs / engine_elapsed if engine_elapsed else float("inf")
+            ),
+        },
+        "batch": {
+            "seconds": batch_elapsed,
+            "placements_per_sec": (
+                batch.runs / batch_elapsed if batch_elapsed else float("inf")
+            ),
+        },
+        "speedup": (
+            engine_elapsed / batch_elapsed if batch_elapsed else float("inf")
+        ),
+    }
+
+
 def _speedup(base: float, fast: float) -> float:
     return fast / base if base else float("inf")
 
 
-def run_harness(jobs: int, smoke: bool) -> Dict:
-    """Run every benchmark and assemble the report dict."""
+#: Report sections in run order; ``--section`` picks a subset.
+SECTIONS = (
+    "engine",
+    "controller",
+    "capture",
+    "montecarlo",
+    "verify",
+    "batch_enumeration",
+)
+
+
+def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
+    """Run the selected benchmarks and assemble the report dict."""
     from repro.parallel.pool import cpu_count
 
+    wanted = set(sections) if sections else set(SECTIONS)
     frames = 8 if smoke else 60
     trials = 32 if smoke else 256
     flips = 1 if smoke else 2
 
-    recorded = bench_engine_bits(frames, record_bits=True)
-    fast = bench_engine_bits(frames, record_bits=False)
-    ctrl_reference = bench_controller(frames, fast_path=False)
-    ctrl_fast = bench_controller(frames, fast_path=True)
-    capture_base = bench_fast_path_bare(frames)
-    capture_rec = bench_fast_path_capture(frames)
-    mc_serial = bench_montecarlo(trials, jobs=1)
-    mc_parallel = bench_montecarlo(trials, jobs=jobs)
-    ver_serial = bench_verify(flips, jobs=1)
-    ver_parallel = bench_verify(flips, jobs=jobs)
-
-    return {
-        "bench": "PR3 table-driven controller fast path "
-        "(+ PR1 parallel trials and engine bit loop)",
+    report = {
+        "bench": "PR4 vectorised placement enumeration "
+        "(+ PR3 controller fast path, PR1 parallel trials)",
         "smoke": smoke,
         "host": {
             "cpu_count": cpu_count(),
@@ -223,14 +284,21 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
             "note": "parallel speedup is bounded above by cpu_count; "
             "the determinism contract (jobs=1 == jobs=N) holds regardless",
         },
-        "engine": {
+    }
+    if "engine" in wanted:
+        recorded = bench_engine_bits(frames, record_bits=True)
+        fast = bench_engine_bits(frames, record_bits=False)
+        report["engine"] = {
             "recorded": recorded,
             "fast_path": fast,
             "fast_path_speedup": _speedup(
                 recorded["bits_per_sec"], fast["bits_per_sec"]
             ),
-        },
-        "controller": {
+        }
+    if "controller" in wanted:
+        ctrl_reference = bench_controller(frames, fast_path=False)
+        ctrl_fast = bench_controller(frames, fast_path=True)
+        report["controller"] = {
             "reference": ctrl_reference,
             "fast_path": ctrl_fast,
             # The PR 3 acceptance bar for this is >= 1.5x on the
@@ -238,8 +306,11 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
             "fast_path_speedup": _speedup(
                 ctrl_reference["bits_per_sec"], ctrl_fast["bits_per_sec"]
             ),
-        },
-        "capture": {
+        }
+    if "capture" in wanted:
+        capture_base = bench_fast_path_bare(frames)
+        capture_rec = bench_fast_path_capture(frames)
+        report["capture"] = {
             "fast_path": capture_base,
             "fast_path_with_recording": capture_rec,
             # Relative slowdown of persisting each fast-path run via the
@@ -249,23 +320,34 @@ def run_harness(jobs: int, smoke: bool) -> Dict:
                 if capture_base["seconds"]
                 else 0.0
             ),
-        },
-        "montecarlo": {
+        }
+    if "montecarlo" in wanted:
+        mc_serial = bench_montecarlo(trials, jobs=1)
+        mc_parallel = bench_montecarlo(trials, jobs=jobs)
+        report["montecarlo"] = {
             "serial": mc_serial,
             "parallel": mc_parallel,
             "speedup": _speedup(
                 mc_serial["trials_per_sec"], mc_parallel["trials_per_sec"]
             ),
-        },
-        "verify": {
+        }
+    if "verify" in wanted:
+        ver_serial = bench_verify(flips, jobs=1)
+        ver_parallel = bench_verify(flips, jobs=jobs)
+        report["verify"] = {
             "serial": ver_serial,
             "parallel": ver_parallel,
             "speedup": _speedup(
                 ver_serial["placements_per_sec"],
                 ver_parallel["placements_per_sec"],
             ),
-        },
-    }
+        }
+    if "batch_enumeration" in wanted:
+        report["batch_enumeration"] = bench_batch_enumeration(2)
+        report["batch_enumeration_majorcan"] = bench_batch_enumeration(
+            1 if smoke else 2, protocol="majorcan"
+        )
+    return report
 
 
 def main(argv=None) -> int:
@@ -280,43 +362,71 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR3.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR4.json"),
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--section",
+        action="append",
+        choices=SECTIONS,
+        default=None,
+        help="run only the named section (repeatable; default: all)",
     )
     args = parser.parse_args(argv)
 
-    report = run_harness(jobs=args.jobs, smoke=args.smoke)
+    report = run_harness(jobs=args.jobs, smoke=args.smoke, sections=args.section)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
 
-    print("engine     : %8.0f bits/s recorded, %8.0f bits/s fast path (x%.2f)" % (
-        report["engine"]["recorded"]["bits_per_sec"],
-        report["engine"]["fast_path"]["bits_per_sec"],
-        report["engine"]["fast_path_speedup"],
-    ))
-    print("controller : %8.0f bits/s reference, %8.0f bits/s fast path (x%.2f)" % (
-        report["controller"]["reference"]["bits_per_sec"],
-        report["controller"]["fast_path"]["bits_per_sec"],
-        report["controller"]["fast_path_speedup"],
-    ))
-    print("capture    : %8.0f bits/s bare, %8.0f bits/s recording (%+.1f%% overhead)" % (
-        report["capture"]["fast_path"]["bits_per_sec"],
-        report["capture"]["fast_path_with_recording"]["bits_per_sec"],
-        report["capture"]["overhead"] * 100.0,
-    ))
-    print("montecarlo : %8.1f trials/s serial, %8.1f trials/s at jobs=%d (x%.2f)" % (
-        report["montecarlo"]["serial"]["trials_per_sec"],
-        report["montecarlo"]["parallel"]["trials_per_sec"],
-        args.jobs,
-        report["montecarlo"]["speedup"],
-    ))
-    print("verify     : %8.1f placements/s serial, %8.1f at jobs=%d (x%.2f)" % (
-        report["verify"]["serial"]["placements_per_sec"],
-        report["verify"]["parallel"]["placements_per_sec"],
-        args.jobs,
-        report["verify"]["speedup"],
-    ))
+    if "engine" in report:
+        print("engine     : %8.0f bits/s recorded, %8.0f bits/s fast path (x%.2f)" % (
+            report["engine"]["recorded"]["bits_per_sec"],
+            report["engine"]["fast_path"]["bits_per_sec"],
+            report["engine"]["fast_path_speedup"],
+        ))
+    if "controller" in report:
+        print("controller : %8.0f bits/s reference, %8.0f bits/s fast path (x%.2f)" % (
+            report["controller"]["reference"]["bits_per_sec"],
+            report["controller"]["fast_path"]["bits_per_sec"],
+            report["controller"]["fast_path_speedup"],
+        ))
+    if "capture" in report:
+        print("capture    : %8.0f bits/s bare, %8.0f bits/s recording (%+.1f%% overhead)" % (
+            report["capture"]["fast_path"]["bits_per_sec"],
+            report["capture"]["fast_path_with_recording"]["bits_per_sec"],
+            report["capture"]["overhead"] * 100.0,
+        ))
+    if "montecarlo" in report:
+        print("montecarlo : %8.1f trials/s serial, %8.1f trials/s at jobs=%d (x%.2f)" % (
+            report["montecarlo"]["serial"]["trials_per_sec"],
+            report["montecarlo"]["parallel"]["trials_per_sec"],
+            args.jobs,
+            report["montecarlo"]["speedup"],
+        ))
+    if "verify" in report:
+        print("verify     : %8.1f placements/s serial, %8.1f at jobs=%d (x%.2f)" % (
+            report["verify"]["serial"]["placements_per_sec"],
+            report["verify"]["parallel"]["placements_per_sec"],
+            args.jobs,
+            report["verify"]["speedup"],
+        ))
+    for key in ("batch_enumeration", "batch_enumeration_majorcan"):
+        if key in report:
+            section = report[key]
+            print(
+                "batch      : %-8s flips=%d %6d placements, %8.1f/s engine,"
+                " %9.1f/s batch [%s] (x%.2f)"
+                % (
+                    section["protocol"],
+                    section["max_flips"],
+                    section["placements"],
+                    section["engine"]["placements_per_sec"],
+                    section["batch"]["placements_per_sec"],
+                    section["vector_backend"],
+                    section["speedup"],
+                )
+            )
     print("report     : %s (cpu_count=%d)" % (args.out, report["host"]["cpu_count"]))
     return 0
 

@@ -1,5 +1,12 @@
 """Analytical models: probabilities (eq. 1-5), Table 1, overheads."""
 
+from repro.analysis.batchreplay import (
+    HAVE_NUMPY,
+    BatchReplayEvaluator,
+    PlacementOutcome,
+    classify_placements,
+    tail_shape,
+)
 from repro.analysis.enumeration import (
     EnumerationResult,
     PatternOutcome,
@@ -76,7 +83,12 @@ from repro.analysis.table1 import (
 )
 
 __all__ = [
+    "BatchReplayEvaluator",
     "Counterexample",
+    "HAVE_NUMPY",
+    "PlacementOutcome",
+    "classify_placements",
+    "tail_shape",
     "MAblationRow",
     "MonteCarloResult",
     "OmissionDegreeRevision",

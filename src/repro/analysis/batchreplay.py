@@ -1,0 +1,908 @@
+"""Vectorised batch replay of wire programs over tail error placements.
+
+``verify_consistency`` and ``enumerate_tail_patterns`` classify one
+error placement per full engine run: every placement re-simulates the
+whole frame bit by bit even though all the fault sites live in the
+frame *tail* (CRC delimiter, ACK slot, ACK delimiter, EOF, and the
+MajorCAN sampling window) and the pre-tail portion of every attempt is
+therefore identical and error-free.  This module exploits that: it
+expands the cached :class:`repro.can.encoding.WireProgram` into flat
+row-matrices, precompiles the fixed error-signalling shapes (error and
+overload flags are always :data:`FLAG_LENGTH` dominant bits, delimiters
+are fixed recessive runs per config — the same table treatment the
+transmit program already gets), and replays **batches of placements in
+lockstep array passes** over a tail-only micro-model of the controller
+state machine.
+
+The micro-model is *exact by construction* on the placements it
+understands, and it refuses the rest:
+
+* every supported fault site is announced at a fixed tail time, so the
+  per-placement state is a handful of small integers per node;
+* any situation outside the modelled envelope — an unexpected program
+  layout, a fault field the tail model does not announce, a dominant
+  bit reaching an idle node outside the orchestrated retransmission
+  restart, or a step-budget overflow — *bails out* and the placement is
+  re-classified by the real engine (the oracle).
+
+Two interchangeable backends implement the same transition table: a
+numpy one evaluating ``(batch, node)`` arrays in single passes, and a
+pure-python scalar one used automatically when numpy is absent (the
+import is guarded; a notice is logged once per process).  The
+differential suite pins both against the engine over the full tail-site
+universe of every corpus frame.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.can.fields import (
+    ACK_DELIM,
+    ACK_SLOT,
+    CRC_DELIM,
+    EOF,
+    FLAG_LENGTH,
+    INTERMISSION_LENGTH,
+    SAMPLING,
+)
+from repro.can.frame import Frame, data_frame
+from repro.can.encoding import OP_ACK, OP_EOF, OP_MATCH, wire_program
+from repro.faults.scenarios import make_controller
+
+try:  # numpy is the optional ``repro[fast]`` extra
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the import-block tests
+    np = None
+
+HAVE_NUMPY = np is not None
+
+logger = logging.getLogger(__name__)
+_fallback_noticed = False
+
+#: A fault site: (node name, field label, index within the field).
+Site = Tuple[str, str, int]
+
+# Micro-model states.  PROG states follow the compiled wire program
+# (which never stalls, so the program index is the shared tail clock);
+# the rest mirror the controller's error/overload epilogue states.
+TX_PROG = 0
+RX_PROG = 1
+FLAG = 2
+WAIT = 3
+DELIM = 4
+OVL_FLAG = 5
+OVL_WAIT = 6
+OVL_DELIM = 7
+INTER = 8
+IDLE = 9
+MAJ_FLAG = 10
+MAJ_QUIET = 11
+MAJ_EXT = 12
+
+P_CAN = 0
+P_MINOR = 1
+P_MAJOR = 2
+
+_PROTO_CODES = {"can": P_CAN, "minorcan": P_MINOR, "majorcan": P_MAJOR}
+
+#: Site-key sentinels: inert sites can never fire (the engine never
+#: announces their position either), unsupported ones force the engine.
+_INERT = -1
+_UNSUPPORTED = -2
+
+
+@dataclass(frozen=True)
+class TailShape:
+    """Precompiled tail geometry for one (protocol, m, frame).
+
+    ``signal_shapes`` is the precompiled error-signalling table: flag
+    and delimiter sequences are fixed shapes per config, so the batch
+    replay treats them as run lengths instead of per-bit handlers —
+    the same treatment :func:`repro.can.encoding.wire_program` gives
+    the steady transmit path.
+    """
+
+    protocol: str
+    proto: int
+    m: int
+    eof_length: int
+    delimiter_length: int
+    window_start: int
+    window_end: int
+    majority: int
+    #: Index of ``(CRC_DELIM, 0)`` in the wire program (tail time 0).
+    tail_offset: int
+    #: Keys per node: 3 pre-EOF bits + EOF + (MajorCAN) sampling window.
+    key_count: int
+    #: Generous per-attempt step bound; overflow bails to the engine.
+    attempt_cap: int
+    #: Full program levels as one flat row (numpy row-matrix when
+    #: available, plain tuple otherwise).
+    levels_row: object
+    #: Fixed signalling shapes: {"flag": 6, "delimiter": dl, ...}.
+    signal_shapes: Tuple[Tuple[str, int], ...]
+    supported: bool
+
+
+@lru_cache(maxsize=256)
+def tail_shape(protocol: str, m: int, frame: Frame) -> TailShape:
+    """Build (and cache) the tail shape for one protocol + frame."""
+    proto = _PROTO_CODES.get(protocol)
+    probe = make_controller(protocol, "shape-probe", m=m)
+    eof_length = probe.config.eof_length
+    signalling = probe.signal_shape()
+    delimiter_length = signalling.delimiter
+    window_start = getattr(probe, "window_start", 0) or 0
+    window_end = signalling.extended_flag_end
+    majority = getattr(probe, "majority", 0) or 0
+    program = wire_program(frame, eof_length)
+    levels_row = (
+        np.asarray(program.bit_values, dtype=np.int8)
+        if HAVE_NUMPY
+        else tuple(program.bit_values)
+    )
+    supported = proto is not None
+    tail_offset = 0
+    expected_positions = [(CRC_DELIM, 0), (ACK_SLOT, 0), (ACK_DELIM, 0)]
+    expected_positions += [(EOF, index) for index in range(eof_length)]
+    expected_ops = [OP_MATCH, OP_ACK, OP_MATCH] + [OP_EOF] * eof_length
+    try:
+        tail_offset = program.positions.index((CRC_DELIM, 0))
+    except ValueError:
+        supported = False
+    if supported:
+        tail = slice(tail_offset, None)
+        supported = (
+            list(program.positions[tail]) == expected_positions
+            and list(program.ops[tail]) == expected_ops
+            and all(value == 1 for value in program.bit_values[tail])
+        )
+    key_count = 3 + eof_length
+    if proto == P_MAJOR:
+        key_count += window_end + 1
+    attempt_cap = (
+        (3 + eof_length)
+        + (window_end + 2)
+        + signalling.error_flag
+        + 4 * delimiter_length
+        + signalling.intermission
+        + 32
+    )
+    return TailShape(
+        protocol=protocol,
+        proto=proto if proto is not None else -1,
+        m=m,
+        eof_length=eof_length,
+        delimiter_length=delimiter_length,
+        window_start=window_start,
+        window_end=window_end,
+        majority=majority,
+        tail_offset=tail_offset,
+        key_count=key_count,
+        attempt_cap=attempt_cap,
+        levels_row=levels_row,
+        signal_shapes=signalling.shapes,
+        supported=supported,
+    )
+
+
+def _site_key(shape: TailShape, field: str, index: int) -> int:
+    """Map a fault site to its tail key (or a sentinel).
+
+    Keys 0..2 are the CRC delimiter / ACK slot / ACK delimiter bits,
+    3+i the EOF bits, and (MajorCAN only) 3+E+p the sampling position
+    ``p`` that quiet nodes announce.  Sites the tail never announces
+    (out-of-range EOF indices, SAMPLING under CAN/MinorCAN) are inert:
+    their trigger can never fire, exactly as in the engine.
+    """
+    if field == CRC_DELIM:
+        return 0 if index == 0 else _INERT
+    if field == ACK_SLOT:
+        return 1 if index == 0 else _INERT
+    if field == ACK_DELIM:
+        return 2 if index == 0 else _INERT
+    if field == EOF:
+        if 0 <= index < shape.eof_length:
+            return 3 + index
+        return _INERT
+    if field == SAMPLING:
+        if shape.proto == P_MAJOR and 0 <= index <= shape.window_end:
+            return 3 + shape.eof_length + index
+        return _INERT
+    return _UNSUPPORTED
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Classification of one placement, aligned with ``node_names``."""
+
+    deliveries: Tuple[int, ...]
+    attempts: int
+    via: str  # "batch" | "engine"
+
+    @property
+    def consistent(self) -> bool:
+        return len(set(self.deliveries)) <= 1
+
+    @property
+    def inconsistent_omission(self) -> bool:
+        return any(count == 0 for count in self.deliveries) and any(
+            count > 0 for count in self.deliveries
+        )
+
+    @property
+    def double_reception(self) -> bool:
+        return any(count > 1 for count in self.deliveries)
+
+    @property
+    def kind(self) -> Optional[str]:
+        """Counterexample kind, mirroring ``classify_placement``."""
+        if self.inconsistent_omission:
+            return "imo"
+        if self.double_reception:
+            return "double"
+        if not self.consistent:
+            return "inconsistent"
+        return None
+
+
+class BatchReplayEvaluator:
+    """Classify batches of tail error placements without engine runs.
+
+    Placements the micro-model cannot represent (unsupported fields,
+    unexpected program layout, bailed simulations) transparently fall
+    back to the engine, so every returned outcome is exact.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        m: int,
+        node_names: Sequence[str],
+        payload: bytes = b"\x55",
+        frame: Optional[Frame] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.m = m
+        self.node_names = tuple(node_names)
+        self.frame = frame if frame is not None else data_frame(
+            0x123, payload, message_id="m"
+        )
+        self.shape = tail_shape(protocol, m, self.frame)
+        self._node_index = {name: i for i, name in enumerate(self.node_names)}
+        if backend is None:
+            backend = "numpy"
+        if backend == "numpy" and not HAVE_NUMPY:
+            _notice_fallback()
+            backend = "python"
+        if backend not in ("numpy", "python"):
+            raise ValueError("unknown batch backend %r" % (backend,))
+        self.backend = backend
+        #: Outcome provenance counters: placements classified by the
+        #: array pass, the scalar micro-sim, and the engine fallback.
+        self.stats: Dict[str, int] = {"batch": 0, "scalar": 0, "engine": 0}
+
+    # -- public API ----------------------------------------------------
+
+    def evaluate(self, combos: Iterable[Sequence[Site]]) -> List[PlacementOutcome]:
+        """Classify every placement; order follows the input."""
+        combos = [tuple(combo) for combo in combos]
+        outcomes: List[Optional[PlacementOutcome]] = [None] * len(combos)
+        fast: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for position, combo in enumerate(combos):
+            armed = self._armed_keys(combo)
+            if armed is None:
+                outcomes[position] = self._engine_outcome(combo)
+            else:
+                fast.append((position, armed))
+        if fast:
+            if self.backend == "numpy":
+                verdicts = _simulate_numpy(
+                    self.shape, len(self.node_names), [arm for _, arm in fast]
+                )
+                label = "batch"
+            else:
+                verdicts = [
+                    _simulate_scalar(self.shape, len(self.node_names), arm)
+                    for _, arm in fast
+                ]
+                label = "scalar"
+            for (position, _), verdict in zip(fast, verdicts):
+                if verdict is None:
+                    outcomes[position] = self._engine_outcome(combos[position])
+                else:
+                    deliveries, attempts = verdict
+                    self.stats[label] += 1
+                    outcomes[position] = PlacementOutcome(
+                        deliveries=deliveries, attempts=attempts, via="batch"
+                    )
+        return outcomes  # type: ignore[return-value]
+
+    def counterexample(
+        self, combo: Sequence[Site], outcome: PlacementOutcome
+    ) -> Optional[Tuple]:
+        """The ``classify_placement``-shaped hit tuple, or None."""
+        kind = outcome.kind
+        if kind is None:
+            return None
+        deliveries = tuple(
+            sorted(zip(self.node_names, outcome.deliveries))
+        )
+        return (tuple(combo), deliveries, outcome.attempts, kind)
+
+    # -- internals -----------------------------------------------------
+
+    def _armed_keys(
+        self, combo: Sequence[Site]
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Resolve a combo to (node, key) pairs; None means use the engine."""
+        if not self.shape.supported:
+            return None
+        armed: List[Tuple[int, int]] = []
+        seen_keys = set()
+        for name, field_name, index in combo:
+            node = self._node_index.get(name)
+            if node is None:
+                return None
+            key = _site_key(self.shape, field_name, index)
+            if key == _UNSUPPORTED:
+                return None
+            if key == _INERT:
+                continue
+            if (node, key) in seen_keys:
+                # Two armed triggers on one position cancel out in the
+                # engine (both fire on the same bit); rare enough to
+                # leave to the oracle.
+                return None
+            seen_keys.add((node, key))
+            armed.append((node, key))
+        return armed
+
+    def _engine_outcome(self, combo: Sequence[Site]) -> PlacementOutcome:
+        from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+        from repro.faults.scenarios import run_single_frame_scenario
+
+        self.stats["engine"] += 1
+        nodes = [
+            make_controller(self.protocol, name, m=self.m)
+            for name in self.node_names
+        ]
+        faults = [
+            ViewFault(name, Trigger(field=field_name, index=index), force=None)
+            for name, field_name, index in combo
+        ]
+        outcome = run_single_frame_scenario(
+            "batchreplay-oracle",
+            nodes,
+            ScriptedInjector(view_faults=faults),
+            frame=self.frame,
+            record_bits=False,
+            max_bits=60000,
+        )
+        return PlacementOutcome(
+            deliveries=tuple(
+                outcome.deliveries[name] for name in self.node_names
+            ),
+            attempts=outcome.attempts,
+            via="engine",
+        )
+
+
+def classify_placements(
+    protocol: str,
+    m: int,
+    node_names: Sequence[str],
+    combos: Sequence[Sequence[Site]],
+    payload: bytes,
+    backend: Optional[str] = None,
+) -> List[Optional[Tuple]]:
+    """Batch counterpart of ``verification.classify_placement``.
+
+    Returns, per combo, the same picklable hit tuple (or None) the
+    engine-backed classifier produces.
+    """
+    evaluator = BatchReplayEvaluator(
+        protocol, m, node_names, payload=payload, backend=backend
+    )
+    outcomes = evaluator.evaluate(combos)
+    return [
+        evaluator.counterexample(combo, outcome)
+        for combo, outcome in zip(combos, outcomes)
+    ]
+
+
+def _notice_fallback() -> None:
+    global _fallback_noticed
+    if not _fallback_noticed:
+        logger.info(
+            "numpy unavailable: batch backend falling back to the "
+            "pure-python micro-simulator (install repro[fast] for the "
+            "vectorised path)"
+        )
+        _fallback_noticed = True
+
+
+# ---------------------------------------------------------------------------
+# Pure-python scalar micro-simulator (the numpy-absent fallback)
+# ---------------------------------------------------------------------------
+
+
+def _simulate_scalar(
+    shape: TailShape, n_nodes: int, armed_pairs: Sequence[Tuple[int, int]]
+) -> Optional[Tuple[Tuple[int, ...], int]]:
+    """Replay one placement on the tail micro-model.
+
+    Returns ``(deliveries, attempts)`` or None to bail to the engine.
+    """
+    eof = shape.eof_length
+    last = eof - 1
+    dl = shape.delimiter_length
+    proto = shape.proto
+    mm = shape.majority
+    ws = shape.window_start
+    we = shape.window_end
+    n = n_nodes
+    quiet_base = 3 + eof
+
+    st = [TX_PROG] + [RX_PROG] * (n - 1)
+    flag = [0] * n
+    drem = [0] * n
+    ipos = [0] * n
+    first = [False] * n
+    defer = [False] * n
+    samp = [False] * n
+    votes = [0] * n
+    deliver = [0] * n
+    pending = True
+    attempts = 1
+    t = 0
+    armed = set(armed_pairs)
+    cap = (len(armed) + 2) * shape.attempt_cap + 16
+
+    for _ in range(cap):
+        # Drive phase: active flags are dominant; receivers acknowledge.
+        bus = False
+        for i in range(n):
+            s = st[i]
+            if s in (FLAG, OVL_FLAG, MAJ_FLAG, MAJ_EXT) or (
+                s == RX_PROG and t == 1
+            ):
+                bus = True
+                break
+        # Fault firing: each node announces at most one tail key.
+        seen = [bus] * n
+        if armed:
+            for i in range(n):
+                s = st[i]
+                if s == TX_PROG or s == RX_PROG:
+                    key = t
+                elif s == MAJ_QUIET and 0 <= t - 2 <= we:
+                    key = quiet_base + (t - 2)
+                else:
+                    continue
+                pair = (i, key)
+                if pair in armed:
+                    armed.discard(pair)
+                    seen[i] = not bus
+        # Bit phase.
+        for i in range(n):
+            s = st[i]
+            d = seen[i]
+            if s == TX_PROG or s == RX_PROG:
+                is_tx = s == TX_PROG
+                if t >= 3:
+                    index = t - 3
+                    if proto == P_CAN:
+                        if is_tx:
+                            if d:
+                                st[i] = FLAG
+                                flag[i] = FLAG_LENGTH
+                                first[i] = True
+                                defer[i] = False
+                            elif index == last:
+                                pending = False
+                                deliver[i] += 1
+                                st[i] = INTER
+                                ipos[i] = 0
+                        else:
+                            if index < last:
+                                if d:
+                                    st[i] = FLAG
+                                    flag[i] = FLAG_LENGTH
+                                    first[i] = True
+                                    defer[i] = False
+                                elif index == last - 1:
+                                    deliver[i] += 1
+                            elif d:
+                                st[i] = OVL_FLAG
+                                flag[i] = FLAG_LENGTH
+                            else:
+                                st[i] = INTER
+                                ipos[i] = 0
+                    elif proto == P_MINOR:
+                        if d:
+                            st[i] = FLAG
+                            flag[i] = FLAG_LENGTH
+                            first[i] = True
+                            defer[i] = index == last
+                        elif index == last:
+                            if is_tx:
+                                pending = False
+                            deliver[i] += 1
+                            st[i] = INTER
+                            ipos[i] = 0
+                    else:  # MajorCAN
+                        if d:
+                            if index + 1 <= mm:
+                                st[i] = MAJ_FLAG
+                                flag[i] = FLAG_LENGTH
+                                samp[i] = True
+                                votes[i] = 0
+                            else:
+                                # Second sub-field: accept now.
+                                if is_tx:
+                                    pending = False
+                                deliver[i] += 1
+                                st[i] = MAJ_EXT
+                        elif index == last:
+                            if is_tx:
+                                pending = False
+                            deliver[i] += 1
+                            st[i] = INTER
+                            ipos[i] = 0
+                elif (t != 1 and d) or (t == 1 and is_tx and not d):
+                    # Dominant delimiter bit, or a missing ACK: an
+                    # error whose flag starts inside the frame tail.
+                    if proto == P_MAJOR:
+                        st[i] = MAJ_FLAG
+                        flag[i] = FLAG_LENGTH
+                        samp[i] = False
+                    else:
+                        st[i] = FLAG
+                        flag[i] = FLAG_LENGTH
+                        first[i] = True
+                        defer[i] = False
+            elif s == FLAG:
+                flag[i] -= 1
+                if flag[i] <= 0:
+                    st[i] = WAIT
+            elif s == WAIT:
+                if first[i]:
+                    first[i] = False
+                    if defer[i]:
+                        defer[i] = False
+                        if d:  # primary error: accept
+                            if i == 0:
+                                pending = False
+                            deliver[i] += 1
+                if not d:
+                    drem[i] = dl - 1
+                    st[i] = DELIM
+            elif s == DELIM or s == OVL_DELIM:
+                if d:
+                    if drem[i] <= 1:
+                        st[i] = OVL_FLAG
+                        flag[i] = FLAG_LENGTH
+                    else:
+                        st[i] = FLAG
+                        flag[i] = FLAG_LENGTH
+                        first[i] = True
+                        defer[i] = False
+                else:
+                    drem[i] -= 1
+                    if drem[i] <= 0:
+                        st[i] = INTER
+                        ipos[i] = 0
+            elif s == OVL_FLAG:
+                flag[i] -= 1
+                if flag[i] <= 0:
+                    st[i] = OVL_WAIT
+            elif s == OVL_WAIT:
+                if not d:
+                    drem[i] = dl - 1
+                    st[i] = OVL_DELIM
+            elif s == INTER:
+                if d:
+                    if ipos[i] < INTERMISSION_LENGTH - 1:
+                        st[i] = OVL_FLAG
+                        flag[i] = FLAG_LENGTH
+                    else:
+                        return None  # un-orchestrated start of frame
+                else:
+                    ipos[i] += 1
+                    if ipos[i] >= INTERMISSION_LENGTH:
+                        st[i] = IDLE
+            elif s == IDLE:
+                if d:
+                    return None  # reception outside the restart
+            elif s == MAJ_FLAG:
+                flag[i] -= 1
+                if flag[i] <= 0:
+                    st[i] = MAJ_QUIET
+            elif s == MAJ_QUIET:
+                clock = t - 2
+                if samp[i] and ws <= clock <= we and d:
+                    votes[i] += 1
+                if clock >= we:
+                    if samp[i]:
+                        samp[i] = False
+                        if votes[i] >= mm:
+                            if i == 0:
+                                pending = False
+                            deliver[i] += 1
+                    st[i] = WAIT
+                    first[i] = False
+                    defer[i] = False
+            else:  # MAJ_EXT
+                if t - 2 >= we:
+                    st[i] = WAIT
+                    first[i] = False
+                    defer[i] = False
+        t += 1
+        # End of step: finished, or an orchestrated retransmission.
+        if st[0] == IDLE:
+            if not pending:
+                if all(s == IDLE for s in st):
+                    return tuple(deliver), attempts
+            else:
+                for j in range(1, n):
+                    if st[j] != IDLE and not (
+                        st[j] == INTER and ipos[j] == INTERMISSION_LENGTH - 1
+                    ):
+                        return None
+                attempts += 1
+                t = 0
+                st = [TX_PROG] + [RX_PROG] * (n - 1)
+                for j in range(n):
+                    flag[j] = drem[j] = ipos[j] = votes[j] = 0
+                    first[j] = defer[j] = samp[j] = False
+    return None  # step budget exhausted
+
+
+# ---------------------------------------------------------------------------
+# Numpy batched micro-simulator: (batch, node) arrays, single passes
+# ---------------------------------------------------------------------------
+
+
+def _simulate_numpy(
+    shape: TailShape,
+    n_nodes: int,
+    placements: Sequence[Sequence[Tuple[int, int]]],
+) -> List[Optional[Tuple[Tuple[int, ...], int]]]:
+    """Replay a batch of placements in lockstep array passes.
+
+    Semantically identical to :func:`_simulate_scalar`; each loop
+    iteration advances *every* live placement by one bus bit with
+    whole-array operations.
+    """
+    assert np is not None
+    batch = len(placements)
+    if batch == 0:
+        return []
+    n = n_nodes
+    eof = shape.eof_length
+    last = eof - 1
+    dl = shape.delimiter_length
+    proto = shape.proto
+    mm = shape.majority
+    ws = shape.window_start
+    we = shape.window_end
+    quiet_base = 3 + eof
+
+    armed = np.zeros((batch, n, shape.key_count), dtype=bool)
+    max_flips = 0
+    for b, pairs in enumerate(placements):
+        max_flips = max(max_flips, len(pairs))
+        for node, key in pairs:
+            armed[b, node, key] = True
+
+    st = np.full((batch, n), RX_PROG, dtype=np.int8)
+    st[:, 0] = TX_PROG
+    flag = np.zeros((batch, n), dtype=np.int16)
+    drem = np.zeros((batch, n), dtype=np.int16)
+    ipos = np.zeros((batch, n), dtype=np.int16)
+    first = np.zeros((batch, n), dtype=bool)
+    defer = np.zeros((batch, n), dtype=bool)
+    samp = np.zeros((batch, n), dtype=bool)
+    votes = np.zeros((batch, n), dtype=np.int16)
+    deliver = np.zeros((batch, n), dtype=np.int32)
+    pending = np.ones(batch, dtype=bool)
+    attempts = np.ones(batch, dtype=np.int32)
+    t = np.zeros(batch, dtype=np.int32)
+    bail = np.zeros(batch, dtype=bool)
+    done = np.zeros(batch, dtype=bool)
+
+    cap = (max_flips + 2) * shape.attempt_cap + 16
+    for _ in range(cap):
+        act = ~(bail | done)
+        if not act.any():
+            break
+        act_n = act[:, None]
+        tt = t[:, None]
+        # Drive phase.
+        dominant_state = (
+            (st == FLAG) | (st == OVL_FLAG) | (st == MAJ_FLAG) | (st == MAJ_EXT)
+        )
+        drives = dominant_state | ((st == RX_PROG) & (tt == 1))
+        bus = (drives & act_n).any(axis=1)
+        # Fault firing.
+        prog = (st == TX_PROG) | (st == RX_PROG)
+        key = np.where(prog & act_n, tt, -1)
+        if proto == P_MAJOR:
+            clock = tt - 2
+            quiet = (st == MAJ_QUIET) & (clock >= 0) & (clock <= we) & act_n
+            key = np.where(quiet, quiet_base + clock, key)
+        b_idx, n_idx = np.nonzero(key >= 0)
+        k_idx = key[b_idx, n_idx]
+        fired_flat = armed[b_idx, n_idx, k_idx]
+        armed[b_idx, n_idx, k_idx] = False
+        fired = np.zeros((batch, n), dtype=bool)
+        fired[b_idx, n_idx] = fired_flat
+        seen = bus[:, None] ^ fired
+        # Bit phase: masks from the state snapshot are disjoint per node.
+        stv = st.copy()
+        m_tx = (stv == TX_PROG) & act_n
+        m_rx = (stv == RX_PROG) & act_n
+        m_prog = m_tx | m_rx
+        pre = m_prog & (tt < 3)
+        tail_err = (pre & (tt != 1) & seen) | (m_tx & (tt == 1) & ~seen)
+        m_eof = m_prog & (tt >= 3)
+        index = tt - 3
+        plain = np.zeros((batch, n), dtype=bool)
+        to_defer = np.zeros((batch, n), dtype=bool)
+        to_ovl = np.zeros((batch, n), dtype=bool)
+        maj_flag_entry = np.zeros((batch, n), dtype=bool)
+        maj_ext_entry = np.zeros((batch, n), dtype=bool)
+        finish = np.zeros((batch, n), dtype=bool)
+        if proto == P_CAN:
+            plain |= (m_tx & m_eof & seen) | (m_rx & m_eof & seen & (index < last))
+            deliver[m_rx & m_eof & ~seen & (index == last - 1)] += 1
+            to_ovl |= m_rx & m_eof & seen & (index == last)
+            finish |= m_eof & ~seen & (index == last)
+            # CAN receivers already delivered at the last-but-one bit.
+            succeed = m_tx & m_eof & ~seen & (index == last)
+        elif proto == P_MINOR:
+            plain |= m_eof & seen & (index < last)
+            to_defer |= m_eof & seen & (index == last)
+            finish |= m_eof & ~seen & (index == last)
+            succeed = finish
+        else:
+            maj_err = m_eof & seen
+            maj_flag_entry |= maj_err & (index + 1 <= mm)
+            maj_ext_entry |= maj_err & (index + 1 > mm)
+            finish |= m_eof & ~seen & (index == last)
+            succeed = finish
+        if proto == P_MAJOR:
+            maj_tail_entry = tail_err
+        else:
+            maj_tail_entry = None
+            plain |= tail_err
+        # FLAG
+        m = (stv == FLAG) & act_n
+        flag[m] -= 1
+        st[m & (flag <= 0)] = WAIT
+        # WAIT
+        m = (stv == WAIT) & act_n
+        fb = m & first
+        first[fb] = False
+        resolved = fb & defer
+        defer[resolved] = False
+        accepted = resolved & seen
+        deliver[accepted] += 1
+        pending[accepted[:, 0]] = False
+        to_delim = m & ~seen
+        st[to_delim] = DELIM
+        drem[to_delim] = dl - 1
+        # DELIM / OVL_DELIM
+        for state_from in (DELIM, OVL_DELIM):
+            m = (stv == state_from) & act_n
+            dominant = m & seen
+            to_ovl |= dominant & (drem <= 1)
+            plain |= dominant & (drem > 1)
+            recessive = m & ~seen
+            drem[recessive] -= 1
+            to_inter = recessive & (drem <= 0)
+            st[to_inter] = INTER
+            ipos[to_inter] = 0
+        # OVL_FLAG
+        m = (stv == OVL_FLAG) & act_n
+        flag[m] -= 1
+        st[m & (flag <= 0)] = OVL_WAIT
+        # OVL_WAIT
+        m = (stv == OVL_WAIT) & act_n & ~seen
+        st[m] = OVL_DELIM
+        drem[m] = dl - 1
+        # INTER
+        m = (stv == INTER) & act_n
+        dominant = m & seen
+        to_ovl |= dominant & (ipos < INTERMISSION_LENGTH - 1)
+        bail |= (dominant & (ipos >= INTERMISSION_LENGTH - 1)).any(axis=1)
+        recessive = m & ~seen
+        ipos[recessive] += 1
+        st[recessive & (ipos >= INTERMISSION_LENGTH)] = IDLE
+        # IDLE
+        bail |= ((stv == IDLE) & act_n & seen).any(axis=1)
+        # MAJ states
+        if proto == P_MAJOR:
+            m = (stv == MAJ_FLAG) & act_n
+            flag[m] -= 1
+            st[m & (flag <= 0)] = MAJ_QUIET
+            m = (stv == MAJ_QUIET) & act_n
+            clock = tt - 2
+            votes[m & samp & (clock >= ws) & (clock <= we) & seen] += 1
+            exiting = m & (clock >= we)
+            verdict = exiting & samp
+            samp[verdict] = False
+            accepted = verdict & (votes >= mm)
+            deliver[accepted] += 1
+            pending[accepted[:, 0]] = False
+            st[exiting] = WAIT
+            first[exiting] = False
+            defer[exiting] = False
+            ext = (stv == MAJ_EXT) & act_n & (tt - 2 >= we)
+            st[ext] = WAIT
+            first[ext] = False
+            defer[ext] = False
+        # Apply the PROG-derived entries last (masks are disjoint from
+        # the epilogue-state masks above — a node is in one state).
+        st[plain] = FLAG
+        flag[plain] = FLAG_LENGTH
+        first[plain] = True
+        defer[plain] = False
+        st[to_defer] = FLAG
+        flag[to_defer] = FLAG_LENGTH
+        first[to_defer] = True
+        defer[to_defer] = True
+        st[to_ovl] = OVL_FLAG
+        flag[to_ovl] = FLAG_LENGTH
+        if maj_tail_entry is not None:
+            st[maj_tail_entry] = MAJ_FLAG
+            flag[maj_tail_entry] = FLAG_LENGTH
+            samp[maj_tail_entry] = False
+        if proto == P_MAJOR:
+            st[maj_flag_entry] = MAJ_FLAG
+            flag[maj_flag_entry] = FLAG_LENGTH
+            samp[maj_flag_entry] = True
+            votes[maj_flag_entry] = 0
+            deliver[maj_ext_entry] += 1
+            pending[maj_ext_entry[:, 0]] = False
+            st[maj_ext_entry] = MAJ_EXT
+        deliver[succeed] += 1
+        pending[succeed[:, 0]] = False
+        st[finish] = INTER
+        ipos[finish] = 0
+        t = np.where(act, t + 1, t)
+        # End of step: completion and orchestrated restarts.
+        tx_idle = act & (st[:, 0] == IDLE)
+        all_idle = (st == IDLE).all(axis=1)
+        done |= tx_idle & all_idle & ~pending
+        restart = tx_idle & pending & ~done & ~bail
+        if restart.any():
+            ready = (st == IDLE) | ((st == INTER) & (ipos == INTERMISSION_LENGTH - 1))
+            ok = restart & ready[:, 1:].all(axis=1)
+            bail |= restart & ~ok
+            if ok.any():
+                attempts[ok] += 1
+                t[ok] = 0
+                st[ok, :] = RX_PROG
+                st[ok, 0] = TX_PROG
+                flag[ok, :] = 0
+                drem[ok, :] = 0
+                ipos[ok, :] = 0
+                votes[ok, :] = 0
+                first[ok, :] = False
+                defer[ok, :] = False
+                samp[ok, :] = False
+    bail |= ~(done | bail)  # step budget exhausted
+    results: List[Optional[Tuple[Tuple[int, ...], int]]] = []
+    for b in range(batch):
+        if bail[b]:
+            results.append(None)
+        else:
+            results.append((tuple(int(x) for x in deliver[b]), int(attempts[b])))
+    return results

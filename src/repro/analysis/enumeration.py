@@ -103,6 +103,7 @@ def enumerate_tail_patterns(
     tau_data: int = 110,
     m: int = 5,
     max_flips: int = None,
+    backend: str = "engine",
 ) -> EnumerationResult:
     """Enumerate all view-error patterns over the last ``window`` EOF bits.
 
@@ -120,7 +121,13 @@ def enumerate_tail_patterns(
     max_flips:
         Optionally skip patterns with more simultaneous errors (their
         weight is ``O(ber*^flips)`` and rarely matters).
+    backend:
+        ``"engine"`` simulates every pattern; ``"batch"`` classifies
+        them with the vectorised tail replay of
+        :mod:`repro.analysis.batchreplay` (identical outcomes).
     """
+    if backend not in ("engine", "batch"):
+        raise AnalysisError("unknown backend %r (use 'engine' or 'batch')" % backend)
     if n_nodes < 2:
         raise AnalysisError("need at least a transmitter and a receiver")
     probe = make_controller(protocol, "probe", m=m)
@@ -142,12 +149,35 @@ def enumerate_tail_patterns(
         tau_data=tau_data,
         ber_star=ber_star,
     )
+    patterns: List[Pattern] = []
     for size in range(len(sites) + 1):
         if max_flips is not None and size > max_flips:
             break
-        for combo in itertools.combinations(sites, size):
-            outcome = _simulate_pattern(protocol, m, node_names, combo)
-            result.outcomes.append(outcome)
+        patterns.extend(itertools.combinations(sites, size))
+    if backend == "batch":
+        from repro.analysis.batchreplay import BatchReplayEvaluator
+
+        evaluator = BatchReplayEvaluator(protocol, m, node_names)
+        combos = [
+            tuple(
+                (node_names[node_index], EOF, eof_index)
+                for node_index, eof_index in pattern
+            )
+            for pattern in patterns
+        ]
+        for pattern, outcome in zip(patterns, evaluator.evaluate(combos)):
+            result.outcomes.append(
+                PatternOutcome(
+                    pattern=tuple(pattern),
+                    consistent=outcome.consistent,
+                    inconsistent_omission=outcome.inconsistent_omission,
+                    double_reception=outcome.double_reception,
+                    attempts=outcome.attempts,
+                )
+            )
+        return result
+    for pattern in patterns:
+        result.outcomes.append(_simulate_pattern(protocol, m, node_names, pattern))
     return result
 
 

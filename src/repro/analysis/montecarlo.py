@@ -107,6 +107,7 @@ def monte_carlo_tail(
     seed: SeedLike = None,
     jobs: Optional[int] = 1,
     chunk_trials: int = CHUNK_TRIALS,
+    backend: str = "engine",
 ) -> MonteCarloResult:
     """Sample tail-window error patterns and classify them by simulation.
 
@@ -118,9 +119,14 @@ def monte_carlo_tail(
     Trials are split into fixed-size chunks, each with its own spawned
     child seed, and fanned out over ``jobs`` workers; the same chunking
     runs inline at ``jobs=1``, so the counts are identical either way.
+    The random draws happen before classification in a fixed order, so
+    ``backend="batch"`` (vectorised tail replay) produces the exact
+    same counts as the engine for the same seed.
     """
     if n_nodes < 2:
         raise AnalysisError("need at least two nodes")
+    if backend not in ("engine", "batch"):
+        raise AnalysisError("unknown backend %r (use 'engine' or 'batch')" % backend)
     probe = make_controller(protocol, "probe", m=m)
     eof_length = probe.config.eof_length
     if window > eof_length:
@@ -142,6 +148,7 @@ def monte_carlo_tail(
             ber_star=ber_star,
             trials=size,
             seed=child,
+            backend=backend,
         )
         for size, child in zip(sizes, children)
     ]

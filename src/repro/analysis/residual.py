@@ -24,10 +24,14 @@ m should be considered").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from scipy import stats
+try:
+    from scipy import stats
+except ImportError:  # pragma: no cover - exercised by numpy-less installs
+    stats = None
 
 from repro.analysis.rates import incidents_per_hour
 from repro.errors import AnalysisError
@@ -49,7 +53,32 @@ def p_more_than_m_errors(
     b = ber_star(ber, n_nodes)
     sites = n_nodes * exposed_bits
     # Survival function: P(X > m) for X ~ Binomial(sites, b).
-    return float(stats.binom.sf(m, sites, b))
+    if stats is not None:
+        return float(stats.binom.sf(m, sites, b))
+    return _binom_sf(m, sites, b)
+
+
+def _binom_sf(m: int, n: int, p: float) -> float:
+    """P(X > m) for X ~ Binomial(n, p), summed from the tail upward.
+
+    Pure-python stand-in for ``scipy.stats.binom.sf`` when scipy (and
+    therefore numpy) is absent.  Summing the upper tail directly avoids
+    the catastrophic cancellation of ``1 - cdf`` at the tiny
+    probabilities this module works with; terms past the mode decay
+    geometrically, so truncation once a term stops contributing keeps
+    the sum exact to double precision.
+    """
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0 if m < n else 0.0
+    total = 0.0
+    for k in range(m + 1, n + 1):
+        term = math.comb(n, k) * (p**k) * ((1.0 - p) ** (n - k))
+        total += term
+        if term < total * 1e-18 and k > n * p:
+            break
+    return min(1.0, total)
 
 
 def residual_rate_upper_bound(

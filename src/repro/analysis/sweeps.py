@@ -149,11 +149,12 @@ def ablation_row(
     tail_flips: int = 1,
     check_f1: bool = True,
     n_nodes: int = 3,
+    backend: str = "engine",
 ) -> MAblationRow:
     """Compute one m-value row of the ablation (worker-side entry)."""
     node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
     tail = verify_consistency(
-        "majorcan", m=m, n_nodes=n_nodes, max_flips=tail_flips
+        "majorcan", m=m, n_nodes=n_nodes, max_flips=tail_flips, backend=backend
     )
     f1_closed: Optional[bool] = None
     if check_f1:
@@ -164,6 +165,7 @@ def ablation_row(
             max_flips=1,
             extra_sites=header_sites(node_names, data_bits=0),
             include_window=True,
+            backend=backend,
         )
         f1_closed = f1.holds
     return MAblationRow(
@@ -182,6 +184,7 @@ def m_ablation(
     check_f1: bool = True,
     n_nodes: int = 3,
     jobs: Optional[int] = 1,
+    backend: str = "engine",
 ) -> List[MAblationRow]:
     """Ablate the choice of m (the paper proposes m = 5).
 
@@ -197,7 +200,11 @@ def m_ablation(
     """
     tasks = [
         AblationRowTask(
-            m=m, tail_flips=tail_flips, check_f1=check_f1, n_nodes=n_nodes
+            m=m,
+            tail_flips=tail_flips,
+            check_f1=check_f1,
+            n_nodes=n_nodes,
+            backend=backend,
         )
         for m in m_values
     ]

@@ -48,6 +48,10 @@ Site = Tuple[str, str, int]
 #: merged in chunk order are identical to the serial sweep.
 CHUNK_PLACEMENTS = 64
 
+#: Placements per array pass on the serial batch backend — large slabs
+#: amortise the per-pass setup without changing the enumeration order.
+_BATCH_SLAB = 2048
+
 
 @dataclass(frozen=True)
 class Counterexample:
@@ -150,6 +154,7 @@ def verify_consistency(
     payload: bytes = b"\x55",
     jobs: Optional[int] = 1,
     chunk_placements: int = CHUNK_PLACEMENTS,
+    backend: str = "engine",
 ) -> VerificationResult:
     """Exhaustively explore every ≤ ``max_flips`` placement of view
     errors over the chosen site universe.
@@ -164,11 +169,19 @@ def verify_consistency(
     counterexample list and run count are identical to the serial
     sweep.  ``stop_at_first`` keeps the serial early-exit semantics and
     therefore always runs inline.
+
+    ``backend="batch"`` classifies placements with the vectorised tail
+    replay of :mod:`repro.analysis.batchreplay` (sites it cannot model
+    — e.g. header sites — transparently fall back to the engine, which
+    remains the oracle); ``"engine"`` keeps one engine run per
+    placement.  Both backends produce identical results.
     """
     if n_nodes < 2:
         raise AnalysisError("need a transmitter and at least one receiver")
     if max_flips < 1:
         raise AnalysisError("max_flips must be at least 1")
+    if backend not in ("engine", "batch"):
+        raise AnalysisError("unknown backend %r (use 'engine' or 'batch')" % backend)
     node_names = ["tx"] + ["r%d" % i for i in range(1, n_nodes)]
     probe = make_controller(protocol, "probe", m=m)
     window_start = getattr(probe, "window_start", None) if include_window else None
@@ -191,6 +204,20 @@ def verify_consistency(
         itertools.combinations(sites, size) for size in range(1, max_flips + 1)
     )
     if stop_at_first or effective_jobs(jobs) == 1:
+        if backend == "batch":
+            from repro.analysis.batchreplay import BatchReplayEvaluator
+
+            evaluator = BatchReplayEvaluator(protocol, m, node_names, payload=payload)
+            for chunk in _chunked(combos, _BATCH_SLAB):
+                outcomes = evaluator.evaluate(chunk)
+                for combo, outcome in zip(chunk, outcomes):
+                    result.runs += 1
+                    hit = evaluator.counterexample(combo, outcome)
+                    if hit is not None:
+                        result.counterexamples.append(Counterexample(*hit))
+                        if stop_at_first:
+                            return result
+            return result
         for combo in combos:
             result.runs += 1
             hit = classify_placement(protocol, m, node_names, combo, payload)
@@ -206,6 +233,7 @@ def verify_consistency(
             node_names=tuple(node_names),
             combos=tuple(chunk),
             payload=payload,
+            backend=backend,
         )
         for chunk in _chunked(combos, chunk_placements)
     )

@@ -19,6 +19,8 @@ from repro.can.fields import (
     ACK_SLOT,
     ARBITRATION_FIELDS,
     EOF,
+    FLAG_LENGTH,
+    INTERMISSION_LENGTH,
     STANDARD_EOF_LENGTH,
     header_segments,
     tail_segments,
@@ -195,6 +197,58 @@ def compile_wire(wire: WireFrame) -> WireProgram:
         positions=tuple(positions),
         ops=tuple(ops),
         length=len(wire.bits),
+    )
+
+
+@dataclass(frozen=True)
+class SignalProgram:
+    """Precompiled error-signalling shapes for one controller config.
+
+    Error and overload flags, delimiters and the intermission are fixed
+    run-length sequences — all-dominant or all-recessive runs whose
+    lengths depend only on the configuration, never on the frame.  This
+    is the signalling counterpart of :class:`WireProgram`: replay-style
+    consumers (the batch backend, shape probes) read the runs as plain
+    lengths instead of stepping the per-bit handlers.
+
+    ``extended_flag_end`` is the last agreement-window position of a
+    MajorCAN_m node's extended flag / quiet sampling phase (0 for
+    protocols without an agreement window): signalling after an
+    EOF-entry error occupies positions up to and including it.
+    """
+
+    error_flag: int
+    overload_flag: int
+    delimiter: int
+    intermission: int
+    extended_flag_end: int
+
+    @property
+    def shapes(self) -> Tuple[Tuple[str, int], ...]:
+        """The run table as ``(name, length)`` pairs, in wire order."""
+        return (
+            ("error_flag", self.error_flag),
+            ("overload_flag", self.overload_flag),
+            ("delimiter", self.delimiter),
+            ("intermission", self.intermission),
+            ("extended_flag_end", self.extended_flag_end),
+        )
+
+
+@lru_cache(maxsize=64)
+def signal_program(
+    delimiter_length: int,
+    extended_flag_end: int = 0,
+    flag_length: int = FLAG_LENGTH,
+    intermission_length: int = INTERMISSION_LENGTH,
+) -> SignalProgram:
+    """Build (and cache) the signalling shape table for one config."""
+    return SignalProgram(
+        error_flag=flag_length,
+        overload_flag=flag_length,
+        delimiter=delimiter_length,
+        intermission=intermission_length,
+        extended_flag_end=extended_flag_end,
     )
 
 

@@ -102,6 +102,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         window=args.window,
         ber_star=args.ber_star,
+        backend=args.backend,
     )
     print("protocol=%s nodes=%d window=%d patterns=%d"
           % (result.protocol, result.n_nodes, result.window, len(result.outcomes)))
@@ -123,6 +124,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         jobs=args.jobs,
+        backend=args.backend,
     )
     low, high = result.imo_confidence_interval()
     print("trials=%d flips=%d" % (result.trials, result.flips_total))
@@ -194,7 +196,10 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.metrics.report import render_table
 
     rows = m_ablation(
-        m_values=tuple(args.m_values), tail_flips=args.flips, jobs=args.jobs
+        m_values=tuple(args.m_values),
+        tail_flips=args.flips,
+        jobs=args.jobs,
+        backend=args.backend,
     )
     print(
         render_table(
@@ -236,6 +241,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         max_flips=args.flips,
         extra_sites=extra,
         jobs=args.jobs,
+        backend=args.backend,
     )
     print(result.summary())
     for counterexample in result.counterexamples[:20]:
@@ -304,6 +310,16 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["engine", "batch"],
+        default="engine",
+        help="placement classifier: 'engine' simulates every placement, "
+        "'batch' uses the vectorised tail replay (identical results)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -337,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=3)
     p.add_argument("--window", type=int, default=2)
     p.add_argument("--ber-star", type=float, default=1e-4, dest="ber_star")
+    _add_backend(p)
     p.set_defaults(func=_cmd_enumerate)
 
     p = sub.add_parser("geometry", help="MajorCAN frame-end geometry report")
@@ -373,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--flips", type=int, default=1)
     _add_jobs(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser(
@@ -388,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="add DLC/DATA sites (exposes finding F1)",
     )
     _add_jobs(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("record", help="record a figure scenario as JSONL")
@@ -422,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ber-star", type=float, default=0.05, dest="ber_star")
     p.add_argument("--seed", type=int, default=None)
     _add_jobs(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_montecarlo)
 
     return parser

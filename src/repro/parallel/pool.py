@@ -14,15 +14,34 @@ contract:
 
 ``jobs=None``/``0`` resolves through ``REPRO_JOBS`` (then 1) and a
 negative ``jobs`` means "all visible CPUs".
+
+The pool itself is created lazily and *reused* across ``run_tasks``
+calls: CLI subcommands and sweeps that fan out repeatedly (ablation
+rows, chunked verification, Monte-Carlo batches) pay the process
+start-up and import cost once instead of per call.  The cached pool is
+replaced when a different worker count is requested, recycled by
+``maxtasksperchild`` to bound worker memory growth, discarded on any
+failure mid-map, and torn down at interpreter exit.  None of this
+changes results: tasks are deterministic functions of their own fields,
+so which process runs them — fresh or reused — is unobservable.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 from typing import Iterable, List, Optional
 
 from repro.parallel.tasks import execute
+
+#: Tasks a worker processes before it is replaced.  High enough that
+#: recycling never dominates, low enough to bound the memory of
+#: long-lived workers accumulating per-task allocations.
+MAXTASKSPERCHILD = 512
+
+_POOL = None
+_POOL_WORKERS = 0
 
 
 def cpu_count() -> int:
@@ -53,6 +72,58 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
+def _get_pool(workers: int):
+    """Return the shared pool for ``workers``, creating or resizing it.
+
+    Returns ``None`` when no pool can be created on this platform.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    if _POOL is not None:
+        shutdown_pool()
+    try:
+        context = multiprocessing.get_context()
+        _POOL = context.Pool(
+            processes=workers, maxtasksperchild=MAXTASKSPERCHILD
+        )
+        _POOL_WORKERS = workers
+    except (ImportError, OSError, PermissionError, ValueError):
+        _POOL = None
+        _POOL_WORKERS = 0
+    return _POOL
+
+
+def _discard_pool() -> None:
+    """Drop a pool whose state is suspect (an exception escaped a map)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        try:
+            _POOL.terminate()
+            _POOL.join()
+        except Exception:
+            pass
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (idempotent; also runs at exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        try:
+            _POOL.close()
+            _POOL.join()
+        except Exception:
+            _discard_pool()
+            return
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def run_tasks(tasks: Iterable, jobs: Optional[int] = None, chunksize: int = 1) -> List:
     """Execute ``tasks`` and return their results in submission order.
 
@@ -64,16 +135,16 @@ def run_tasks(tasks: Iterable, jobs: Optional[int] = None, chunksize: int = 1) -
     if workers == 1:
         return [execute(task) for task in tasks]
     task_list = tasks if isinstance(tasks, (list, tuple)) else None
-    try:
-        context = multiprocessing.get_context()
-        pool = context.Pool(processes=workers)
-    except (ImportError, OSError, PermissionError, ValueError):
+    pool = _get_pool(workers)
+    if pool is None:
         # No process support here (e.g. sandboxed semaphores): degrade
         # gracefully — same results, serial execution.
         return [execute(task) for task in (task_list if task_list is not None else tasks)]
+    source = task_list if task_list is not None else tasks
     try:
-        source = task_list if task_list is not None else tasks
         return list(pool.imap(execute, source, chunksize))
-    finally:
-        pool.close()
-        pool.join()
+    except BaseException:
+        # A worker died or a task raised: the pool may hold queued
+        # work, so never hand it to the next caller.
+        _discard_pool()
+        raise

@@ -65,26 +65,49 @@ class MonteCarloTailChunk:
     ber_star: float
     trials: int
     seed: ChildSeed
+    backend: str = "engine"
 
     def run(self) -> ChunkCounts:
         from repro.can.fields import EOF
+
+        rng = rng_from(self.seed)
+        counts = ChunkCounts(trials=self.trials)
+        # Draw every trial first, in one fixed order, so the random
+        # stream — and therefore the aggregate counts — is identical
+        # for both backends and any chunking.
+        trial_combos = []
+        for _ in range(self.trials):
+            draws = rng.random(len(self.sites))
+            combo = tuple(
+                (name, EOF, index)
+                for (name, index), draw in zip(self.sites, draws)
+                if draw < self.ber_star
+            )
+            counts.flips_total += len(combo)
+            if not combo:
+                counts.no_fault_trials += 1
+            else:
+                trial_combos.append(combo)
+        if not trial_combos:
+            return counts
+        if self.backend == "batch":
+            from repro.analysis.batchreplay import BatchReplayEvaluator
+
+            evaluator = BatchReplayEvaluator(
+                self.protocol, self.m, self.node_names
+            )
+            for outcome in evaluator.evaluate(trial_combos):
+                counts.absorb_outcome(outcome)
+            return counts
         from repro.can.frame import data_frame
         from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
         from repro.faults.scenarios import make_controller, run_single_frame_scenario
 
-        rng = rng_from(self.seed)
-        counts = ChunkCounts(trials=self.trials)
-        for _ in range(self.trials):
-            draws = rng.random(len(self.sites))
+        for combo in trial_combos:
             faults = [
-                ViewFault(name, Trigger(field=EOF, index=index), force=None)
-                for (name, index), draw in zip(self.sites, draws)
-                if draw < self.ber_star
+                ViewFault(name, Trigger(field=field_name, index=index), force=None)
+                for name, field_name, index in combo
             ]
-            counts.flips_total += len(faults)
-            if not faults:
-                counts.no_fault_trials += 1
-                continue
             nodes = [
                 make_controller(self.protocol, name, m=self.m)
                 for name in self.node_names
@@ -164,11 +187,21 @@ class VerificationChunk:
     node_names: Tuple[str, ...]
     combos: Tuple[Tuple[Site, ...], ...]
     payload: bytes
+    backend: str = "engine"
 
     def run(self) -> VerificationChunkResult:
+        result = VerificationChunkResult()
+        if self.backend == "batch":
+            from repro.analysis.batchreplay import classify_placements
+
+            hits = classify_placements(
+                self.protocol, self.m, self.node_names, self.combos, self.payload
+            )
+            result.runs = len(self.combos)
+            result.hits = [hit for hit in hits if hit is not None]
+            return result
         from repro.analysis.verification import classify_placement
 
-        result = VerificationChunkResult()
         for combo in self.combos:
             result.runs += 1
             hit = classify_placement(
@@ -238,6 +271,7 @@ class AblationRowTask:
     tail_flips: int
     check_f1: bool
     n_nodes: int
+    backend: str = "engine"
 
     def run(self):
         from repro.analysis.sweeps import ablation_row
@@ -247,6 +281,7 @@ class AblationRowTask:
             tail_flips=self.tail_flips,
             check_f1=self.check_f1,
             n_nodes=self.n_nodes,
+            backend=self.backend,
         )
 
 

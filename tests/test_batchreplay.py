@@ -1,0 +1,391 @@
+"""Differential tests pinning the batch-replay backend to the engine.
+
+The batch backend (:mod:`repro.analysis.batchreplay`) is exact by
+construction — every placement it classifies itself must match an
+engine run bit for bit, and anything it cannot model must fall back to
+the engine.  These tests enforce that contract:
+
+* over the **full tail-site universe of every golden-corpus frame**
+  (single flips exhaustively, multi-flips sampled with a fixed seed);
+* over a **seeded random sweep** of 1-3 flip placements per protocol;
+* through every wired entry point (``verify_consistency``,
+  ``enumerate_tail_patterns``, ``monte_carlo_tail``, ``m_ablation``,
+  the CLI ``--backend`` flag), asserting backend equality end to end.
+"""
+
+import itertools
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.batchreplay import (
+    HAVE_NUMPY,
+    BatchReplayEvaluator,
+    classify_placements,
+    tail_shape,
+)
+from repro.analysis.enumeration import enumerate_tail_patterns
+from repro.analysis.montecarlo import monte_carlo_tail
+from repro.analysis.sweeps import ablation_row
+from repro.analysis.verification import (
+    header_sites,
+    tail_sites,
+    verify_consistency,
+)
+from repro.can.frame import data_frame
+from repro.cli import main
+from repro.errors import AnalysisError
+from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+from repro.faults.scenarios import make_controller, run_single_frame_scenario
+from repro.tracestore import load_trace
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.jsonl"))
+
+#: Micro-model configs exercised by the random sweep.
+SWEEP_CONFIGS = (
+    ("can", 5),
+    ("minorcan", 5),
+    ("majorcan", 5),
+    ("majorcan", 3),
+)
+
+
+def engine_oracle(protocol, m, node_names, combo, frame):
+    """One independent engine run -> (per-node deliveries, attempts)."""
+    nodes = [make_controller(protocol, name, m=m) for name in node_names]
+    faults = [
+        ViewFault(name, Trigger(field=field_name, index=index), force=None)
+        for name, field_name, index in combo
+    ]
+    outcome = run_single_frame_scenario(
+        "oracle",
+        nodes,
+        ScriptedInjector(view_faults=faults),
+        frame=frame,
+        record_bits=False,
+        max_bits=60000,
+    )
+    return (
+        tuple(outcome.deliveries[name] for name in node_names),
+        outcome.attempts,
+    )
+
+
+def universe(protocol, m, node_names):
+    """The paper's tail-site universe for one config."""
+    probe = make_controller(protocol, "probe", m=m)
+    return tail_sites(
+        node_names,
+        probe.config.eof_length,
+        window_start=getattr(probe, "window_start", None),
+        window_end=getattr(probe, "window_end", None),
+    )
+
+
+class TestCorpusDifferential:
+    """Batch == engine over every golden-corpus frame's tail universe."""
+
+    def test_corpus_is_present(self):
+        assert len(CORPUS_FILES) >= 13
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_full_tail_universe_matches_engine(self, path):
+        spec = load_trace(path).spec()
+        protocols = {protocol for _, protocol, _ in spec.nodes}
+        assert len(protocols) == 1, "corpus entries are single-protocol"
+        protocol = protocols.pop()
+        m = next(
+            (node_m for _, _, node_m in spec.nodes if node_m is not None), 5
+        )
+        node_names = [name for name, _, _ in spec.nodes]
+        sites = universe(protocol, m, node_names)
+        singles = [(site,) for site in sites]
+        rng = random.Random(0xC0FFEE)
+        doubles = rng.sample(list(itertools.combinations(sites, 2)), 25)
+        combos = singles + doubles
+
+        evaluator = BatchReplayEvaluator(
+            protocol, m, node_names, frame=spec.frame
+        )
+        outcomes = evaluator.evaluate(combos)
+        assert evaluator.stats["engine"] == 0, (
+            "corpus frames must be classified by the micro-model itself"
+        )
+        for combo, outcome in zip(combos, outcomes):
+            assert outcome.via == "batch"
+            expected = engine_oracle(protocol, m, node_names, combo, spec.frame)
+            assert (outcome.deliveries, outcome.attempts) == expected, (
+                path.stem,
+                combo,
+            )
+
+
+class TestSeededRandomSweep:
+    """Batch == engine on seeded random 1-3 flip placements."""
+
+    @pytest.mark.parametrize("protocol,m", SWEEP_CONFIGS)
+    def test_random_placements_match_engine(self, protocol, m):
+        node_names = ["tx", "r1", "r2"]
+        frame = data_frame(0x123, b"\x55", message_id="m")
+        sites = universe(protocol, m, node_names)
+        rng = random.Random(20260806 + m)
+        combos = [
+            tuple(rng.sample(sites, rng.randint(1, 3))) for _ in range(60)
+        ]
+        evaluator = BatchReplayEvaluator(protocol, m, node_names)
+        for combo, outcome in zip(combos, evaluator.evaluate(combos)):
+            expected = engine_oracle(protocol, m, node_names, combo, frame)
+            assert (outcome.deliveries, outcome.attempts) == expected, combo
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs the numpy backend")
+    def test_numpy_and_python_backends_agree(self):
+        node_names = ["tx", "r1", "r2"]
+        for protocol, m in SWEEP_CONFIGS:
+            sites = universe(protocol, m, node_names)
+            rng = random.Random(7 * m)
+            combos = [(s,) for s in sites] + [
+                tuple(rng.sample(sites, 2)) for _ in range(40)
+            ]
+            vec = BatchReplayEvaluator(
+                protocol, m, node_names, backend="numpy"
+            ).evaluate(combos)
+            pure = BatchReplayEvaluator(
+                protocol, m, node_names, backend="python"
+            ).evaluate(combos)
+            for a, b in zip(vec, pure):
+                assert (a.deliveries, a.attempts) == (b.deliveries, b.attempts)
+
+
+class TestRouting:
+    """Placements outside the micro-model go to the engine oracle."""
+
+    def test_header_sites_fall_back_to_engine(self):
+        evaluator = BatchReplayEvaluator("majorcan", 5, ["tx", "r1", "r2"])
+        combo = (header_sites(["r1"], data_bits=0)[0],)
+        (outcome,) = evaluator.evaluate([combo])
+        assert outcome.via == "engine"
+        assert evaluator.stats["engine"] == 1
+
+    def test_duplicate_sites_fall_back_to_engine(self):
+        evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1", "r2"])
+        site = ("r1", "EOF", 5)
+        (outcome,) = evaluator.evaluate([(site, site)])
+        assert outcome.via == "engine"
+
+    def test_inert_sites_match_clean_run(self):
+        evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1", "r2"])
+        clean, inert = evaluator.evaluate([(), (("r1", "EOF", 99),)])
+        assert clean.via == "batch" and inert.via == "batch"
+        assert (clean.deliveries, clean.attempts) == (
+            inert.deliveries,
+            inert.attempts,
+        )
+        assert clean.deliveries == (1, 1, 1)
+
+    def test_unknown_node_falls_back_to_engine(self):
+        evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1"])
+        (outcome,) = evaluator.evaluate([(("ghost", "EOF", 5),)])
+        assert outcome.via == "engine"
+
+
+class TestWiredEntryPoints:
+    """backend="batch" is result-identical at every integration point."""
+
+    def test_verify_consistency_equality(self):
+        engine = verify_consistency("can", m=5, n_nodes=3, max_flips=2)
+        batch = verify_consistency(
+            "can", m=5, n_nodes=3, max_flips=2, backend="batch"
+        )
+        assert engine.runs == batch.runs
+        assert [str(c) for c in engine.counterexamples] == [
+            str(c) for c in batch.counterexamples
+        ]
+        assert batch.counterexamples, "the CAN 2-flip universe has IMO hits"
+
+    def test_verify_consistency_equality_majorcan(self):
+        engine = verify_consistency("majorcan", m=3, n_nodes=3, max_flips=1)
+        batch = verify_consistency(
+            "majorcan", m=3, n_nodes=3, max_flips=1, backend="batch"
+        )
+        assert engine.runs == batch.runs
+        assert [str(c) for c in engine.counterexamples] == [
+            str(c) for c in batch.counterexamples
+        ]
+
+    def test_verify_consistency_batch_parallel_path(self):
+        serial = verify_consistency(
+            "can", m=5, n_nodes=3, max_flips=2, backend="batch"
+        )
+        parallel = verify_consistency(
+            "can", m=5, n_nodes=3, max_flips=2, backend="batch", jobs=2
+        )
+        assert serial.runs == parallel.runs
+        assert [str(c) for c in serial.counterexamples] == [
+            str(c) for c in parallel.counterexamples
+        ]
+
+    def test_verify_stop_at_first_on_batch(self):
+        result = verify_consistency(
+            "can",
+            m=5,
+            n_nodes=3,
+            max_flips=2,
+            backend="batch",
+            stop_at_first=True,
+        )
+        assert len(result.counterexamples) == 1
+
+    def test_enumerate_equality(self):
+        for protocol in ("can", "minorcan", "majorcan"):
+            engine = enumerate_tail_patterns(
+                protocol, n_nodes=3, window=2, max_flips=2
+            )
+            batch = enumerate_tail_patterns(
+                protocol, n_nodes=3, window=2, max_flips=2, backend="batch"
+            )
+            assert len(engine.outcomes) == len(batch.outcomes)
+            for a, b in zip(engine.outcomes, batch.outcomes):
+                assert (
+                    a.pattern,
+                    a.consistent,
+                    a.inconsistent_omission,
+                    a.double_reception,
+                    a.attempts,
+                ) == (
+                    b.pattern,
+                    b.consistent,
+                    b.inconsistent_omission,
+                    b.double_reception,
+                    b.attempts,
+                )
+            assert engine.p_inconsistent_omission == pytest.approx(
+                batch.p_inconsistent_omission, abs=0.0
+            )
+
+    def test_montecarlo_equality(self):
+        engine = monte_carlo_tail("can", trials=200, seed=42)
+        batch = monte_carlo_tail("can", trials=200, seed=42, backend="batch")
+        assert (
+            engine.imo,
+            engine.double_reception,
+            engine.inconsistent,
+            engine.no_fault_trials,
+            engine.flips_total,
+        ) == (
+            batch.imo,
+            batch.double_reception,
+            batch.inconsistent,
+            batch.no_fault_trials,
+            batch.flips_total,
+        )
+
+    def test_montecarlo_batch_jobs_invariant(self):
+        serial = monte_carlo_tail(
+            "majorcan", trials=150, seed=11, backend="batch"
+        )
+        parallel = monte_carlo_tail(
+            "majorcan", trials=150, seed=11, backend="batch", jobs=2
+        )
+        assert (serial.imo, serial.inconsistent, serial.flips_total) == (
+            parallel.imo,
+            parallel.inconsistent,
+            parallel.flips_total,
+        )
+
+    def test_ablation_row_equality(self):
+        engine = ablation_row(3, tail_flips=1, check_f1=True)
+        batch = ablation_row(3, tail_flips=1, check_f1=True, backend="batch")
+        assert engine == batch
+
+    def test_classify_placements_hit_tuples(self):
+        from repro.analysis.verification import classify_placement
+
+        node_names = ("tx", "r1", "r2")
+        sites = universe("can", 5, list(node_names))
+        combos = [(site,) for site in sites]
+        hits = classify_placements("can", 5, node_names, combos, b"\x55")
+        for combo, hit in zip(combos, hits):
+            assert hit == classify_placement(
+                "can", 5, node_names, combo, b"\x55"
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AnalysisError):
+            verify_consistency("can", backend="cuda")
+        with pytest.raises(AnalysisError):
+            enumerate_tail_patterns("can", backend="cuda")
+        with pytest.raises(AnalysisError):
+            monte_carlo_tail("can", trials=1, backend="cuda")
+        with pytest.raises(ValueError):
+            BatchReplayEvaluator("can", 5, ["tx", "r1"], backend="cuda")
+
+
+class TestSignalShapeHook:
+    """The precompiled error-signalling table flows from the protocol."""
+
+    def test_can_signal_shape(self):
+        shape = make_controller("can", "probe").signal_shape()
+        assert shape.error_flag == 6
+        assert shape.overload_flag == 6
+        assert shape.delimiter == 8
+        assert shape.intermission == 3
+        assert shape.extended_flag_end == 0
+
+    def test_majorcan_signal_shape_tracks_m(self):
+        for m in (3, 5, 7):
+            probe = make_controller("majorcan", "probe", m=m)
+            shape = probe.signal_shape()
+            assert shape.delimiter == probe.config.delimiter_length
+            assert shape.extended_flag_end == probe.window_end == 3 * m + 5
+
+    def test_tail_shape_consumes_the_hook(self):
+        frame = data_frame(0x123, b"\x55", message_id="m")
+        shape = tail_shape("majorcan", 5, frame)
+        assert dict(shape.signal_shapes)["extended_flag_end"] == 20
+        assert dict(shape.signal_shapes)["delimiter"] == 11
+        assert shape.supported
+
+
+class TestCli:
+    def test_verify_backend_batch(self, capsys):
+        engine_rc = main(["verify", "--protocol", "can", "--flips", "1"])
+        engine_out = capsys.readouterr().out
+        batch_rc = main(
+            ["verify", "--protocol", "can", "--flips", "1", "--backend", "batch"]
+        )
+        batch_out = capsys.readouterr().out
+        assert engine_rc == batch_rc == 1
+        assert engine_out == batch_out
+
+    def test_montecarlo_backend_batch(self, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo",
+                    "--trials",
+                    "64",
+                    "--seed",
+                    "5",
+                    "--backend",
+                    "batch",
+                ]
+            )
+            == 0
+        )
+        batch_out = capsys.readouterr().out
+        assert main(["montecarlo", "--trials", "64", "--seed", "5"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_enumerate_backend_batch(self, capsys):
+        assert main(["enumerate", "--backend", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(["enumerate"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_backend_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--backend", "cuda"])

@@ -1,0 +1,125 @@
+"""The batch backend without numpy: same verdicts, logged fallback.
+
+numpy is an optional extra (``repro[fast]``); when it is missing, the
+batch backend must silently degrade to the pure-python scalar
+micro-simulator — identical verdicts, one logged notice — rather than
+fail.  Simulating a numpy-less interpreter inside a numpy-equipped
+test run takes three steps: strip the cached modules, install an
+import blocker, and reload :mod:`repro.analysis.batchreplay` so its
+guarded import re-executes.  The fixture restores everything
+afterwards, so the rest of the suite keeps the vectorised path.
+"""
+
+import importlib
+import itertools
+import logging
+import random
+import sys
+
+import pytest
+
+import repro.analysis.batchreplay as batchreplay
+from repro.analysis.verification import tail_sites
+from repro.faults.scenarios import make_controller
+
+
+class _BlockNumpy:
+    """Meta-path hook that refuses to import numpy."""
+
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy import blocked by test")
+        return None
+
+    # Python 3.9 compatibility: the legacy finder protocol.
+    def find_module(self, name, path=None):
+        if name == "numpy" or name.startswith("numpy."):
+            return self
+        return None
+
+    def load_module(self, name):
+        raise ImportError("numpy import blocked by test")
+
+
+@pytest.fixture
+def numpy_blocked():
+    """Reload batchreplay with numpy unimportable; restore afterwards."""
+    saved = {
+        name: module
+        for name, module in sys.modules.items()
+        if name == "numpy" or name.startswith("numpy.")
+    }
+    blocker = _BlockNumpy()
+    sys.meta_path.insert(0, blocker)
+    for name in saved:
+        del sys.modules[name]
+    try:
+        importlib.reload(batchreplay)
+        assert not batchreplay.HAVE_NUMPY
+        yield batchreplay
+    finally:
+        sys.meta_path.remove(blocker)
+        sys.modules.update(saved)
+        importlib.reload(batchreplay)
+        assert batchreplay.HAVE_NUMPY
+
+
+def test_fallback_verdicts_match_engine(numpy_blocked, caplog):
+    node_names = ["tx", "r1", "r2"]
+    for protocol, m in (("can", 5), ("majorcan", 5)):
+        probe = make_controller(protocol, "probe", m=m)
+        sites = tail_sites(
+            node_names,
+            probe.config.eof_length,
+            window_start=getattr(probe, "window_start", None),
+            window_end=getattr(probe, "window_end", None),
+        )
+        rng = random.Random(99)
+        combos = [(site,) for site in sites] + rng.sample(
+            list(itertools.combinations(sites, 2)), 20
+        )
+        with caplog.at_level(logging.INFO, logger="repro.analysis.batchreplay"):
+            evaluator = numpy_blocked.BatchReplayEvaluator(
+                protocol, m, node_names
+            )
+            assert evaluator.backend == "python"
+            outcomes = evaluator.evaluate(combos)
+        # The scalar micro-sim (not the engine) classified everything...
+        assert evaluator.stats["engine"] == 0
+        assert evaluator.stats["scalar"] == len(combos)
+        # ...and each verdict still matches an engine oracle run.
+        for combo, outcome in zip(combos, outcomes):
+            oracle = evaluator._engine_outcome(combo)
+            assert (outcome.deliveries, outcome.attempts) == (
+                oracle.deliveries,
+                oracle.attempts,
+            ), combo
+    assert any(
+        "numpy unavailable" in record.message for record in caplog.records
+    ), "the fallback must be announced once"
+
+
+def test_fallback_notice_logged_once(numpy_blocked, caplog):
+    with caplog.at_level(logging.INFO, logger="repro.analysis.batchreplay"):
+        numpy_blocked.BatchReplayEvaluator("can", 5, ["tx", "r1"])
+        numpy_blocked.BatchReplayEvaluator("can", 5, ["tx", "r1"])
+    notices = [
+        record
+        for record in caplog.records
+        if "numpy unavailable" in record.message
+    ]
+    assert len(notices) == 1
+
+
+def test_explicit_numpy_request_degrades(numpy_blocked):
+    evaluator = numpy_blocked.BatchReplayEvaluator(
+        "can", 5, ["tx", "r1"], backend="numpy"
+    )
+    assert evaluator.backend == "python"
+
+
+def test_restored_after_block():
+    """Sanity: the fixture teardown really restored the numpy path."""
+    assert batchreplay.HAVE_NUMPY
+    evaluator = batchreplay.BatchReplayEvaluator("can", 5, ["tx", "r1"])
+    assert evaluator.backend == "numpy"

@@ -20,7 +20,8 @@ from repro.faults.campaigns import CampaignSpec, run_campaign
 from repro.faults.scenarios import fig1b, fig3, make_controller, run_single_frame_scenario
 from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.can.fields import EOF
-from repro.parallel.pool import cpu_count, effective_jobs, run_tasks
+import repro.parallel.pool as pool_module
+from repro.parallel.pool import cpu_count, effective_jobs, run_tasks, shutdown_pool
 from repro.parallel.seeds import chunk_sizes, rng_from, spawn_seeds
 from repro.parallel.tasks import MonteCarloTailChunk
 from repro.simulation.engine import SimulationEngine
@@ -84,6 +85,88 @@ class TestPool:
         parallel = run_tasks(tasks, jobs=2)
         assert [part.trials for part in serial] == [1, 2, 3, 4]
         assert [part.trials for part in parallel] == [1, 2, 3, 4]
+
+
+class _BoomTask:
+    """Picklable task that fails inside the worker."""
+
+    def run(self):
+        raise RuntimeError("task failure")
+
+
+class TestPoolReuse:
+    """The module-level pool is shared across run_tasks calls."""
+
+    def _tasks(self, count=3, seed=1):
+        return [
+            MonteCarloTailChunk(
+                protocol="can",
+                m=5,
+                node_names=("tx", "r1", "r2"),
+                sites=(("tx", 5), ("r1", 5)),
+                ber_star=0.05,
+                trials=4,
+                seed=child,
+            )
+            for child in spawn_seeds(seed, count)
+        ]
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        shutdown_pool()
+        yield
+        shutdown_pool()
+        assert pool_module._POOL is None
+        assert pool_module._POOL_WORKERS == 0
+
+    def test_pool_survives_across_calls(self):
+        first = run_tasks(self._tasks(seed=1), jobs=2)
+        created = pool_module._POOL
+        if created is None:
+            pytest.skip("platform cannot create process pools")
+        second = run_tasks(self._tasks(seed=2), jobs=2)
+        assert pool_module._POOL is created, "pool must be reused, not rebuilt"
+        assert len(first) == len(second) == 3
+
+    def test_pool_recreated_on_worker_count_change(self):
+        run_tasks(self._tasks(seed=1), jobs=2)
+        created = pool_module._POOL
+        if created is None:
+            pytest.skip("platform cannot create process pools")
+        assert pool_module._POOL_WORKERS == 2
+        run_tasks(self._tasks(seed=2), jobs=3)
+        assert pool_module._POOL is not created
+        assert pool_module._POOL_WORKERS == 3
+
+    def test_serial_path_never_builds_a_pool(self):
+        run_tasks(self._tasks(), jobs=1)
+        assert pool_module._POOL is None
+
+    def test_shutdown_pool_is_idempotent(self):
+        run_tasks(self._tasks(), jobs=2)
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_module._POOL is None
+
+    def test_reused_pool_matches_serial_results(self):
+        serial = run_tasks(self._tasks(seed=7), jobs=1)
+        warm = run_tasks(self._tasks(seed=7), jobs=2)
+        again = run_tasks(self._tasks(seed=7), jobs=2)
+        for other in (warm, again):
+            assert [part.trials for part in other] == [
+                part.trials for part in serial
+            ]
+            assert [part.flips_total for part in other] == [
+                part.flips_total for part in serial
+            ]
+
+    def test_exception_discards_the_pool(self):
+        run_tasks(self._tasks(), jobs=2)
+        if pool_module._POOL is None:
+            pytest.skip("platform cannot create process pools")
+        with pytest.raises(RuntimeError):
+            run_tasks([_BoomTask()], jobs=2)
+        assert pool_module._POOL is None
 
 
 class TestMonteCarloEquivalence:

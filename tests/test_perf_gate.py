@@ -1,0 +1,112 @@
+"""Unit tests for the per-PR perf regression gate (tools/perf_gate.py).
+
+The gate compares ratio metrics (speedups) between the committed
+baseline and a fresh CI smoke report; it must fail on a >tolerance
+regression, pass within it, and skip metrics absent from either file
+rather than erroring.
+"""
+
+import importlib.util
+import json
+import os
+
+GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "perf_gate.py",
+)
+
+_spec = importlib.util.spec_from_file_location("perf_gate", GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _report(engine=2.4, controller=3.2, batch=18.0):
+    return {
+        "engine": {"fast_path_speedup": engine},
+        "controller": {"fast_path_speedup": controller},
+        "batch_enumeration": {"speedup": batch},
+    }
+
+
+class TestLookup:
+    def test_resolves_dotted_paths(self):
+        report = _report(batch=7.5)
+        assert perf_gate.lookup(report, "batch_enumeration.speedup") == 7.5
+        assert perf_gate.lookup(report, "engine.fast_path_speedup") == 2.4
+
+    def test_missing_paths_return_none(self):
+        assert perf_gate.lookup({}, "engine.fast_path_speedup") is None
+        assert perf_gate.lookup({"engine": {}}, "engine.fast_path_speedup") is None
+        assert perf_gate.lookup({"engine": 3}, "engine.fast_path_speedup") is None
+
+
+class TestCheck:
+    def test_identical_reports_pass(self):
+        assert perf_gate.check(_report(), _report()) == []
+
+    def test_regression_within_tolerance_passes(self):
+        # 20% below baseline sits inside the 30% tolerance band.
+        baseline = _report(engine=2.0, controller=3.0, batch=10.0)
+        measured = _report(engine=1.6, controller=2.4, batch=8.0)
+        assert perf_gate.check(baseline, measured) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = _report(batch=10.0)
+        measured = _report(batch=6.0)  # 40% drop > 30% tolerance
+        failures = perf_gate.check(baseline, measured)
+        assert len(failures) == 1
+        assert "batch_enumeration.speedup" in failures[0]
+
+    def test_improvements_always_pass(self):
+        baseline = _report(engine=2.0, controller=3.0, batch=10.0)
+        measured = _report(engine=4.0, controller=6.0, batch=30.0)
+        assert perf_gate.check(baseline, measured) == []
+
+    def test_missing_metric_is_skipped_not_failed(self, capsys):
+        baseline = _report()
+        measured = _report()
+        del measured["batch_enumeration"]
+        assert perf_gate.check(baseline, measured) == []
+        assert "skip" in capsys.readouterr().out
+
+    def test_custom_tolerance(self):
+        baseline = _report(batch=10.0)
+        measured = _report(batch=9.4)  # 6% drop
+        assert perf_gate.check(baseline, measured, tolerance=0.10) == []
+        failures = perf_gate.check(baseline, measured, tolerance=0.05)
+        assert len(failures) == 1
+
+
+class TestMain:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", _report())
+        report = self._write(tmp_path, "report.json", _report())
+        assert perf_gate.main([baseline, report]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", _report(batch=20.0))
+        report = self._write(tmp_path, "report.json", _report(batch=5.0))
+        assert perf_gate.main([baseline, report]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        baseline = self._write(tmp_path, "baseline.json", _report(batch=10.0))
+        report = self._write(tmp_path, "report.json", _report(batch=9.0))
+        assert perf_gate.main([baseline, report, "--tolerance", "0.05"]) == 1
+        assert perf_gate.main([baseline, report, "--tolerance", "0.20"]) == 0
+
+    def test_committed_baseline_is_gateable(self):
+        """The repo's own BENCH_PR4.json carries every gated metric."""
+        bench = os.path.join(os.path.dirname(GATE_PATH), "..", "BENCH_PR4.json")
+        with open(bench) as handle:
+            baseline = json.load(handle)
+        for metric in perf_gate.GATED_METRICS:
+            value = perf_gate.lookup(baseline, metric)
+            assert isinstance(value, float) and value > 1.0, metric

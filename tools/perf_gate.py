@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Per-PR performance regression gate.
+
+Compares a freshly measured perf-harness report (typically CI's
+``--smoke`` run) against the committed baseline (``BENCH_PR4.json``)
+and fails when a hot-loop metric regressed beyond the tolerance.
+
+Only *ratio* metrics are compared — speedups of one code path over
+another measured in the same process.  Absolute rates (bits/sec,
+trials/sec) shift with the host, the runner's load and the CPU budget,
+so they cannot gate anything across machines; a speedup divides all of
+that out.  The compared universes are also identical between smoke and
+full runs (the smoke report shrinks *other* sections, not these), so
+baseline-vs-smoke is apples to apples.
+
+A metric missing from either file is skipped with a notice rather than
+failed: sections can be run selectively (``--section``), and older
+baselines predate newer metrics.
+
+Usage::
+
+    python tools/perf_gate.py BASELINE REPORT [--tolerance 0.30]
+
+Exit status 0 when every present metric passes, 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Gated metrics, as dotted paths into the report dict.  All are
+#: same-process speedup ratios over identical workloads:
+#: * ``engine.fast_path_speedup``     — record_bits=False vs recorded;
+#: * ``controller.fast_path_speedup`` — table-driven vs reference
+#:   state machine on the record_bits=False hot loop;
+#: * ``batch_enumeration.speedup``    — batch replay vs one engine run
+#:   per placement on the can/2-flip verification universe.
+GATED_METRICS = (
+    "engine.fast_path_speedup",
+    "controller.fast_path_speedup",
+    "batch_enumeration.speedup",
+)
+
+#: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the
+#: gate: >30% regression on a hot-loop speedup is a real change, not
+#: runner noise.
+TOLERANCE = 0.30
+
+
+def lookup(report: dict, path: str):
+    """Resolve a dotted ``path`` in ``report``; None when absent."""
+    node = report
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(baseline: dict, report: dict, tolerance: float = TOLERANCE) -> list:
+    """Compare every gated metric; return failure description lines."""
+    failures = []
+    for metric in GATED_METRICS:
+        expected = lookup(baseline, metric)
+        measured = lookup(report, metric)
+        if not isinstance(expected, (int, float)) or not isinstance(
+            measured, (int, float)
+        ):
+            print("perf-gate: skip %-32s (missing from %s)" % (
+                metric,
+                "baseline" if expected is None else "report",
+            ))
+            continue
+        floor = expected * (1.0 - tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(
+            "perf-gate: %-37s baseline x%.2f  measured x%.2f  floor x%.2f  %s"
+            % (metric, expected, measured, floor, verdict)
+        )
+        if measured < floor:
+            failures.append(
+                "%s regressed: x%.2f < x%.2f (baseline x%.2f - %d%%)"
+                % (metric, measured, floor, expected, round(tolerance * 100))
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline report (JSON)")
+    parser.add_argument("report", help="freshly measured report (JSON)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help="allowed fractional regression per metric (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.report) as handle:
+        report = json.load(handle)
+    failures = check(baseline, report, tolerance=args.tolerance)
+    for failure in failures:
+        print("perf-gate: FAIL %s" % failure)
+    if not failures:
+        print("perf-gate: all gated metrics within tolerance")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
