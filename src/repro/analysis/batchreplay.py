@@ -20,10 +20,23 @@ understands, and it refuses the rest:
 * every supported fault site is announced at a fixed tail time, so the
   per-placement state is a handful of small integers per node;
 * any situation outside the modelled envelope — an unexpected program
-  layout, a fault field the tail model does not announce, a dominant
-  bit reaching an idle node outside the orchestrated retransmission
+  layout, a fault field neither model announces, a dominant bit
+  reaching an idle node outside the orchestrated retransmission
   restart, or a step-budget overflow — *bails out* and the placement is
   re-classified by the real engine (the oracle).
+
+Header placements (the F1 desync universe: SOF through the CRC
+sequence, where a flip can add or remove a stuff condition and shift a
+receiver's parse of everything downstream) take a third path instead of
+bailing: the stuff-aware :func:`repro.can.encoding.header_shape`
+expansion materialises each site's post-flip restuffed parse, and
+single-flip placements are classified through a per-process cache of
+*reduced* engine runs — one run per equivalence class under receiver
+symmetry (all non-faulted in-sync receivers are bit-identical, and the
+wired-AND bus is invariant under duplicating identical drivers), with
+mid-frame DATA/CRC receiver flips further sharing one class per parse
+signature.  A full header universe costs a handful of two- or
+three-node runs instead of one n-node engine run per site.
 
 Two interchangeable backends implement the same transition table: a
 numpy one evaluating ``(batch, node)`` arrays in single passes, and a
@@ -43,14 +56,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.can.fields import (
     ACK_DELIM,
     ACK_SLOT,
+    CRC,
     CRC_DELIM,
+    DATA,
     EOF,
     FLAG_LENGTH,
     INTERMISSION_LENGTH,
     SAMPLING,
 )
 from repro.can.frame import Frame, data_frame
-from repro.can.encoding import OP_ACK, OP_EOF, OP_MATCH, wire_program
+from repro.can.encoding import (
+    HEADER_KIND_OVERRUN,
+    HEADER_SITE_FIELDS,
+    OP_ACK,
+    OP_EOF,
+    OP_MATCH,
+    header_shape,
+    wire_program,
+)
 from repro.faults.scenarios import make_controller
 
 try:  # numpy is the optional ``repro[fast]`` extra
@@ -284,43 +307,95 @@ class BatchReplayEvaluator:
             raise ValueError("unknown batch backend %r" % (backend,))
         self.backend = backend
         #: Outcome provenance counters: placements classified by the
-        #: array pass, the scalar micro-sim, and the engine fallback.
-        self.stats: Dict[str, int] = {"batch": 0, "scalar": 0, "engine": 0}
+        #: array pass, the scalar micro-sim, the header class cache,
+        #: and the engine fallback.
+        self.stats: Dict[str, int] = {
+            "batch": 0,
+            "scalar": 0,
+            "header": 0,
+            "engine": 0,
+        }
 
     # -- public API ----------------------------------------------------
 
     def evaluate(self, combos: Iterable[Sequence[Site]]) -> List[PlacementOutcome]:
-        """Classify every placement; order follows the input."""
+        """Classify every placement; order follows the input.
+
+        Verdicts are memoised in the process-wide :data:`_COMBO_CACHE`
+        under a *canonical* combo key: placements whose sites all land
+        on one non-first receiver are keyed as if they hit the first
+        receiver (receiver symmetry — see :meth:`_header_outcome`) and
+        the cached delivery tuple is permuted back on retrieval.
+        Repeated placements — Monte-Carlo draws across chunks, the F1
+        universe re-visiting tail-window sites — therefore classify at
+        dictionary-lookup cost.  Cache hits count toward ``stats``
+        under the provenance that first computed the verdict.
+        """
         combos = [tuple(combo) for combo in combos]
         outcomes: List[Optional[PlacementOutcome]] = [None] * len(combos)
-        fast: List[Tuple[int, List[Tuple[int, int]]]] = []
+        pending: Dict[Tuple, List[Tuple[int, Optional[int]]]] = {}
+        order: List[Tuple[Tuple, Tuple[Site, ...]]] = []
         for position, combo in enumerate(combos):
-            armed = self._armed_keys(combo)
-            if armed is None:
+            key, back, canon = self._canonical(combo)
+            if key is None:
+                # A site names an unknown node: exact semantics live in
+                # the engine and the combo is not worth caching.
                 outcomes[position] = self._engine_outcome(combo)
+                continue
+            cached = _COMBO_CACHE.get(key)
+            if cached is not None:
+                self.stats[cached[2]] += 1
+                outcomes[position] = self._expand(cached, back)
+                continue
+            if key in pending:
+                pending[key].append((position, back))
+                continue
+            pending[key] = [(position, back)]
+            order.append((key, canon))
+        fast: List[Tuple[Tuple, Tuple[Site, ...], List[Tuple[int, int]]]] = []
+        for key, canon in order:
+            route, resolved = self._resolve(canon)
+            if route == "fast":
+                fast.append((key, canon, resolved))
+            elif route == "header":
+                self._finish(
+                    outcomes, pending[key], key,
+                    self._header_outcome(resolved), "header",
+                )
             else:
-                fast.append((position, armed))
+                self._finish(
+                    outcomes, pending[key], key,
+                    self._engine_outcome(canon), "engine",
+                )
         if fast:
-            if self.backend == "numpy":
+            # The array pass pays a fixed per-call cost (its lockstep
+            # loop runs to the slowest placement, ~60 ufunc dispatches
+            # per bus bit) that only amortises over wide batches; small
+            # batches are cheaper through the scalar micro-sim.
+            if self.backend == "numpy" and len(fast) >= _ARRAY_BREAK_EVEN:
                 verdicts = _simulate_numpy(
-                    self.shape, len(self.node_names), [arm for _, arm in fast]
+                    self.shape, len(self.node_names), [arm for _, _, arm in fast]
                 )
                 label = "batch"
             else:
                 verdicts = [
                     _simulate_scalar(self.shape, len(self.node_names), arm)
-                    for _, arm in fast
+                    for _, _, arm in fast
                 ]
                 label = "scalar"
-            for (position, _), verdict in zip(fast, verdicts):
+            for (key, canon, _), verdict in zip(fast, verdicts):
                 if verdict is None:
-                    outcomes[position] = self._engine_outcome(combos[position])
+                    self._finish(
+                        outcomes, pending[key], key,
+                        self._engine_outcome(canon), "engine",
+                    )
                 else:
                     deliveries, attempts = verdict
                     self.stats[label] += 1
-                    outcomes[position] = PlacementOutcome(
+                    outcome = PlacementOutcome(
                         deliveries=deliveries, attempts=attempts, via="batch"
                     )
+                    self._finish(outcomes, pending[key], key, outcome, label)
         return outcomes  # type: ignore[return-value]
 
     def counterexample(
@@ -337,31 +412,191 @@ class BatchReplayEvaluator:
 
     # -- internals -----------------------------------------------------
 
-    def _armed_keys(
+    def _canonical(
         self, combo: Sequence[Site]
-    ) -> Optional[List[Tuple[int, int]]]:
-        """Resolve a combo to (node, key) pairs; None means use the engine."""
+    ) -> Tuple[Optional[Tuple], Optional[int], Tuple[Site, ...]]:
+        """Canonical cache key for ``combo`` plus its expansion hint.
+
+        Returns ``(key, back, canon)``: ``key`` is the process-wide
+        cache key (``None`` when a site names an unknown node and the
+        combo must bypass the cache), ``canon`` is the combo actually
+        evaluated, and ``back`` is the real faulted-node index when the
+        combo was re-targeted onto the first receiver — deterministic
+        identical controllers make every receiver interchangeable, so
+        one verdict serves all of them modulo a delivery permutation.
+        """
+        try:
+            sites = tuple(
+                sorted(
+                    (self._node_index[name], field_name, index)
+                    for name, field_name, index in combo
+                )
+            )
+        except KeyError:
+            return None, None, tuple(combo)
+        back: Optional[int] = None
+        nodes = {site[0] for site in sites}
+        if len(nodes) == 1:
+            node = nodes.pop()
+            if node >= 2:
+                back = node
+                sites = tuple((1, f, i) for _, f, i in sites)
+        key = (self.protocol, self.m, self.frame, len(self.node_names), sites)
+        canon = tuple(
+            (self.node_names[node], f, i) for node, f, i in sites
+        )
+        return key, back, canon
+
+    def _expand(
+        self, cached: Tuple[Tuple[int, ...], int, str], back: Optional[int]
+    ) -> PlacementOutcome:
+        """Rebuild an outcome from a cache entry, undoing ``back``."""
+        deliveries, attempts, stat = cached
+        if back is not None:
+            witness = deliveries[2]
+            deliveries = tuple(
+                deliveries[0] if j == 0
+                else (deliveries[1] if j == back else witness)
+                for j in range(len(deliveries))
+            )
+        via = "engine" if stat == "engine" else "batch"
+        return PlacementOutcome(
+            deliveries=deliveries, attempts=attempts, via=via
+        )
+
+    def _finish(
+        self,
+        outcomes: List[Optional[PlacementOutcome]],
+        waiters: List[Tuple[int, Optional[int]]],
+        key: Tuple,
+        outcome: PlacementOutcome,
+        stat: str,
+    ) -> None:
+        """Record a fresh canonical verdict and fan it out to waiters."""
+        if len(_COMBO_CACHE) >= _COMBO_CACHE_LIMIT:
+            _COMBO_CACHE.clear()
+        entry = (outcome.deliveries, outcome.attempts, stat)
+        _COMBO_CACHE[key] = entry
+        first = True
+        for position, back in waiters:
+            if not first:
+                self.stats[stat] += 1
+            first = False
+            outcomes[position] = self._expand(entry, back)
+
+    def _header_shape(self):
+        return header_shape(self.frame, self.shape.eof_length)
+
+    def _resolve(self, combo: Sequence[Site]) -> Tuple[str, object]:
+        """Route a combo to one of the three classification paths.
+
+        Returns ``("fast", armed_keys)`` for pure tail placements,
+        ``("header", (node, field, index))`` for a single announced
+        header-site flip, and ``("engine", None)`` for everything else
+        (unknown nodes or fields, duplicate triggers on one position,
+        multi-fault combos touching a header site).  Inert sites —
+        positions neither the transmit program nor a nominal parse ever
+        announces — are dropped on both paths, exactly as in the engine
+        where their trigger can never fire.
+        """
         if not self.shape.supported:
-            return None
+            return ("engine", None)
         armed: List[Tuple[int, int]] = []
         seen_keys = set()
+        header_hits: List[Tuple[int, str, int]] = []
+        shape = None
         for name, field_name, index in combo:
             node = self._node_index.get(name)
             if node is None:
-                return None
+                return ("engine", None)
+            if field_name in HEADER_SITE_FIELDS:
+                if shape is None:
+                    shape = self._header_shape()
+                if (field_name, index) not in shape.announced:
+                    continue
+                if (node, field_name, index) in seen_keys:
+                    return ("engine", None)
+                seen_keys.add((node, field_name, index))
+                header_hits.append((node, field_name, index))
+                continue
             key = _site_key(self.shape, field_name, index)
             if key == _UNSUPPORTED:
-                return None
+                return ("engine", None)
             if key == _INERT:
                 continue
             if (node, key) in seen_keys:
                 # Two armed triggers on one position cancel out in the
                 # engine (both fire on the same bit); rare enough to
                 # leave to the oracle.
-                return None
+                return ("engine", None)
             seen_keys.add((node, key))
             armed.append((node, key))
-        return armed
+        if header_hits:
+            if (
+                len(header_hits) == 1
+                and not armed
+                and len(self.node_names) >= 2
+            ):
+                return ("header", header_hits[0])
+            return ("engine", None)
+        return ("fast", armed)
+
+    def _header_outcome(
+        self, hit: Tuple[int, str, int]
+    ) -> PlacementOutcome:
+        """Classify a single announced header-site flip exactly.
+
+        Rests on receiver symmetry: the controllers are deterministic
+        and a view fault never disturbs the bus until the faulted node
+        itself drives, so every non-faulted in-sync receiver behaves
+        bit-identically, and the wired-AND bus is invariant under
+        replacing ``k`` identical receivers with one.  The full n-node
+        outcome therefore follows exactly from a *reduced* engine run:
+        faulted transmitter + one witness receiver (role ``tx``), or
+        transmitter + faulted receiver + one witness (role ``rx``,
+        two nodes when no witness exists).  Reduced verdicts are cached
+        per equivalence class in :data:`_HEADER_CLASS_CACHE`; receiver
+        flips in the mid-frame DATA/CRC fields additionally share one
+        class per :class:`~repro.can.encoding.HeaderSiteRow` parse
+        signature (identical flipped-stream trajectories drive the
+        faulted receiver — and hence the whole bus — identically).
+        """
+        node, field_name, index = hit
+        n = len(self.node_names)
+        role = "tx" if node == 0 else "rx"
+        if role == "tx":
+            n_eff = 2
+            class_key: Tuple = ("site", field_name, index)
+        else:
+            n_eff = 2 if n == 2 else 3
+            row = self._header_shape().by_site[(field_name, index)]
+            if field_name in (DATA, CRC) and row.kind != HEADER_KIND_OVERRUN:
+                class_key = ("sig", row.signature)
+            else:
+                class_key = ("site", field_name, index)
+        cache_key = (self.protocol, self.m, self.frame, role, n_eff, class_key)
+        verdict = _HEADER_CLASS_CACHE.get(cache_key)
+        if verdict is None:
+            verdict = _header_class_run(
+                self.protocol, self.m, self.frame, role, n_eff,
+                field_name, index,
+            )
+            _HEADER_CLASS_CACHE[cache_key] = verdict
+        tx_count, faulted_count, witness_count, attempts = verdict
+        if role == "tx":
+            deliveries = tuple(
+                faulted_count if i == 0 else witness_count for i in range(n)
+            )
+        else:
+            deliveries = tuple(
+                tx_count if i == 0
+                else (faulted_count if i == node else witness_count)
+                for i in range(n)
+            )
+        self.stats["header"] += 1
+        return PlacementOutcome(
+            deliveries=deliveries, attempts=attempts, via="batch"
+        )
 
     def _engine_outcome(self, combo: Sequence[Site]) -> PlacementOutcome:
         from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
@@ -391,6 +626,121 @@ class BatchReplayEvaluator:
             attempts=outcome.attempts,
             via="engine",
         )
+
+
+#: Reduced-run verdicts per header equivalence class, keyed by
+#: ``(protocol, m, frame, role, n_eff, class_key)`` and holding
+#: ``(tx_count, faulted_count, witness_count, attempts)``.  Module-level
+#: so every evaluator in a process (and every chunk in a warmed pool
+#: worker) shares one cache; entries are tiny tuples.
+_HEADER_CLASS_CACHE: Dict[Tuple, Tuple[int, int, int, int]] = {}
+
+#: Final verdicts per canonical placement, keyed by
+#: ``(protocol, m, frame, n_nodes, canonical_sites)`` and holding
+#: ``(deliveries, attempts, stat)``.  Shared by every evaluator in a
+#: process, so chunked Monte-Carlo draws and overlapping verification
+#: universes classify repeats at lookup cost.  Bounded by a wholesale
+#: clear — entries are tiny and the universes that feed it are small,
+#: so the limit only guards runaway many-frame campaigns.
+_COMBO_CACHE: Dict[Tuple, Tuple[Tuple[int, ...], int, str]] = {}
+_COMBO_CACHE_LIMIT = 1 << 19
+
+#: Minimum fresh-placement batch for the numpy array pass; below this
+#: the scalar micro-sim's ~40us/placement beats the array loop's fixed
+#: per-call overhead (measured crossover is ~150 placements).
+_ARRAY_BREAK_EVEN = 96
+
+
+def clear_caches() -> None:
+    """Empty the process-wide verdict caches (benchmarks and tests)."""
+    _HEADER_CLASS_CACHE.clear()
+    _COMBO_CACHE.clear()
+
+
+def _header_class_run(
+    protocol: str,
+    m: int,
+    frame: Frame,
+    role: str,
+    n_eff: int,
+    field_name: str,
+    index: int,
+) -> Tuple[int, int, int, int]:
+    """One reduced engine run classifying a header equivalence class."""
+    from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+    from repro.faults.scenarios import run_single_frame_scenario
+
+    names = ["flt", "wit"] if role == "tx" else ["tx", "flt", "wit"][:n_eff]
+    nodes = [make_controller(protocol, name, m=m) for name in names]
+    fault = ViewFault("flt", Trigger(field=field_name, index=index), force=None)
+    outcome = run_single_frame_scenario(
+        "batchreplay-header-class",
+        nodes,
+        ScriptedInjector(view_faults=[fault]),
+        frame=frame,
+        record_bits=False,
+        max_bits=60000,
+    )
+    faulted_count = outcome.deliveries["flt"]
+    tx_count = outcome.deliveries[names[0]]
+    witness_count = (
+        outcome.deliveries["wit"] if "wit" in outcome.deliveries else tx_count
+    )
+    return (tx_count, faulted_count, witness_count, outcome.attempts)
+
+
+def warm_shapes(payload: bytes = b"\x55") -> None:
+    """Pre-populate the wire/tail/header shape caches in this process.
+
+    Called from the worker-pool initializer so every worker expands the
+    default campaign frame once per campaign instead of once per chunk.
+    Covers the protocols and ``m`` values the sweeps iterate over; other
+    frames still warm lazily through the ``lru_cache``s.
+    """
+    frame = data_frame(0x123, payload, message_id="m")
+    for protocol, ms in (
+        ("can", (5,)),
+        ("minorcan", (5,)),
+        ("majorcan", (3, 4, 5, 6, 7)),
+    ):
+        for m in ms:
+            shape = tail_shape(protocol, m, frame)
+            header_shape(frame, shape.eof_length)
+
+
+#: Display order of the provenance counters in stats lines.
+_STAT_KEYS = ("batch", "scalar", "header", "engine")
+
+#: Engine share above which :func:`engine_share_notice` speaks up.
+ENGINE_SHARE_NOTICE = 0.10
+
+
+def format_stats(stats: Dict[str, int]) -> str:
+    """One-line ``backend stats:`` summary of a provenance split."""
+    total = sum(stats.get(key, 0) for key in _STAT_KEYS)
+    parts = " ".join(
+        "%s=%d" % (key, stats.get(key, 0)) for key in _STAT_KEYS
+    )
+    return "backend stats: %s (total %d)" % (parts, total)
+
+
+def engine_share_notice(stats: Dict[str, int]) -> Optional[str]:
+    """Log and return a notice when the engine share exceeds 10%.
+
+    Silent engine bail-outs erode the batch backend's speedup without
+    changing results; the notice makes a coverage gap visible in CLI
+    output and logs.  Returns ``None`` when the share is acceptable.
+    """
+    total = sum(stats.get(key, 0) for key in _STAT_KEYS)
+    engine = stats.get("engine", 0)
+    if not total or engine / total <= ENGINE_SHARE_NOTICE:
+        return None
+    message = (
+        "notice: engine fallback classified %d/%d placements (%.0f%% > %.0f%%)"
+        % (engine, total, 100.0 * engine / total, 100.0 * ENGINE_SHARE_NOTICE)
+    )
+    logger.info(message)
+    return message
 
 
 def classify_placements(

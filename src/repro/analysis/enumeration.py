@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.can.controller import CanController
 from repro.can.fields import EOF
@@ -56,6 +56,8 @@ class EnumerationResult:
     tau_data: int
     ber_star: float
     outcomes: List[PatternOutcome] = field(default_factory=list)
+    #: Batch-backend provenance counters (None on the engine backend).
+    backend_stats: Optional[dict] = None
 
     def _probability_of(self, flips: int) -> float:
         """Probability of a specific pattern with ``flips`` flipped bits.
@@ -175,6 +177,7 @@ def enumerate_tail_patterns(
                     attempts=outcome.attempts,
                 )
             )
+        result.backend_stats = dict(evaluator.stats)
         return result
     for pattern in patterns:
         result.outcomes.append(_simulate_pattern(protocol, m, node_names, pattern))

@@ -51,6 +51,11 @@ class MonteCarloResult:
     inconsistent: int = 0
     no_fault_trials: int = 0
     flips_total: int = 0
+    #: Merged batch-backend provenance counters (None on the engine
+    #: backend): how many sampled placements the array pass, the scalar
+    #: micro-sim, the header class cache and the engine fallback each
+    #: classified.
+    backend_stats: Optional[dict] = None
 
     @property
     def p_imo(self) -> float:
@@ -94,6 +99,11 @@ def _merge_counts(trials: int, parts: List[ChunkCounts]) -> MonteCarloResult:
         result.inconsistent += part.inconsistent
         result.no_fault_trials += part.no_fault_trials
         result.flips_total += part.flips_total
+        if part.backend_stats:
+            merged = result.backend_stats or {}
+            for key, value in part.backend_stats.items():
+                merged[key] = merged.get(key, 0) + value
+            result.backend_stats = merged
     return result
 
 
@@ -119,7 +129,10 @@ def monte_carlo_tail(
     Trials are split into fixed-size chunks, each with its own spawned
     child seed, and fanned out over ``jobs`` workers; the same chunking
     runs inline at ``jobs=1``, so the counts are identical either way.
-    The random draws happen before classification in a fixed order, so
+    Each chunk draws all its placements as one seeded ``(trials,
+    sites)`` numpy matrix whose row-major fill consumes the child's
+    PCG64 stream exactly as the per-trial draws it replaced, so the
+    sampled placements are bit-identical to the scalar draw order and
     ``backend="batch"`` (vectorised tail replay) produces the exact
     same counts as the engine for the same seed.
     """

@@ -78,6 +78,10 @@ class VerificationResult:
     site_count: int
     runs: int = 0
     counterexamples: List[Counterexample] = field(default_factory=list)
+    #: Batch-backend provenance counters (None on the engine backend):
+    #: placements classified by the array pass / scalar micro-sim /
+    #: header class cache / engine fallback.
+    backend_stats: Optional[dict] = None
 
     @property
     def holds(self) -> bool:
@@ -170,10 +174,12 @@ def verify_consistency(
     sweep.  ``stop_at_first`` keeps the serial early-exit semantics and
     therefore always runs inline.
 
-    ``backend="batch"`` classifies placements with the vectorised tail
-    replay of :mod:`repro.analysis.batchreplay` (sites it cannot model
-    — e.g. header sites — transparently fall back to the engine, which
-    remains the oracle); ``"engine"`` keeps one engine run per
+    ``backend="batch"`` classifies placements with the vectorised
+    replay of :mod:`repro.analysis.batchreplay` — array passes for tail
+    placements, the stuff-aware header class cache for single header
+    flips (the ``header_sites`` F1 universe), and a transparent engine
+    fallback for anything neither models, with the split recorded in
+    ``result.backend_stats``; ``"engine"`` keeps one engine run per
     placement.  Both backends produce identical results.
     """
     if n_nodes < 2:
@@ -208,6 +214,7 @@ def verify_consistency(
             from repro.analysis.batchreplay import BatchReplayEvaluator
 
             evaluator = BatchReplayEvaluator(protocol, m, node_names, payload=payload)
+            result.backend_stats = evaluator.stats
             for chunk in _chunked(combos, _BATCH_SLAB):
                 outcomes = evaluator.evaluate(chunk)
                 for combo, outcome in zip(chunk, outcomes):
@@ -240,6 +247,11 @@ def verify_consistency(
     for part in run_tasks(tasks, jobs):
         result.runs += part.runs
         result.counterexamples.extend(Counterexample(*hit) for hit in part.hits)
+        if part.stats:
+            merged = result.backend_stats or {}
+            for key, value in part.stats.items():
+                merged[key] = merged.get(key, 0) + value
+            result.backend_stats = merged
     return result
 
 

@@ -111,6 +111,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
           % equation4_tail_prediction(args.ber_star, args.nodes, result.tau_data))
     print("  P(double)         : %.6e" % result.p_double_reception)
     print("  IMO patterns      : %d" % len(result.imo_patterns()))
+    _print_backend_stats(result.backend_stats)
     return 0
 
 
@@ -130,6 +131,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     print("trials=%d flips=%d" % (result.trials, result.flips_total))
     print("  P(IMO)  : %.4f  (95%% CI [%.4f, %.4f])" % (result.p_imo, low, high))
     print("  P(incons): %.4f" % result.p_inconsistent)
+    _print_backend_stats(result.backend_stats)
     return 0
 
 
@@ -248,6 +250,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("  " + str(counterexample))
     if len(result.counterexamples) > 20:
         print("  ... and %d more" % (len(result.counterexamples) - 20))
+    _print_backend_stats(result.backend_stats)
     return 0 if result.holds else 1
 
 
@@ -316,8 +319,26 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         choices=["engine", "batch"],
         default="engine",
         help="placement classifier: 'engine' simulates every placement, "
-        "'batch' uses the vectorised tail replay (identical results)",
+        "'batch' uses the vectorised tail/header replay (identical "
+        "results; prints its batch/scalar/header/engine split)",
     )
+
+
+def _print_backend_stats(stats) -> None:
+    """Print the batch backend's provenance split (and any notice).
+
+    Printed after the main output and only when a batch result carries
+    stats, so engine-backend output is byte-identical to earlier
+    releases and silent engine bail-outs become visible.
+    """
+    if not stats:
+        return
+    from repro.analysis.batchreplay import engine_share_notice, format_stats
+
+    print("  " + format_stats(stats))
+    notice = engine_share_notice(stats)
+    if notice is not None:
+        print("  " + notice)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -72,6 +72,25 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
+def _warm_worker() -> None:
+    """Worker initializer: pre-expand the shared campaign shapes.
+
+    Populates the ``wire_program``/``tail_shape``/``header_shape``
+    caches for the default campaign frame once per worker process, so
+    every chunk the worker later receives starts from warm caches
+    instead of re-expanding per chunk (the first slice of shared-memory
+    task batching: the expanded context is installed at fork time, not
+    shipped with each task).  Purely an optimisation — tasks rebuild
+    anything missing on demand — so failures are swallowed.
+    """
+    try:
+        from repro.analysis.batchreplay import warm_shapes
+
+        warm_shapes()
+    except Exception:  # pragma: no cover - warm-up must never kill a worker
+        pass
+
+
 def _get_pool(workers: int):
     """Return the shared pool for ``workers``, creating or resizing it.
 
@@ -85,7 +104,9 @@ def _get_pool(workers: int):
     try:
         context = multiprocessing.get_context()
         _POOL = context.Pool(
-            processes=workers, maxtasksperchild=MAXTASKSPERCHILD
+            processes=workers,
+            initializer=_warm_worker,
+            maxtasksperchild=MAXTASKSPERCHILD,
         )
         _POOL_WORKERS = workers
     except (ImportError, OSError, PermissionError, ValueError):

@@ -43,6 +43,8 @@ class ChunkCounts:
     inconsistent: int = 0
     no_fault_trials: int = 0
     flips_total: int = 0
+    #: Batch-backend provenance counters (empty on the engine backend).
+    backend_stats: dict = field(default_factory=dict)
 
     def absorb_outcome(self, outcome) -> None:
         """Fold one :class:`ScenarioOutcome` classification in."""
@@ -72,22 +74,26 @@ class MonteCarloTailChunk:
 
         rng = rng_from(self.seed)
         counts = ChunkCounts(trials=self.trials)
-        # Draw every trial first, in one fixed order, so the random
-        # stream — and therefore the aggregate counts — is identical
-        # for both backends and any chunking.
-        trial_combos = []
-        for _ in range(self.trials):
-            draws = rng.random(len(self.sites))
-            combo = tuple(
-                (name, EOF, index)
-                for (name, index), draw in zip(self.sites, draws)
-                if draw < self.ber_star
-            )
-            counts.flips_total += len(combo)
-            if not combo:
-                counts.no_fault_trials += 1
-            else:
-                trial_combos.append(combo)
+        # Draw the whole chunk as one (trials, sites) matrix.  The
+        # generator fills row-major from the same PCG64 stream as the
+        # per-trial ``rng.random(len(sites))`` calls it replaces, so
+        # the drawn placements — and therefore the aggregate counts —
+        # are bit-identical to the scalar draw order for the same
+        # SeedSequence child, for both backends and any chunking.
+        mask = rng.random((self.trials, len(self.sites))) < self.ber_star
+        counts.flips_total = int(mask.sum())
+        counts.no_fault_trials = self.trials - int(mask.any(axis=1).sum())
+        # ``nonzero`` walks the mask in row-major order too, so the
+        # fault-bearing trials regroup in draw order at O(flips) cost.
+        groups: List[List[Tuple[str, str, int]]] = []
+        last_trial = -1
+        for trial, site in zip(*(axis.tolist() for axis in mask.nonzero())):
+            if trial != last_trial:
+                groups.append([])
+                last_trial = trial
+            name, index = self.sites[site]
+            groups[-1].append((name, EOF, index))
+        trial_combos = [tuple(group) for group in groups]
         if not trial_combos:
             return counts
         if self.backend == "batch":
@@ -98,6 +104,7 @@ class MonteCarloTailChunk:
             )
             for outcome in evaluator.evaluate(trial_combos):
                 counts.absorb_outcome(outcome)
+            counts.backend_stats = dict(evaluator.stats)
             return counts
         from repro.can.frame import data_frame
         from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
@@ -176,6 +183,8 @@ class VerificationChunkResult:
     hits: List[Tuple[Tuple[Site, ...], Tuple[Tuple[str, int], ...], int, str]] = field(
         default_factory=list
     )
+    #: Batch-backend provenance counters (empty on the engine backend).
+    stats: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -192,13 +201,20 @@ class VerificationChunk:
     def run(self) -> VerificationChunkResult:
         result = VerificationChunkResult()
         if self.backend == "batch":
-            from repro.analysis.batchreplay import classify_placements
+            from repro.analysis.batchreplay import BatchReplayEvaluator
 
-            hits = classify_placements(
-                self.protocol, self.m, self.node_names, self.combos, self.payload
+            evaluator = BatchReplayEvaluator(
+                self.protocol, self.m, self.node_names, payload=self.payload
             )
+            outcomes = evaluator.evaluate(self.combos)
             result.runs = len(self.combos)
-            result.hits = [hit for hit in hits if hit is not None]
+            result.hits = [
+                hit
+                for combo, outcome in zip(self.combos, outcomes)
+                for hit in (evaluator.counterexample(combo, outcome),)
+                if hit is not None
+            ]
+            result.stats = dict(evaluator.stats)
             return result
         from repro.analysis.verification import classify_placement
 

@@ -7,6 +7,9 @@ the engine.  These tests enforce that contract:
 
 * over the **full tail-site universe of every golden-corpus frame**
   (single flips exhaustively, multi-flips sampled with a fixed seed);
+* over the **full header-site universe** (the F1 desync placements,
+  classified through the stuff-aware header class cache) for every
+  protocol, network size and announced field;
 * over a **seeded random sweep** of 1-3 flip placements per protocol;
 * through every wired entry point (``verify_consistency``,
   ``enumerate_tail_patterns``, ``monte_carlo_tail``, ``m_ablation``,
@@ -160,15 +163,104 @@ class TestSeededRandomSweep:
                 assert (a.deliveries, a.attempts) == (b.deliveries, b.attempts)
 
 
+class TestHeaderDifferential:
+    """Header flips ride the class cache; verdicts == engine exactly."""
+
+    #: majorcan requires m >= 3, so its "small m" config is m=3.
+    HEADER_CONFIGS = (
+        ("can", 2),
+        ("can", 5),
+        ("minorcan", 2),
+        ("minorcan", 5),
+        ("majorcan", 3),
+        ("majorcan", 5),
+    )
+
+    @pytest.mark.parametrize("protocol,m", HEADER_CONFIGS)
+    def test_header_sites_universe_matches_engine(self, protocol, m):
+        node_names = ("tx", "r1", "r2")
+        evaluator = BatchReplayEvaluator(protocol, m, node_names)
+        combos = [(site,) for site in header_sites(node_names, data_bits=8)]
+        outcomes = evaluator.evaluate(combos)
+        assert evaluator.stats["engine"] == 0, (
+            "header sites must not bail to the full engine"
+        )
+        assert evaluator.stats["header"] == len(combos)
+        for combo, outcome in zip(combos, outcomes):
+            assert outcome.via == "batch"
+            expected = engine_oracle(
+                protocol, m, node_names, combo, evaluator.frame
+            )
+            assert (outcome.deliveries, outcome.attempts) == expected, combo
+
+    @pytest.mark.parametrize("n_nodes", (2, 4))
+    def test_all_announced_fields_match_engine(self, n_nodes):
+        from repro.can.encoding import header_shape
+
+        node_names = tuple(["tx"] + ["r%d" % i for i in range(1, n_nodes)])
+        for protocol, m in (("can", 5), ("majorcan", 3)):
+            evaluator = BatchReplayEvaluator(protocol, m, node_names)
+            shape = header_shape(evaluator.frame, evaluator.shape.eof_length)
+            combos = [
+                ((name, field_name, index),)
+                for (field_name, index) in sorted(shape.announced)
+                for name in node_names
+            ]
+            outcomes = evaluator.evaluate(combos)
+            assert evaluator.stats["engine"] == 0
+            for combo, outcome in zip(combos, outcomes):
+                expected = engine_oracle(
+                    protocol, m, node_names, combo, evaluator.frame
+                )
+                assert (
+                    outcome.deliveries,
+                    outcome.attempts,
+                ) == expected, (protocol, m, combo)
+
+    def test_inert_header_sites_match_clean_run(self):
+        # The default 1-byte payload never announces DATA index 60, and
+        # SOF has a single bit: both triggers can never fire.
+        evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1", "r2"])
+        clean, data_inert, sof_inert = evaluator.evaluate(
+            [(), (("r1", "DATA", 60),), (("r1", "SOF", 3),)]
+        )
+        for outcome in (data_inert, sof_inert):
+            assert outcome.via == "batch"
+            assert (outcome.deliveries, outcome.attempts) == (
+                clean.deliveries,
+                clean.attempts,
+            )
+        assert evaluator.stats["engine"] == 0
+
+    def test_multi_flip_header_combos_use_the_engine(self):
+        evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1", "r2"])
+        header = ("r1", "DATA", 0)
+        tail = ("r2", "EOF", 5)
+        outcomes = evaluator.evaluate(
+            [(header, ("r2", "DATA", 1)), (header, tail)]
+        )
+        assert evaluator.stats["engine"] == 2
+        frame = evaluator.frame
+        for combo, outcome in zip(
+            [(header, ("r2", "DATA", 1)), (header, tail)], outcomes
+        ):
+            assert outcome.via == "engine"
+            expected = engine_oracle("can", 5, ("tx", "r1", "r2"), combo, frame)
+            assert (outcome.deliveries, outcome.attempts) == expected
+
+    def test_inert_header_plus_tail_flip_stays_vectorised(self):
+        node_names = ("tx", "r1", "r2")
+        evaluator = BatchReplayEvaluator("can", 5, node_names)
+        combo = (("r1", "DATA", 60), ("r2", "EOF", 6))
+        (outcome,) = evaluator.evaluate([combo])
+        assert outcome.via == "batch"
+        assert evaluator.stats["engine"] == 0
+        expected = engine_oracle("can", 5, node_names, combo, evaluator.frame)
+        assert (outcome.deliveries, outcome.attempts) == expected
+
+
 class TestRouting:
     """Placements outside the micro-model go to the engine oracle."""
-
-    def test_header_sites_fall_back_to_engine(self):
-        evaluator = BatchReplayEvaluator("majorcan", 5, ["tx", "r1", "r2"])
-        combo = (header_sites(["r1"], data_bits=0)[0],)
-        (outcome,) = evaluator.evaluate([combo])
-        assert outcome.via == "engine"
-        assert evaluator.stats["engine"] == 1
 
     def test_duplicate_sites_fall_back_to_engine(self):
         evaluator = BatchReplayEvaluator("can", 5, ["tx", "r1", "r2"])
@@ -296,6 +388,70 @@ class TestWiredEntryPoints:
             parallel.flips_total,
         )
 
+    def test_montecarlo_counts_identical_across_backend_and_jobs(self):
+        """The seeded chunked draw is part of the experiment identity.
+
+        The (trials, sites) matrix draw consumes each chunk's PCG64
+        stream exactly like the scalar per-trial draws it replaced, so
+        every count is bit-identical across backend=engine/batch and
+        jobs=1/4 for the same seed.
+        """
+        results = {
+            (backend, jobs): monte_carlo_tail(
+                "can", trials=96, seed=20260806, backend=backend, jobs=jobs
+            )
+            for backend in ("engine", "batch")
+            for jobs in (1, 4)
+        }
+        reference = results[("engine", 1)]
+        key = lambda r: (  # noqa: E731
+            r.imo,
+            r.double_reception,
+            r.inconsistent,
+            r.no_fault_trials,
+            r.flips_total,
+        )
+        for label, result in results.items():
+            assert key(result) == key(reference), label
+
+    def test_montecarlo_backend_stats_surfaced(self):
+        batch = monte_carlo_tail("can", trials=64, seed=5, backend="batch")
+        engine = monte_carlo_tail("can", trials=64, seed=5)
+        assert engine.backend_stats is None
+        assert batch.backend_stats is not None
+        classified = sum(batch.backend_stats.values())
+        assert classified == batch.trials - batch.no_fault_trials
+
+    def test_verify_backend_stats_surfaced(self):
+        node_names = ["tx", "r1", "r2"]
+        extra = header_sites(node_names, data_bits=8)
+        serial = verify_consistency(
+            "can",
+            m=5,
+            n_nodes=3,
+            max_flips=1,
+            extra_sites=extra,
+            backend="batch",
+        )
+        parallel = verify_consistency(
+            "can",
+            m=5,
+            n_nodes=3,
+            max_flips=1,
+            extra_sites=extra,
+            backend="batch",
+            jobs=2,
+        )
+        engine = verify_consistency(
+            "can", m=5, n_nodes=3, max_flips=1, extra_sites=extra
+        )
+        assert engine.backend_stats is None
+        for result in (serial, parallel):
+            assert result.backend_stats is not None
+            assert sum(result.backend_stats.values()) == result.runs
+            assert result.backend_stats["header"] == len(extra)
+            assert result.backend_stats["engine"] == 0
+
     def test_ablation_row_equality(self):
         engine = ablation_row(3, tail_flips=1, check_f1=True)
         batch = ablation_row(3, tail_flips=1, check_f1=True, backend="batch")
@@ -350,6 +506,44 @@ class TestSignalShapeHook:
         assert shape.supported
 
 
+class TestStatsHelpers:
+    def test_format_stats_line(self):
+        from repro.analysis.batchreplay import format_stats
+
+        line = format_stats({"batch": 10, "scalar": 0, "header": 4, "engine": 2})
+        assert line == (
+            "backend stats: batch=10 scalar=0 header=4 engine=2 (total 16)"
+        )
+
+    def test_engine_share_notice_thresholds(self):
+        from repro.analysis.batchreplay import engine_share_notice
+
+        assert engine_share_notice({}) is None
+        assert engine_share_notice({"batch": 90, "engine": 10}) is None
+        notice = engine_share_notice({"batch": 80, "engine": 20})
+        assert notice is not None and "20%" in notice
+
+    def test_warm_shapes_populates_caches(self):
+        from repro.analysis.batchreplay import warm_shapes
+        from repro.can.encoding import header_shape
+
+        warm_shapes()
+        frame = data_frame(0x123, b"\x55", message_id="m")
+        assert tail_shape.cache_info().currsize >= 7
+        assert header_shape.cache_info().currsize >= 1
+        # The warmed entries cover the sweep protocols for this frame.
+        assert tail_shape("majorcan", 3, frame).supported
+
+
+def _strip_stats(output):
+    """Drop the batch-only stats/notice lines for backend comparisons."""
+    return "".join(
+        line
+        for line in output.splitlines(keepends=True)
+        if "backend stats:" not in line and "notice:" not in line
+    )
+
+
 class TestCli:
     def test_verify_backend_batch(self, capsys):
         engine_rc = main(["verify", "--protocol", "can", "--flips", "1"])
@@ -359,7 +553,12 @@ class TestCli:
         )
         batch_out = capsys.readouterr().out
         assert engine_rc == batch_rc == 1
-        assert engine_out == batch_out
+        assert engine_out == _strip_stats(batch_out)
+        assert "backend stats: batch=" in batch_out
+
+    def test_engine_backend_prints_no_stats(self, capsys):
+        main(["verify", "--protocol", "can", "--flips", "1"])
+        assert "backend stats:" not in capsys.readouterr().out
 
     def test_montecarlo_backend_batch(self, capsys):
         assert (
@@ -378,13 +577,15 @@ class TestCli:
         )
         batch_out = capsys.readouterr().out
         assert main(["montecarlo", "--trials", "64", "--seed", "5"]) == 0
-        assert capsys.readouterr().out == batch_out
+        assert capsys.readouterr().out == _strip_stats(batch_out)
+        assert "backend stats: batch=" in batch_out
 
     def test_enumerate_backend_batch(self, capsys):
         assert main(["enumerate", "--backend", "batch"]) == 0
         batch_out = capsys.readouterr().out
         assert main(["enumerate"]) == 0
-        assert capsys.readouterr().out == batch_out
+        assert capsys.readouterr().out == _strip_stats(batch_out)
+        assert "backend stats: batch=" in batch_out
 
     def test_backend_choices_validated(self):
         with pytest.raises(SystemExit):

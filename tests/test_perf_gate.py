@@ -21,11 +21,13 @@ perf_gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(perf_gate)
 
 
-def _report(engine=2.4, controller=3.2, batch=18.0):
+def _report(engine=2.4, controller=3.2, batch=18.0, header=6.0, mc=4.0):
     return {
         "engine": {"fast_path_speedup": engine},
         "controller": {"fast_path_speedup": controller},
         "batch_enumeration": {"speedup": batch},
+        "header_enumeration": {"speedup": header},
+        "montecarlo_batch": {"speedup": mc},
     }
 
 
@@ -103,8 +105,8 @@ class TestMain:
         assert perf_gate.main([baseline, report, "--tolerance", "0.20"]) == 0
 
     def test_committed_baseline_is_gateable(self):
-        """The repo's own BENCH_PR4.json carries every gated metric."""
-        bench = os.path.join(os.path.dirname(GATE_PATH), "..", "BENCH_PR4.json")
+        """The repo's own BENCH_PR5.json carries every gated metric."""
+        bench = os.path.join(os.path.dirname(GATE_PATH), "..", "BENCH_PR5.json")
         with open(bench) as handle:
             baseline = json.load(handle)
         for metric in perf_gate.GATED_METRICS:

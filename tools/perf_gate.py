@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR4.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR5.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -36,11 +36,17 @@ import sys
 #: * ``controller.fast_path_speedup`` — table-driven vs reference
 #:   state machine on the record_bits=False hot loop;
 #: * ``batch_enumeration.speedup``    — batch replay vs one engine run
-#:   per placement on the can/2-flip verification universe.
+#:   per placement on the can/2-flip verification universe;
+#: * ``header_enumeration.speedup``   — batch vs engine on the
+#:   header-heavy ``m_ablation check_f1`` sweep (rows asserted equal);
+#: * ``montecarlo_batch.speedup``     — chunked-draw batch vs engine
+#:   ``monte_carlo_tail`` at one seed (counts asserted bit-identical).
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
     "batch_enumeration.speedup",
+    "header_enumeration.speedup",
+    "montecarlo_batch.speedup",
 )
 
 #: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the
