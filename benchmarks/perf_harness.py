@@ -22,9 +22,14 @@ Measures the axes this repo's perf trajectory tracks:
 * **engine vs batch wall-clock** on the header-dominated
   ``m_ablation check_f1`` sweep (ablation rows asserted identical) and
   on seeded ``monte_carlo_tail`` runs (counts asserted bit-identical)
-  — the PR 5 header-site backend and chunked Monte-Carlo draws.
+  — the PR 5 header-site backend and chunked Monte-Carlo draws;
+* **engine vs batch wall-clock** on the PR 6 workloads: the full
+  ≤ 2-flip header+tail combo universe (per-combo verdicts asserted
+  identical to an engine oracle), ``run_campaign`` rounds (campaign
+  rows asserted identical) and the enumerated
+  ``reliability_comparison`` rates (rows asserted identical).
 
-Writes a JSON report (default ``BENCH_PR5.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR6.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -206,21 +211,28 @@ def bench_batch_enumeration(max_flips: int, protocol: str = "can") -> Dict:
     Runs the identical placement universe through both backends,
     asserts the verdicts match placement for placement, and reports
     the wall-clock speedup (the PR 4 acceptance bar is >= 5x on the
-    full-size ``can``/2-flip universe).
+    full-size ``can``/2-flip universe).  Both sides are best-of-3 with
+    the batch side timed from cold work caches, like the later batch
+    sections — a single engine pass is a noisy denominator for a gated
+    ratio.
     """
-    from repro.analysis.batchreplay import HAVE_NUMPY
+    from repro.analysis.batchreplay import HAVE_NUMPY, clear_caches
     from repro.analysis.verification import verify_consistency
 
-    started = time.perf_counter()
-    engine = verify_consistency(
-        protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1
+    engine_elapsed, engine = _timed_best(
+        lambda: verify_consistency(
+            protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1
+        )
     )
-    engine_elapsed = time.perf_counter() - started
-    started = time.perf_counter()
-    batch = verify_consistency(
-        protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1, backend="batch"
-    )
-    batch_elapsed = time.perf_counter() - started
+
+    def batch_run():
+        clear_caches()
+        return verify_consistency(
+            protocol, m=5, n_nodes=3, max_flips=max_flips, jobs=1,
+            backend="batch",
+        )
+
+    batch_elapsed, batch = _timed_best(batch_run)
     identical = engine.runs == batch.runs and [
         str(c) for c in engine.counterexamples
     ] == [str(c) for c in batch.counterexamples]
@@ -312,7 +324,14 @@ def bench_header_enumeration() -> Dict:
         )
 
     batch_elapsed, batch_rows = _timed_best(batch_sweep)
-    if engine_rows != batch_rows:
+    from dataclasses import replace
+
+    # The rows carry backend provenance counters (None on the engine,
+    # a dict on the batch backend); equality is over everything else.
+    strip = lambda rows: [  # noqa: E731
+        replace(row, backend_stats=None) for row in rows
+    ]
+    if strip(engine_rows) != strip(batch_rows):
         raise AssertionError(
             "batch m_ablation rows diverged from the engine"
         )
@@ -406,6 +425,247 @@ def bench_montecarlo_batch(trials: int) -> Dict:
     }
 
 
+def bench_multiflip_header(
+    protocol: str = "can", m: int = 5, n_nodes: int = 6
+) -> Dict:
+    """Engine oracle vs batch on the full ≤2-flip combo universe (PR 6).
+
+    The universe mixes every header site with every EOF site — all
+    singles, all pairs and the clean combo — over an empty-payload
+    frame, the universe shape the tier-1 differential suite checks at
+    three nodes.  Six nodes is where the batch design earns its keep:
+    receiver symmetry folds the ~2.2k raw combos onto a far smaller
+    canonical set, while the engine oracle pays full price per combo.
+    Every verdict is asserted identical to the per-combo engine run
+    before the speedup is reported (the PR 6 acceptance bar is >= 5x).
+    """
+    import itertools
+
+    from repro.analysis.batchreplay import (
+        HAVE_NUMPY,
+        BatchReplayEvaluator,
+        clear_caches,
+        warm_shapes,
+    )
+    from repro.analysis.verification import header_sites
+    from repro.can.fields import EOF
+    from repro.can.frame import data_frame
+    from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+    from repro.faults.scenarios import make_controller, run_single_frame_scenario
+
+    node_names = tuple(
+        ["tx"] + ["r%d" % index for index in range(1, n_nodes)]
+    )
+    frame = data_frame(0x123, b"", message_id="bench")
+    probe = make_controller(protocol, "probe", m=m)
+    sites = list(header_sites(node_names, data_bits=0))
+    sites += [
+        (name, EOF, index)
+        for name in node_names
+        for index in range(probe.config.eof_length)
+    ]
+    combos = (
+        [()]
+        + [(site,) for site in sites]
+        + list(itertools.combinations(sites, 2))
+    )
+
+    def engine_pass():
+        results = []
+        for combo in combos:
+            nodes = [
+                make_controller(protocol, name, m=m) for name in node_names
+            ]
+            faults = [
+                ViewFault(name, Trigger(field=field, index=index), force=None)
+                for name, field, index in combo
+            ]
+            outcome = run_single_frame_scenario(
+                "bench-multiflip",
+                nodes,
+                ScriptedInjector(view_faults=faults),
+                frame=frame,
+                record_bits=False,
+            )
+            results.append(
+                (
+                    tuple(outcome.deliveries[name] for name in node_names),
+                    outcome.attempts,
+                )
+            )
+        return results
+
+    def batch_pass():
+        clear_caches()
+        evaluator = BatchReplayEvaluator(protocol, m, node_names, frame=frame)
+        return (
+            [(o.deliveries, o.attempts) for o in evaluator.evaluate(combos)],
+            dict(evaluator.stats),
+        )
+
+    warm_shapes()
+    batch_pass()  # untimed warm-up: pays the shape compile for ``frame``
+    engine_elapsed, engine_verdicts = _timed_best(engine_pass)
+    batch_elapsed, (batch_verdicts, stats) = _timed_best(batch_pass)
+    if engine_verdicts != batch_verdicts:
+        raise AssertionError(
+            "batch multi-flip verdicts diverged from the engine oracle"
+        )
+    return {
+        "protocol": protocol,
+        "m": m,
+        "n_nodes": n_nodes,
+        "combos": len(combos),
+        "verdicts_identical": True,
+        "backend_stats": stats,
+        "engine_share": stats["engine"] / len(combos),
+        "vector_backend": "numpy" if HAVE_NUMPY else "python",
+        "engine": {
+            "seconds": engine_elapsed,
+            "combos_per_sec": (
+                len(combos) / engine_elapsed if engine_elapsed else float("inf")
+            ),
+        },
+        "batch": {
+            "seconds": batch_elapsed,
+            "combos_per_sec": (
+                len(combos) / batch_elapsed if batch_elapsed else float("inf")
+            ),
+        },
+        "speedup": (
+            engine_elapsed / batch_elapsed if batch_elapsed else float("inf")
+        ),
+    }
+
+
+def bench_campaign_batch(rounds: int = 96) -> Dict:
+    """Engine vs batch ``run_campaign`` at one seed (PR 6).
+
+    Both backends replay the identical seeded round schedule; the full
+    campaign surface (summary row, per-round omission indices, attack
+    and injection counters) is asserted identical before the speedup
+    is reported (the PR 6 acceptance bar is >= 3x).  The round count is
+    the same in smoke and full runs, so the gated ratio is apples to
+    apples across reports.
+    """
+    from repro.analysis.batchreplay import clear_caches, warm_shapes
+    from repro.faults.campaigns import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        protocol="can",
+        n_nodes=4,
+        rounds=rounds,
+        attack_probability=0.5,
+        seed=17,
+    )
+    warm_up = CampaignSpec(
+        protocol="can", n_nodes=4, rounds=2, attack_probability=0.5, seed=17
+    )
+    warm_shapes()
+    run_campaign(warm_up, backend="engine")
+    run_campaign(warm_up, backend="batch")  # compiles the campaign frame shape
+
+    def surface(outcome):
+        return (
+            outcome.as_row(),
+            outcome.omission_rounds,
+            outcome.attacked_rounds,
+            outcome.errors_injected,
+        )
+
+    engine_elapsed, engine = _timed_best(
+        lambda: run_campaign(spec, backend="engine")
+    )
+
+    def batch_run():
+        clear_caches()
+        return run_campaign(spec, backend="batch")
+
+    batch_elapsed, batch = _timed_best(batch_run)
+    if surface(engine) != surface(batch):
+        raise AssertionError("batch campaign rows diverged from the engine")
+    return {
+        "protocol": spec.protocol,
+        "rounds": rounds,
+        "rows_identical": True,
+        "backend_stats": dict(batch.backend_stats),
+        "engine_share": batch.backend_stats.get("engine", 0) / rounds,
+        "engine": {
+            "seconds": engine_elapsed,
+            "rounds_per_sec": (
+                rounds / engine_elapsed if engine_elapsed else float("inf")
+            ),
+        },
+        "batch": {
+            "seconds": batch_elapsed,
+            "rounds_per_sec": (
+                rounds / batch_elapsed if batch_elapsed else float("inf")
+            ),
+        },
+        "speedup": (
+            engine_elapsed / batch_elapsed if batch_elapsed else float("inf")
+        ),
+    }
+
+
+def bench_reliability_batch(ber: float = 1e-5) -> Dict:
+    """Engine vs batch enumerated ``reliability_comparison`` (PR 6).
+
+    Both backends enumerate the identical tail-window pattern universe
+    per protocol and must produce the same measured IMO rates; the
+    row surface is asserted identical before the speedup is reported
+    (the PR 6 acceptance bar is >= 3x).
+    """
+    from repro.analysis.batchreplay import clear_caches, warm_shapes
+    from repro.analysis.reliability import reliability_comparison
+
+    def surface(rows):
+        return [
+            (
+                row.protocol,
+                row.ber,
+                row.imo_rate_per_hour,
+                row.mttf_hours,
+                row.mission_survival,
+            )
+            for row in rows
+        ]
+
+    warm_shapes()
+    reliability_comparison(ber, backend="engine")
+    reliability_comparison(ber, backend="batch")
+    engine_elapsed, engine = _timed_best(
+        lambda: reliability_comparison(ber, backend="engine")
+    )
+
+    def batch_run():
+        clear_caches()
+        return reliability_comparison(ber, backend="batch")
+
+    batch_elapsed, batch = _timed_best(batch_run)
+    if surface(engine) != surface(batch):
+        raise AssertionError(
+            "batch reliability rows diverged from the engine"
+        )
+    stats = {}
+    for row in batch:
+        for key, value in (row.backend_stats or {}).items():
+            stats[key] = stats.get(key, 0) + value
+    total = sum(stats.values())
+    return {
+        "ber": ber,
+        "protocols": [row.protocol for row in engine],
+        "rows_identical": True,
+        "backend_stats": stats,
+        "engine_share": (stats.get("engine", 0) / total) if total else 0.0,
+        "engine": {"seconds": engine_elapsed},
+        "batch": {"seconds": batch_elapsed},
+        "speedup": (
+            engine_elapsed / batch_elapsed if batch_elapsed else float("inf")
+        ),
+    }
+
+
 def _speedup(base: float, fast: float) -> float:
     return fast / base if base else float("inf")
 
@@ -420,6 +680,9 @@ SECTIONS = (
     "batch_enumeration",
     "header_enumeration",
     "montecarlo_batch",
+    "multiflip_header",
+    "campaign_batch",
+    "reliability_batch",
 )
 
 
@@ -433,8 +696,9 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
     flips = 1 if smoke else 2
 
     report = {
-        "bench": "PR5 header-site batch backend + chunked Monte-Carlo draws "
-        "(+ PR4 vectorised enumeration, PR3 controller fast path, "
+        "bench": "PR6 multi-flip combo classification + campaign/reliability "
+        "batch backends + table-driven signalling (+ PR5 header-site "
+        "backend, PR4 vectorised enumeration, PR3 controller fast path, "
         "PR1 parallel trials)",
         "smoke": smoke,
         "host": {
@@ -510,6 +774,12 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
         report["header_enumeration"] = bench_header_enumeration()
     if "montecarlo_batch" in wanted:
         report["montecarlo_batch"] = bench_montecarlo_batch(500)
+    if "multiflip_header" in wanted:
+        report["multiflip_header"] = bench_multiflip_header()
+    if "campaign_batch" in wanted:
+        report["campaign_batch"] = bench_campaign_batch()
+    if "reliability_batch" in wanted:
+        report["reliability_batch"] = bench_reliability_batch()
     return report
 
 
@@ -525,7 +795,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR5.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR6.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -613,6 +883,49 @@ def main(argv=None) -> int:
                 section["engine"]["trials_per_sec"],
                 section["batch"]["trials_per_sec"],
                 section["speedup"],
+            )
+        )
+    if "multiflip_header" in report:
+        section = report["multiflip_header"]
+        print(
+            "multiflip  : %-8s m=%d n=%d %6d combos, %8.1f/s engine,"
+            " %9.1f/s batch [%s] (x%.2f, engine share %.2f%%)"
+            % (
+                section["protocol"],
+                section["m"],
+                section["n_nodes"],
+                section["combos"],
+                section["engine"]["combos_per_sec"],
+                section["batch"]["combos_per_sec"],
+                section["vector_backend"],
+                section["speedup"],
+                section["engine_share"] * 100.0,
+            )
+        )
+    if "campaign_batch" in report:
+        section = report["campaign_batch"]
+        print(
+            "campaign   : %6d rounds, %8.1f rounds/s engine,"
+            " %9.1f rounds/s batch (x%.2f, engine share %.2f%%)"
+            % (
+                section["rounds"],
+                section["engine"]["rounds_per_sec"],
+                section["batch"]["rounds_per_sec"],
+                section["speedup"],
+                section["engine_share"] * 100.0,
+            )
+        )
+    if "reliability_batch" in report:
+        section = report["reliability_batch"]
+        print(
+            "reliability: ber=%g enumerated rates, %6.2fs engine,"
+            " %6.2fs batch (x%.2f, engine share %.2f%%)"
+            % (
+                section["ber"],
+                section["engine"]["seconds"],
+                section["batch"]["seconds"],
+                section["speedup"],
+                section["engine_share"] * 100.0,
             )
         )
     print("report     : %s (cpu_count=%d)" % (args.out, report["host"]["cpu_count"]))

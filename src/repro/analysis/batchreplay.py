@@ -38,6 +38,18 @@ mid-frame DATA/CRC receiver flips further sharing one class per parse
 signature.  A full header universe costs a handful of two- or
 three-node runs instead of one n-node engine run per site.
 
+Multi-flip combos compose the same machinery instead of bailing out:
+duplicate triggers on one position cancel by parity before anything
+runs (they all fire at the same first announcement, and a flip of a
+flip is the identity), faulted receivers are relabelled into a
+canonical arrangement so one verdict serves every placement of the
+same fault groups over any receivers, pure-tail multi-site placements
+ride the micro-model (with a widened-budget scalar retry for cascade
+overflows), and combos touching header sites classify through cached
+*reduced* runs over transmitter + distinct fault carriers + one
+witness.  The engine remains only for combos naming unknown nodes or
+fields outside every model.
+
 Two interchangeable backends implement the same transition table: a
 numpy one evaluating ``(batch, node)`` arrays in single passes, and a
 pure-python scalar one used automatically when numpy is absent (the
@@ -322,10 +334,10 @@ class BatchReplayEvaluator:
         """Classify every placement; order follows the input.
 
         Verdicts are memoised in the process-wide :data:`_COMBO_CACHE`
-        under a *canonical* combo key: placements whose sites all land
-        on one non-first receiver are keyed as if they hit the first
-        receiver (receiver symmetry — see :meth:`_header_outcome`) and
-        the cached delivery tuple is permuted back on retrieval.
+        under a *canonical* combo key: duplicate triggers cancel by
+        parity, and fault groups are relabelled onto the first
+        receivers (receiver symmetry — see :meth:`_header_outcome`)
+        with the cached delivery tuple permuted back on retrieval.
         Repeated placements — Monte-Carlo draws across chunks, the F1
         universe re-visiting tail-window sites — therefore classify at
         dictionary-lookup cost.  Cache hits count toward ``stats``
@@ -362,6 +374,11 @@ class BatchReplayEvaluator:
                     outcomes, pending[key], key,
                     self._header_outcome(resolved), "header",
                 )
+            elif route == "reduced":
+                self._finish(
+                    outcomes, pending[key], key,
+                    self._reduced_outcome(resolved), "header",
+                )
             else:
                 self._finish(
                     outcomes, pending[key], key,
@@ -383,7 +400,20 @@ class BatchReplayEvaluator:
                     for _, _, arm in fast
                 ]
                 label = "scalar"
-            for (key, canon, _), verdict in zip(fast, verdicts):
+            for (key, canon, arm), verdict in zip(fast, verdicts):
+                stat = label
+                if verdict is None:
+                    # The common bail on dense placements is the step
+                    # budget: every flip can restart the frame and the
+                    # cascade outruns the nominal cap.  A single scalar
+                    # retry with a widened budget stays exact (same
+                    # transition table, more steps) and keeps these off
+                    # the engine; genuine envelope violations bail
+                    # again and fall through to the oracle.
+                    verdict = _simulate_scalar(
+                        self.shape, len(self.node_names), arm, cap_scale=8
+                    )
+                    stat = "scalar"
                 if verdict is None:
                     self._finish(
                         outcomes, pending[key], key,
@@ -391,11 +421,11 @@ class BatchReplayEvaluator:
                     )
                 else:
                     deliveries, attempts = verdict
-                    self.stats[label] += 1
+                    self.stats[stat] += 1
                     outcome = PlacementOutcome(
                         deliveries=deliveries, attempts=attempts, via="batch"
                     )
-                    self._finish(outcomes, pending[key], key, outcome, label)
+                    self._finish(outcomes, pending[key], key, outcome, stat)
         return outcomes  # type: ignore[return-value]
 
     def counterexample(
@@ -414,33 +444,59 @@ class BatchReplayEvaluator:
 
     def _canonical(
         self, combo: Sequence[Site]
-    ) -> Tuple[Optional[Tuple], Optional[int], Tuple[Site, ...]]:
+    ) -> Tuple[Optional[Tuple], Optional[Tuple[int, ...]], Tuple[Site, ...]]:
         """Canonical cache key for ``combo`` plus its expansion hint.
 
         Returns ``(key, back, canon)``: ``key`` is the process-wide
         cache key (``None`` when a site names an unknown node and the
         combo must bypass the cache), ``canon`` is the combo actually
-        evaluated, and ``back`` is the real faulted-node index when the
-        combo was re-targeted onto the first receiver — deterministic
-        identical controllers make every receiver interchangeable, so
-        one verdict serves all of them modulo a delivery permutation.
+        evaluated, and ``back`` maps canonical receiver labels back to
+        the real faulted nodes when the combo was re-targeted.
+
+        Two exact reductions happen here so equivalent combos share one
+        cache entry:
+
+        * *parity*: duplicate triggers on one ``(node, field, index)``
+          position all fire at the same first announcement, and a flip
+          of a flip is the identity — an even repeat count cancels to
+          nothing, an odd one collapses to a single flip;
+        * *receiver symmetry*: the receivers are identical
+          deterministic controllers, so permuting which of them carry
+          which fault group permutes the deliveries and nothing else.
+          The faulted receivers are relabelled ``1..k`` in sorted
+          fault-group order, and ``back`` records the real node index
+          behind each canonical label (``back[j-1]`` for label ``j``;
+          ``None`` when the relabelling is the identity).
         """
+        counts: Dict[Tuple[int, str, int], int] = {}
         try:
-            sites = tuple(
-                sorted(
-                    (self._node_index[name], field_name, index)
-                    for name, field_name, index in combo
-                )
-            )
+            for name, field_name, index in combo:
+                site = (self._node_index[name], field_name, index)
+                counts[site] = counts.get(site, 0) + 1
         except KeyError:
             return None, None, tuple(combo)
-        back: Optional[int] = None
-        nodes = {site[0] for site in sites}
-        if len(nodes) == 1:
-            node = nodes.pop()
-            if node >= 2:
-                back = node
-                sites = tuple((1, f, i) for _, f, i in sites)
+        sites = tuple(
+            sorted(site for site, hits in counts.items() if hits % 2)
+        )
+        back: Optional[Tuple[int, ...]] = None
+        rx_nodes = sorted({node for node, _, _ in sites if node != 0})
+        if rx_nodes:
+            groups = {
+                node: tuple(
+                    (f, i) for node2, f, i in sites if node2 == node
+                )
+                for node in rx_nodes
+            }
+            order = sorted(rx_nodes, key=lambda node: (groups[node], node))
+            relabel = {node: 1 + j for j, node in enumerate(order)}
+            if any(relabel[node] != node for node in rx_nodes):
+                back = tuple(order)
+                sites = tuple(
+                    sorted(
+                        (relabel.get(node, node), f, i)
+                        for node, f, i in sites
+                    )
+                )
         key = (self.protocol, self.m, self.frame, len(self.node_names), sites)
         canon = tuple(
             (self.node_names[node], f, i) for node, f, i in sites
@@ -448,17 +504,27 @@ class BatchReplayEvaluator:
         return key, back, canon
 
     def _expand(
-        self, cached: Tuple[Tuple[int, ...], int, str], back: Optional[int]
+        self,
+        cached: Tuple[Tuple[int, ...], int, str],
+        back: Optional[Tuple[int, ...]],
     ) -> PlacementOutcome:
-        """Rebuild an outcome from a cache entry, undoing ``back``."""
+        """Rebuild an outcome from a cache entry, undoing ``back``.
+
+        The cached deliveries are for the canonical arrangement —
+        transmitter at 0, faulted receivers at ``1..k``, witnesses
+        after — and every witness delivery is equal by symmetry, so the
+        permutation only needs the canonical-label-to-real-node map.
+        """
         deliveries, attempts, stat = cached
         if back is not None:
-            witness = deliveries[2]
-            deliveries = tuple(
-                deliveries[0] if j == 0
-                else (deliveries[1] if j == back else witness)
-                for j in range(len(deliveries))
-            )
+            k = len(back)
+            n = len(deliveries)
+            witness = deliveries[k + 1] if k + 1 < n else 0
+            rebuilt = [witness] * n
+            rebuilt[0] = deliveries[0]
+            for label, node in enumerate(back, start=1):
+                rebuilt[node] = deliveries[label]
+            deliveries = tuple(rebuilt)
         via = "engine" if stat == "engine" else "batch"
         return PlacementOutcome(
             deliveries=deliveries, attempts=attempts, via=via
@@ -488,22 +554,38 @@ class BatchReplayEvaluator:
         return header_shape(self.frame, self.shape.eof_length)
 
     def _resolve(self, combo: Sequence[Site]) -> Tuple[str, object]:
-        """Route a combo to one of the three classification paths.
+        """Route a combo to one of the four classification paths.
 
         Returns ``("fast", armed_keys)`` for pure tail placements,
         ``("header", (node, field, index))`` for a single announced
-        header-site flip, and ``("engine", None)`` for everything else
-        (unknown nodes or fields, duplicate triggers on one position,
-        multi-fault combos touching a header site).  Inert sites —
-        positions neither the transmit program nor a nominal parse ever
-        announces — are dropped on both paths, exactly as in the engine
-        where their trigger can never fire.
+        header-site flip, ``("reduced", (header_hits, tail_sites))``
+        for multi-fault combos touching a header site, and
+        ``("engine", None)`` for anything outside the modelled envelope
+        (unknown nodes or fields, unexpected program layouts).
+        Duplicate triggers never reach this point — :meth:`_canonical`
+        cancels them by parity before the combo is resolved.
+
+        Config-inert tail sites — positions no parse of this controller
+        configuration can ever announce — are dropped outright, exactly
+        as in the engine where their trigger can never fire.  A header
+        site outside the nominal announced set is subtler: an earlier
+        fault on the *same* node can shift that node's parse until the
+        position appears (a corrupted DLC lengthens the data field, a
+        mid-frame error truncates attempt one and re-announces in the
+        retry), while faults on other nodes only ever truncate the
+        bus's nominal prefix and cannot conjure new positions.  Such a
+        site is therefore dropped only when its node carries no other
+        live site in the combo; otherwise it rides along into the
+        reduced run, which replays the real engine and needs no
+        announcement reasoning.
         """
         if not self.shape.supported:
             return ("engine", None)
         armed: List[Tuple[int, int]] = []
-        seen_keys = set()
+        tail_sites: List[Tuple[int, str, int]] = []
         header_hits: List[Tuple[int, str, int]] = []
+        silent: List[Tuple[int, str, int]] = []
+        live_nodes = set()
         shape = None
         for name, field_name, index in combo:
             node = self._node_index.get(name)
@@ -512,25 +594,21 @@ class BatchReplayEvaluator:
             if field_name in HEADER_SITE_FIELDS:
                 if shape is None:
                     shape = self._header_shape()
-                if (field_name, index) not in shape.announced:
-                    continue
-                if (node, field_name, index) in seen_keys:
-                    return ("engine", None)
-                seen_keys.add((node, field_name, index))
-                header_hits.append((node, field_name, index))
+                if (field_name, index) in shape.announced:
+                    header_hits.append((node, field_name, index))
+                    live_nodes.add(node)
+                else:
+                    silent.append((node, field_name, index))
                 continue
             key = _site_key(self.shape, field_name, index)
             if key == _UNSUPPORTED:
                 return ("engine", None)
             if key == _INERT:
                 continue
-            if (node, key) in seen_keys:
-                # Two armed triggers on one position cancel out in the
-                # engine (both fire on the same bit); rare enough to
-                # leave to the oracle.
-                return ("engine", None)
-            seen_keys.add((node, key))
             armed.append((node, key))
+            tail_sites.append((node, field_name, index))
+            live_nodes.add(node)
+        header_hits += [site for site in silent if site[0] in live_nodes]
         if header_hits:
             if (
                 len(header_hits) == 1
@@ -538,7 +616,7 @@ class BatchReplayEvaluator:
                 and len(self.node_names) >= 2
             ):
                 return ("header", header_hits[0])
-            return ("engine", None)
+            return ("reduced", (tuple(header_hits), tuple(tail_sites)))
         return ("fast", armed)
 
     def _header_outcome(
@@ -598,6 +676,55 @@ class BatchReplayEvaluator:
             deliveries=deliveries, attempts=attempts, via="batch"
         )
 
+    def _reduced_outcome(
+        self,
+        spec: Tuple[Tuple[Tuple[int, str, int], ...], Tuple[Tuple[int, str, int], ...]],
+    ) -> PlacementOutcome:
+        """Classify a multi-fault combo touching header sites exactly.
+
+        Same receiver-symmetry argument as :meth:`_header_outcome`,
+        generalised to several fault carriers: the full bus is
+        invariant under collapsing all clean receivers into a single
+        witness, so the n-node verdict follows from one *reduced*
+        engine run over transmitter + the distinct faulted receivers +
+        one witness (the witness is dropped when every receiver is
+        faulted — its ACK and error flags would change the bus).
+        Verdicts are cached per fault-group arrangement in
+        :data:`_REDUCED_CACHE`; combined with the canonical relabelling
+        in :meth:`_canonical`, one run serves every placement of the
+        same fault groups over any receivers.
+        """
+        header_hits, tail_sites = spec
+        sites = sorted(header_hits + tail_sites)
+        rx_nodes = sorted({node for node, _, _ in sites if node != 0})
+        n = len(self.node_names)
+        k = len(rx_nodes)
+        has_witness = k < n - 1
+        label = {0: "tx"}
+        for j, node in enumerate(rx_nodes, start=1):
+            label[node] = "f%d" % j
+        groups = tuple(
+            tuple((f, i) for node2, f, i in sites if node2 == node)
+            for node in [0] + rx_nodes
+        )
+        cache_key = (self.protocol, self.m, self.frame, groups, has_witness)
+        verdict = _REDUCED_CACHE.get(cache_key)
+        if verdict is None:
+            verdict = _reduced_class_run(
+                self.protocol, self.m, self.frame, groups, has_witness
+            )
+            _REDUCED_CACHE[cache_key] = verdict
+        tx_count, faulted_counts, witness_count, attempts = verdict
+        by_node = dict(zip(rx_nodes, faulted_counts))
+        deliveries = tuple(
+            tx_count if i == 0 else by_node.get(i, witness_count)
+            for i in range(n)
+        )
+        self.stats["header"] += 1
+        return PlacementOutcome(
+            deliveries=deliveries, attempts=attempts, via="batch"
+        )
+
     def _engine_outcome(self, combo: Sequence[Site]) -> PlacementOutcome:
         from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
         from repro.faults.scenarios import run_single_frame_scenario
@@ -635,6 +762,13 @@ class BatchReplayEvaluator:
 #: worker) shares one cache; entries are tiny tuples.
 _HEADER_CLASS_CACHE: Dict[Tuple, Tuple[int, int, int, int]] = {}
 
+#: Reduced-run verdicts per multi-fault group arrangement, keyed by
+#: ``(protocol, m, frame, groups, has_witness)`` — ``groups`` being the
+#: per-carrier fault-site tuples, transmitter first — and holding
+#: ``(tx_count, faulted_counts, witness_count, attempts)``.  Shared
+#: process-wide like the single-hit class cache above.
+_REDUCED_CACHE: Dict[Tuple, Tuple[int, Tuple[int, ...], int, int]] = {}
+
 #: Final verdicts per canonical placement, keyed by
 #: ``(protocol, m, frame, n_nodes, canonical_sites)`` and holding
 #: ``(deliveries, attempts, stat)``.  Shared by every evaluator in a
@@ -654,7 +788,48 @@ _ARRAY_BREAK_EVEN = 96
 def clear_caches() -> None:
     """Empty the process-wide verdict caches (benchmarks and tests)."""
     _HEADER_CLASS_CACHE.clear()
+    _REDUCED_CACHE.clear()
     _COMBO_CACHE.clear()
+
+
+def _reduced_class_run(
+    protocol: str,
+    m: int,
+    frame: Frame,
+    groups: Sequence[Tuple[Tuple[str, int], ...]],
+    has_witness: bool,
+) -> Tuple[int, Tuple[int, ...], int, int]:
+    """One reduced engine run classifying a multi-fault arrangement.
+
+    ``groups`` holds the fault sites per carrier, transmitter first;
+    the run instantiates one node per carrier plus one witness when the
+    full network has a clean receiver left.
+    """
+    from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
+    from repro.faults.scenarios import run_single_frame_scenario
+
+    carriers = ["tx"] + ["f%d" % j for j in range(1, len(groups))]
+    names = carriers + (["wit"] if has_witness else [])
+    nodes = [make_controller(protocol, name, m=m) for name in names]
+    faults = [
+        ViewFault(name, Trigger(field=field_name, index=index), force=None)
+        for name, group in zip(carriers, groups)
+        for field_name, index in group
+    ]
+    outcome = run_single_frame_scenario(
+        "batchreplay-reduced-class",
+        nodes,
+        ScriptedInjector(view_faults=faults),
+        frame=frame,
+        record_bits=False,
+        max_bits=60000,
+    )
+    tx_count = outcome.deliveries["tx"]
+    faulted_counts = tuple(
+        outcome.deliveries[name] for name in carriers[1:]
+    )
+    witness_count = outcome.deliveries["wit"] if has_witness else 0
+    return (tx_count, faulted_counts, witness_count, outcome.attempts)
 
 
 def _header_class_run(
@@ -783,11 +958,18 @@ def _notice_fallback() -> None:
 
 
 def _simulate_scalar(
-    shape: TailShape, n_nodes: int, armed_pairs: Sequence[Tuple[int, int]]
+    shape: TailShape,
+    n_nodes: int,
+    armed_pairs: Sequence[Tuple[int, int]],
+    cap_scale: int = 1,
 ) -> Optional[Tuple[Tuple[int, ...], int]]:
     """Replay one placement on the tail micro-model.
 
     Returns ``(deliveries, attempts)`` or None to bail to the engine.
+    ``cap_scale`` widens the step budget for the cascade-overflow
+    retry: placements whose flips keep restarting the frame legally
+    outrun the nominal per-attempt bound without leaving the modelled
+    envelope.
     """
     eof = shape.eof_length
     last = eof - 1
@@ -812,7 +994,7 @@ def _simulate_scalar(
     attempts = 1
     t = 0
     armed = set(armed_pairs)
-    cap = (len(armed) + 2) * shape.attempt_cap + 16
+    cap = ((len(armed) + 2) * shape.attempt_cap + 16) * cap_scale
 
     for _ in range(cap):
         # Drive phase: active flags are dominant; receivers acknowledge.

@@ -58,12 +58,28 @@ class ReliabilityRow:
     imo_rate_per_hour: float
     mttf_hours: float
     mission_survival: Dict[float, float]
+    #: Batch-backend provenance counters for the enumerated rate
+    #: (``None`` for the closed-form and engine backends).
+    backend_stats: Optional[dict] = None
+
+
+#: Display name -> simulator protocol key for the empirical backends.
+_PROTOCOL_KEYS = (("CAN", "can"), ("MinorCAN", "minorcan"), ("MajorCAN", "majorcan"))
+
+#: Tail-window universe behind the enumerated (empirical) rates: the
+#: smallest network exhibiting the scenarios, over the last two EOF
+#: bits — the same universe :func:`repro.analysis.enumeration`
+#: validates equation 4 against.
+_EMPIRICAL_N_NODES = 3
+_EMPIRICAL_WINDOW = 2
 
 
 def reliability_comparison(
     ber: float,
     mission_hours: Sequence[float] = (1.0, 1000.0, 100000.0),
     profile: NetworkProfile = PAPER_PROFILE,
+    backend: Optional[str] = None,
+    m: int = 5,
 ) -> List[ReliabilityRow]:
     """Compare the channel-error IMO reliability of the protocols.
 
@@ -72,19 +88,57 @@ def reliability_comparison(
       Fig. 1 scenarios) but keeps the new one (eq. 4);
     * MajorCAN_m removes both (within the <= m channel-error model the
       paper analyses — the residual rate is 0 in this model).
+
+    ``backend=None`` derives the rates from the closed-form equations.
+    ``"engine"`` and ``"batch"`` instead *measure* the per-frame IMO
+    probability by enumerating every tail-window error pattern on the
+    bit-level simulator (per-bit engine runs vs. the vectorised replay
+    of :mod:`repro.analysis.batchreplay` — identical rates), then scale
+    it to the profile's frame rate.
     """
-    new_rate = incidents_per_hour(
-        p_new_scenario_per_frame(ber, profile.n_nodes, profile.frame_bits), profile
-    )
-    old_rate = incidents_per_hour(
-        p_old_scenario_per_frame(ber, profile.n_nodes, profile.frame_bits), profile
-    )
+    if backend not in (None, "engine", "batch"):
+        raise AnalysisError(
+            "unknown backend %r (use None, 'engine' or 'batch')" % (backend,)
+        )
+    if backend is None:
+        new_rate = incidents_per_hour(
+            p_new_scenario_per_frame(ber, profile.n_nodes, profile.frame_bits),
+            profile,
+        )
+        old_rate = incidents_per_hour(
+            p_old_scenario_per_frame(ber, profile.n_nodes, profile.frame_bits),
+            profile,
+        )
+        rates = [
+            ("CAN", new_rate + old_rate, None),
+            ("MinorCAN", new_rate, None),
+            ("MajorCAN", 0.0, None),
+        ]
+    else:
+        from repro.analysis.enumeration import enumerate_tail_patterns
+
+        rates = []
+        for display, key in _PROTOCOL_KEYS:
+            enumerated = enumerate_tail_patterns(
+                protocol=key,
+                n_nodes=_EMPIRICAL_N_NODES,
+                window=_EMPIRICAL_WINDOW,
+                ber_star=ber,
+                tau_data=profile.frame_bits,
+                m=m,
+                backend=backend,
+            )
+            rates.append(
+                (
+                    display,
+                    incidents_per_hour(
+                        enumerated.p_inconsistent_omission, profile
+                    ),
+                    enumerated.backend_stats,
+                )
+            )
     rows = []
-    for protocol, rate in (
-        ("CAN", new_rate + old_rate),
-        ("MinorCAN", new_rate),
-        ("MajorCAN", 0.0),
-    ):
+    for protocol, rate, stats in rates:
         rows.append(
             ReliabilityRow(
                 protocol=protocol,
@@ -95,6 +149,7 @@ def reliability_comparison(
                     hours: mission_reliability(rate, hours)
                     for hours in mission_hours
                 },
+                backend_stats=stats,
             )
         )
     return rows
@@ -105,16 +160,22 @@ def reliability_sweep(
     mission_hours: Sequence[float] = (1.0, 1000.0, 100000.0),
     profile: NetworkProfile = PAPER_PROFILE,
     jobs: Optional[int] = 1,
+    backend: Optional[str] = None,
+    m: int = 5,
 ) -> Dict[float, List[ReliabilityRow]]:
     """:func:`reliability_comparison` over many bit-error rates.
 
     Each BER point is an independent task on the worker pool; the
     returned mapping preserves the order of ``ber_values`` and is
-    identical for any ``jobs``.
+    identical for any ``jobs`` and either empirical backend.
     """
     tasks = [
         ReliabilityTask(
-            ber=ber, mission_hours=tuple(mission_hours), profile=profile
+            ber=ber,
+            mission_hours=tuple(mission_hours),
+            profile=profile,
+            backend=backend,
+            m=m,
         )
         for ber in ber_values
     ]

@@ -142,6 +142,9 @@ class MAblationRow:
     tail_errors_verified: int
     tail_consistent: bool
     f1_channel_closed: Optional[bool]
+    #: Batch-backend provenance counters summed over the row's
+    #: verifications (None on the engine backend).
+    backend_stats: Optional[dict] = None
 
 
 def ablation_row(
@@ -157,6 +160,7 @@ def ablation_row(
         "majorcan", m=m, n_nodes=n_nodes, max_flips=tail_flips, backend=backend
     )
     f1_closed: Optional[bool] = None
+    f1 = None
     if check_f1:
         f1 = verify_consistency(
             "majorcan",
@@ -168,6 +172,15 @@ def ablation_row(
             backend=backend,
         )
         f1_closed = f1.holds
+    stats: Optional[dict] = None
+    if backend == "batch":
+        stats = {}
+        parts = [tail.backend_stats]
+        if f1 is not None:
+            parts.append(f1.backend_stats)
+        for part in parts:
+            for key, value in (part or {}).items():
+                stats[key] = stats.get(key, 0) + value
     return MAblationRow(
         m=m,
         best_case_bits=best_case_overhead_bits(m),
@@ -175,6 +188,7 @@ def ablation_row(
         tail_errors_verified=tail.runs,
         tail_consistent=tail.holds,
         f1_channel_closed=f1_closed,
+        backend_stats=stats,
     )
 
 

@@ -38,10 +38,12 @@ from repro.can.encoding import (
     OP_EOF,
     OP_MATCH,
     SignalProgram,
+    SignalTable,
     WireFrame,
     WireProgram,
     encode_frame,
     signal_program,
+    signal_table,
     wire_program,
 )
 from repro.can.error_counters import ConfinementState, ErrorCounters
@@ -201,15 +203,37 @@ class CanController:
             STATE_SUSPEND: self._bit_suspend,
             STATE_BUS_OFF: self._bit_bus_off,
         }
+        #: Precompiled signalling positions for this configuration
+        #: (shared across controllers via the ``signal_table`` cache).
+        self._signal_table: SignalTable = signal_table(self.config.delimiter_length)
         if self.config.fast_path:
-            # Table-driven hot loop: only the steady transmit/receive
-            # states are replaced; error, overload and inter-frame
-            # states always run the reference step (and every protocol
-            # extension point is invoked identically).
+            # Table-driven hot loop: the steady transmit/receive states
+            # walk the compiled wire program, and the error/overload
+            # signalling states walk the precompiled SignalTable
+            # positions instead of rebuilding label tuples (or, in the
+            # shared recessive handler, a whole label dict) on every
+            # bit.  The bit-phase handlers stay shared with the
+            # reference machine — they are pure branch code with no
+            # per-bit construction — so every protocol extension point
+            # (_after_flag_complete, _resolve_deferred, the counters)
+            # is invoked identically.
             self._drive_handlers[STATE_RECEIVING] = self._drive_receiving_fast
             self._drive_handlers[STATE_TRANSMITTING] = self._drive_transmitting_fast
             self._bit_handlers[STATE_RECEIVING] = self._bit_receiving_fast
             self._bit_handlers[STATE_TRANSMITTING] = self._bit_transmitting_fast
+            self._drive_handlers[STATE_ERROR_FLAG] = self._drive_error_flag_fast
+            self._drive_handlers[STATE_OVERLOAD_FLAG] = self._drive_overload_flag_fast
+            self._drive_handlers[STATE_PASSIVE_ERROR_FLAG] = (
+                self._drive_passive_error_flag_fast
+            )
+            self._drive_handlers[STATE_ERROR_WAIT] = self._drive_error_wait_fast
+            self._drive_handlers[STATE_OVERLOAD_WAIT] = self._drive_overload_wait_fast
+            self._drive_handlers[STATE_ERROR_DELIM] = self._drive_error_delim_fast
+            self._drive_handlers[STATE_OVERLOAD_DELIM] = (
+                self._drive_overload_delim_fast
+            )
+            self._drive_handlers[STATE_INTERMISSION] = self._drive_intermission_fast
+            self._drive_handlers[STATE_SUSPEND] = self._drive_suspend_fast
 
     # ------------------------------------------------------------------
     # Public API
@@ -647,6 +671,74 @@ class CanController:
         feed(seen)
         self._parser = parser
         self._parser_failed = False
+
+    # ------------------------------------------------------------------
+    # Fast-path signalling drive handlers (table-driven).
+    #
+    # The reference drive handlers rebuild their position tuples (and,
+    # in _drive_recessive, a seven-entry label dict) on every bit.  The
+    # fast variants index the precompiled SignalTable instead; they set
+    # the identical positions and return the identical levels, and the
+    # bit-phase handlers — which carry all the protocol logic — remain
+    # the shared reference methods.
+    # ------------------------------------------------------------------
+
+    def _drive_error_flag_fast(self) -> Level:
+        self.position = self._signal_table.error_flag[
+            FLAG_LENGTH - self._flag_remaining
+        ]
+        return DOMINANT
+
+    def _drive_overload_flag_fast(self) -> Level:
+        self.position = self._signal_table.overload_flag[
+            FLAG_LENGTH - self._flag_remaining
+        ]
+        return DOMINANT
+
+    def _drive_passive_error_flag_fast(self) -> Level:
+        self.position = self._signal_table.error_flag[
+            FLAG_LENGTH - self._flag_remaining
+        ]
+        return RECESSIVE
+
+    def _drive_error_wait_fast(self) -> Level:
+        self.position = self._signal_table.error_wait
+        return RECESSIVE
+
+    def _drive_overload_wait_fast(self) -> Level:
+        self.position = self._signal_table.overload_wait
+        return RECESSIVE
+
+    def _drive_error_delim_fast(self) -> Level:
+        table = self._signal_table.error_delim
+        self.position = table[len(table) - self._delim_remaining]
+        return RECESSIVE
+
+    def _drive_overload_delim_fast(self) -> Level:
+        table = self._signal_table.overload_delim
+        self.position = table[len(table) - self._delim_remaining]
+        return RECESSIVE
+
+    def _drive_suspend_fast(self) -> Level:
+        self.position = self._signal_table.suspend[
+            SUSPEND_LENGTH - self._suspend_remaining
+        ]
+        return RECESSIVE
+
+    def _drive_intermission_fast(self) -> Level:
+        self.position = self._signal_table.intermission[self._intermission_pos]
+        if (
+            self._intermission_pos == 0
+            and self._overload_requests > 0
+            and self._self_overloads_sent < 2
+        ):
+            # A slow node may delay the next frame with up to two
+            # self-initiated overload frames.
+            self._overload_requests -= 1
+            self._self_overloads_sent += 1
+            self._enter_overload(reactive=False)
+            return self._drive_overload_flag_fast()
+        return RECESSIVE
 
     # ------------------------------------------------------------------
     # Frame start/stop helpers

@@ -23,17 +23,28 @@ from repro.can.fields import (
     DATA,
     DLC,
     EOF,
+    ERROR_DELIM,
+    ERROR_FLAG,
+    ERROR_WAIT,
+    EXTENDED_FLAG,
     FLAG_LENGTH,
     ID_A,
     ID_B,
     IDE,
+    INTERMISSION,
     INTERMISSION_LENGTH,
+    OVERLOAD_DELIM,
+    OVERLOAD_FLAG,
+    OVERLOAD_WAIT,
     R0,
     R1,
     RTR,
+    SAMPLING,
     SOF,
     SRR,
     STANDARD_EOF_LENGTH,
+    SUSPEND,
+    SUSPEND_LENGTH,
     header_segments,
     tail_segments,
 )
@@ -261,6 +272,64 @@ def signal_program(
         delimiter=delimiter_length,
         intermission=intermission_length,
         extended_flag_end=extended_flag_end,
+    )
+
+
+@dataclass(frozen=True)
+class SignalTable:
+    """:class:`SignalProgram` expanded into indexable position tuples.
+
+    The controller's signalling drive handlers publish one ``(field,
+    index)`` position per bit.  The reference machine constructs that
+    tuple (and, for the shared recessive handler, a whole label dict)
+    on every call; the fast path instead walks these precompiled
+    tuples, indexing by the state's own run counter — the signalling
+    counterpart of :class:`WireProgram`'s per-bit ``positions`` array.
+    All entries are interned tuples shared by every controller of the
+    same configuration, so published positions compare identically to
+    the reference machine's freshly built ones.
+
+    ``sampling`` and ``extended_flag`` cover MajorCAN_m's agreement
+    window, indexed by the EOF-relative clock (positions ``0 ..
+    extended_flag_end + 1``); they are two-entry stubs for protocols
+    without a window.
+    """
+
+    error_flag: Tuple[Tuple[str, int], ...]
+    overload_flag: Tuple[Tuple[str, int], ...]
+    error_wait: Tuple[str, int]
+    overload_wait: Tuple[str, int]
+    error_delim: Tuple[Tuple[str, int], ...]
+    overload_delim: Tuple[Tuple[str, int], ...]
+    intermission: Tuple[Tuple[str, int], ...]
+    suspend: Tuple[Tuple[str, int], ...]
+    sampling: Tuple[Tuple[str, int], ...]
+    extended_flag: Tuple[Tuple[str, int], ...]
+
+
+@lru_cache(maxsize=64)
+def signal_table(
+    delimiter_length: int,
+    extended_flag_end: int = 0,
+    flag_length: int = FLAG_LENGTH,
+    intermission_length: int = INTERMISSION_LENGTH,
+    suspend_length: int = SUSPEND_LENGTH,
+) -> SignalTable:
+    """Expand (and cache) the signalling position tables for one config."""
+    window_span = extended_flag_end + 2
+    return SignalTable(
+        error_flag=tuple((ERROR_FLAG, i) for i in range(flag_length)),
+        overload_flag=tuple((OVERLOAD_FLAG, i) for i in range(flag_length)),
+        error_wait=(ERROR_WAIT, 0),
+        overload_wait=(OVERLOAD_WAIT, 0),
+        error_delim=tuple((ERROR_DELIM, i) for i in range(delimiter_length)),
+        overload_delim=tuple(
+            (OVERLOAD_DELIM, i) for i in range(delimiter_length)
+        ),
+        intermission=tuple((INTERMISSION, i) for i in range(intermission_length)),
+        suspend=tuple((SUSPEND, i) for i in range(suspend_length)),
+        sampling=tuple((SAMPLING, i) for i in range(window_span)),
+        extended_flag=tuple((EXTENDED_FLAG, i) for i in range(window_span)),
     )
 
 

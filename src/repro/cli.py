@@ -148,6 +148,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     outcomes = compare_protocols(
         jobs=args.jobs,
+        backend=args.backend,
         rounds=args.rounds,
         attack_probability=args.attack,
         noise_ber_star=args.noise,
@@ -168,6 +169,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title="Consistency campaign (Fig. 3a attacks + optional noise)",
         )
     )
+    _print_backend_stats(
+        _merge_stats(outcome.backend_stats for outcome in outcomes)
+    )
     return 0
 
 
@@ -175,11 +179,15 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     from repro.analysis.reliability import reliability_sweep
 
     ber_values = args.bers if args.bers else [args.ber]
+    backend = None if args.backend == "analytic" else args.backend
     sweep = reliability_sweep(
-        ber_values, mission_hours=(1.0, 8760.0), jobs=args.jobs
+        ber_values, mission_hours=(1.0, 8760.0), jobs=args.jobs, backend=backend
     )
     for ber, rows in sweep.items():
-        print("Channel-error IMO reliability at ber=%.0e (paper profile):" % ber)
+        source = "paper profile" if backend is None else (
+            "paper profile, enumerated tail on the %s backend" % backend
+        )
+        print("Channel-error IMO reliability at ber=%.0e (%s):" % (ber, source))
         for row in rows:
             print(
                 "  %-9s rate=%.3e /h  MTTF=%s h  P(survive 1 year)=%.6f"
@@ -190,6 +198,11 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
                     row.mission_survival[8760.0],
                 )
             )
+    _print_backend_stats(
+        _merge_stats(
+            row.backend_stats for rows in sweep.values() for row in rows
+        )
+    )
     return 0
 
 
@@ -219,6 +232,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
             title="Choice of m — overhead vs verified robustness",
         )
     )
+    _print_backend_stats(_merge_stats(row.backend_stats for row in rows))
     print()
     for ber in (1e-4, 1e-5, 1e-6):
         revision = omission_degree_revision(ber)
@@ -324,6 +338,15 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _merge_stats(stats_iter) -> dict:
+    """Sum any number of optional per-run stat dicts into one."""
+    merged: dict = {}
+    for stats in stats_iter:
+        for key, value in (stats or {}).items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
 def _print_backend_stats(stats) -> None:
     """Print the batch backend's provenance split (and any notice).
 
@@ -387,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=7)
     _add_jobs(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("reliability", help="mission reliability comparison")
@@ -399,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep several bit-error rates (overrides --ber)",
     )
     _add_jobs(p)
+    p.add_argument(
+        "--backend",
+        choices=["analytic", "engine", "batch"],
+        default="analytic",
+        help="rate source: 'analytic' evaluates the closed-form "
+        "equations; 'engine' and 'batch' measure the tail-window IMO "
+        "probability on the simulator (per-pattern engine runs vs. the "
+        "vectorised replay — identical rates; 'batch' prints its "
+        "batch/scalar/header/engine split)",
+    )
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("ablation", help="m-choice ablation and CAN6' revision")

@@ -51,6 +51,7 @@ from repro.can.controller import (
     STATE_INTERMISSION,
 )
 from repro.can.controller_config import ControllerConfig
+from repro.can.encoding import signal_table
 from repro.can.events import ErrorReason, EventKind
 from repro.can.fields import (
     ACK_DELIM,
@@ -139,6 +140,18 @@ class MajorCanController(CanController):
         self._bit_handlers[STATE_MAJOR_FLAG] = self._bit_major_flag
         self._bit_handlers[STATE_MAJOR_QUIET] = self._bit_major_quiet
         self._bit_handlers[STATE_MAJOR_EXTENDED_FLAG] = self._bit_extended_flag
+        if self.config.fast_path:
+            # Extend the signal table with the sampling window and the
+            # extended-flag span, then route the MajorCAN drive states
+            # through indexed walks (bit-phase handlers stay reference).
+            self._signal_table = signal_table(
+                self.config.delimiter_length, extended_flag_end=self.window_end
+            )
+            self._drive_handlers[STATE_MAJOR_FLAG] = self._drive_major_flag_fast
+            self._drive_handlers[STATE_MAJOR_QUIET] = self._drive_major_quiet_fast
+            self._drive_handlers[STATE_MAJOR_EXTENDED_FLAG] = (
+                self._drive_extended_flag_fast
+            )
 
     # ------------------------------------------------------------------
     # Geometry
@@ -284,6 +297,20 @@ class MajorCanController(CanController):
 
     def _drive_extended_flag(self) -> Level:
         self.position = (EXTENDED_FLAG, self._eof_clock + 1)
+        return DOMINANT
+
+    def _drive_major_flag_fast(self) -> Level:
+        self.position = self._signal_table.error_flag[
+            FLAG_LENGTH - self._flag_remaining
+        ]
+        return DOMINANT
+
+    def _drive_major_quiet_fast(self) -> Level:
+        self.position = self._signal_table.sampling[self._eof_clock + 1]
+        return RECESSIVE
+
+    def _drive_extended_flag_fast(self) -> Level:
+        self.position = self._signal_table.extended_flag[self._eof_clock + 1]
         return DOMINANT
 
     def _bit_extended_flag(self, seen: Level) -> None:

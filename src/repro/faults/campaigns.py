@@ -73,6 +73,9 @@ class CampaignOutcome:
     duplications: int = 0
     errors_injected: int = 0
     omission_rounds: List[int] = field(default_factory=list)
+    #: Batch-backend provenance counters, summed over all round chunks
+    #: (empty on the engine backend).
+    backend_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def omission_rate(self) -> float:
@@ -95,6 +98,7 @@ def run_campaign(
     spec: CampaignSpec,
     jobs: Optional[int] = 1,
     chunk_rounds: int = CHUNK_ROUNDS,
+    backend: str = "engine",
 ) -> CampaignOutcome:
     """Run the campaign described by ``spec``.
 
@@ -103,7 +107,16 @@ def run_campaign(
     the seed and the round index — never on the protocol under test or
     on how many workers executed the rounds.  ``jobs > 1`` fans chunks
     of rounds out over the worker pool with identical results.
+
+    ``backend="batch"`` classifies noise-free rounds with the vectorised
+    tail replay of :mod:`repro.analysis.batchreplay` (identical round
+    rows, provenance in ``CampaignOutcome.backend_stats``); campaigns
+    with view noise keep the full engine rounds.
     """
+    if backend not in ("engine", "batch"):
+        raise ConfigurationError(
+            "unknown backend %r (use 'engine' or 'batch')" % (backend,)
+        )
     outcome = CampaignOutcome(spec=spec)
     children = spawn_seeds(spec.seed, spec.rounds)
     tasks = []
@@ -121,11 +134,14 @@ def run_campaign(
                     (index, children[index])
                     for index in range(start, start + size)
                 ),
+                backend=backend,
             )
         )
         start += size
-    for chunk_results in run_tasks(tasks, jobs):
-        for round_index, attacked, category, injected in chunk_results:
+    for chunk in run_tasks(tasks, jobs):
+        for key, value in chunk.stats.items():
+            outcome.backend_stats[key] = outcome.backend_stats.get(key, 0) + value
+        for round_index, attacked, category, injected in chunk.rounds:
             outcome.rounds += 1
             outcome.attacked_rounds += int(attacked)
             outcome.errors_injected += injected
@@ -211,10 +227,15 @@ def run_round(
 def compare_protocols(
     protocols: Sequence[str] = ("can", "minorcan", "majorcan"),
     jobs: Optional[int] = 1,
+    backend: str = "engine",
     **spec_kwargs: object,
 ) -> List[CampaignOutcome]:
     """Run the same campaign (same seed) for several protocols."""
     return [
-        run_campaign(CampaignSpec(protocol=protocol, **spec_kwargs), jobs=jobs)  # type: ignore[arg-type]
+        run_campaign(
+            CampaignSpec(protocol=protocol, **spec_kwargs),  # type: ignore[arg-type]
+            jobs=jobs,
+            backend=backend,
+        )
         for protocol in protocols
     ]

@@ -111,6 +111,31 @@ def test_fallback_notice_logged_once(numpy_blocked, caplog):
     assert len(notices) == 1
 
 
+def test_fallback_notice_once_across_construction_paths(numpy_blocked, caplog):
+    """Every entry point that builds an evaluator shares the one notice.
+
+    Evaluators are constructed all over the workload layer — direct
+    use, :func:`classify_placements`, the verification / Monte-Carlo /
+    campaign chunk tasks — and a sweep builds hundreds of them.  The
+    dedupe is per *process*, not per call site, so a numpy-less sweep
+    logs exactly one notice no matter how many paths run.
+    """
+    from repro.can.fields import EOF
+
+    with caplog.at_level(logging.INFO, logger="repro.analysis.batchreplay"):
+        numpy_blocked.BatchReplayEvaluator("can", 5, ["tx", "r1"])
+        numpy_blocked.classify_placements(
+            "can", 5, ("tx", "r1", "r2"), [(("r1", EOF, 5),)], payload=b"\x55"
+        )
+        numpy_blocked.BatchReplayEvaluator("majorcan", 5, ["tx", "r1", "r2"])
+    notices = [
+        record
+        for record in caplog.records
+        if "numpy unavailable" in record.message
+    ]
+    assert len(notices) == 1
+
+
 def test_explicit_numpy_request_degrades(numpy_blocked):
     evaluator = numpy_blocked.BatchReplayEvaluator(
         "can", 5, ["tx", "r1"], backend="numpy"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Assert the batch backends stay off the per-bit engine.
+
+The PR 6 acceptance bar: on noise-free batch-backend runs of
+
+* bounded verification over the full ≤ 2-flip header+tail universe,
+* a seeded fault-injection campaign, and
+* the enumerated reliability rates,
+
+fewer than 1% of placements/rounds/patterns may fall back to a full
+engine run — everything else must classify on the vectorised batch,
+header-class or scalar micro-sim routes.  CI runs this next to the
+golden-trace corpus replay: the corpus pins the engine's behaviour,
+this pins the batch layer's *coverage* of that behaviour.
+
+Exit status 0 when every workload is under the threshold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+#: Maximum tolerated fraction of engine-classified work items.
+THRESHOLD = 0.01
+
+
+def check_verification() -> dict:
+    """≤2-flip header+tail combo universe through the evaluator."""
+    import itertools
+
+    from repro.analysis.batchreplay import BatchReplayEvaluator, clear_caches
+    from repro.analysis.verification import header_sites
+    from repro.can.fields import EOF
+    from repro.can.frame import data_frame
+    from repro.faults.scenarios import make_controller
+
+    node_names = ("tx", "r1", "r2")
+    frame = data_frame(0x123, b"", message_id="share-check")
+    stats = {}
+    for protocol, m in (("can", 5), ("majorcan", 5)):
+        probe = make_controller(protocol, "probe", m=m)
+        sites = list(header_sites(node_names, data_bits=0))
+        sites += [
+            (name, EOF, index)
+            for name in node_names
+            for index in range(probe.config.eof_length)
+        ]
+        combos = (
+            [()]
+            + [(site,) for site in sites]
+            + list(itertools.combinations(sites, 2))
+        )
+        clear_caches()
+        evaluator = BatchReplayEvaluator(protocol, m, node_names, frame=frame)
+        evaluator.evaluate(combos)
+        for key, value in evaluator.stats.items():
+            stats[key] = stats.get(key, 0) + value
+    return stats
+
+
+def check_campaign() -> dict:
+    """One seeded noise-free campaign per protocol on the batch backend."""
+    from repro.faults.campaigns import CampaignSpec, run_campaign
+
+    stats = {}
+    for protocol in ("can", "minorcan", "majorcan"):
+        outcome = run_campaign(
+            CampaignSpec(
+                protocol=protocol,
+                n_nodes=4,
+                rounds=64,
+                attack_probability=0.5,
+                seed=17,
+            ),
+            backend="batch",
+        )
+        for key, value in outcome.backend_stats.items():
+            stats[key] = stats.get(key, 0) + value
+    return stats
+
+
+def check_reliability() -> dict:
+    """The enumerated reliability rates on the batch backend."""
+    from repro.analysis.reliability import reliability_comparison
+
+    stats = {}
+    for row in reliability_comparison(1e-5, backend="batch"):
+        for key, value in (row.backend_stats or {}).items():
+            stats[key] = stats.get(key, 0) + value
+    return stats
+
+
+def main() -> int:
+    failures = 0
+    for name, run in (
+        ("verification", check_verification),
+        ("campaign", check_campaign),
+        ("reliability", check_reliability),
+    ):
+        stats = run()
+        total = sum(stats.values())
+        share = stats.get("engine", 0) / total if total else 0.0
+        verdict = "ok" if share < THRESHOLD else "FAIL"
+        print(
+            "engine-share: %-12s %6d items, engine %d (%.2f%% < %.0f%%)  %s"
+            % (name, total, stats.get("engine", 0), share * 100.0,
+               THRESHOLD * 100.0, verdict)
+        )
+        if share >= THRESHOLD:
+            failures += 1
+    if not failures:
+        print("engine-share: all batch workloads under the threshold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

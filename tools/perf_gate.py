@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR5.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR6.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -40,13 +40,23 @@ import sys
 #: * ``header_enumeration.speedup``   — batch vs engine on the
 #:   header-heavy ``m_ablation check_f1`` sweep (rows asserted equal);
 #: * ``montecarlo_batch.speedup``     — chunked-draw batch vs engine
-#:   ``monte_carlo_tail`` at one seed (counts asserted bit-identical).
+#:   ``monte_carlo_tail`` at one seed (counts asserted bit-identical);
+#: * ``multiflip_header.speedup``     — batch classification of the
+#:   full ≤2-flip header+tail combo universe vs one engine run per
+#:   combo (verdicts asserted identical in-harness);
+#: * ``campaign_batch.speedup``       — batch vs engine
+#:   ``run_campaign`` on one seeded schedule (rows asserted identical);
+#: * ``reliability_batch.speedup``    — batch vs engine enumerated
+#:   ``reliability_comparison`` rates (rows asserted identical).
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
     "batch_enumeration.speedup",
     "header_enumeration.speedup",
     "montecarlo_batch.speedup",
+    "multiflip_header.speedup",
+    "campaign_batch.speedup",
+    "reliability_batch.speedup",
 )
 
 #: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the
