@@ -27,9 +27,15 @@ Measures the axes this repo's perf trajectory tracks:
   ≤ 2-flip header+tail combo universe (per-combo verdicts asserted
   identical to an engine oracle), ``run_campaign`` rounds (campaign
   rows asserted identical) and the enumerated
-  ``reliability_comparison`` rates (rows asserted identical).
+  ``reliability_comparison`` rates (rows asserted identical);
+* **frames/sec of steady-state traffic** (PR 7,
+  :mod:`repro.traffic`): the same multi-window run driven through the
+  controller fast path and the reference state machine (ledgers
+  asserted identical, the ratio gated), plus — full runs only — the
+  paper-profile sustained run (32 nodes at 90% load, ≥ 5,000 frames)
+  whose absolute throughput is recorded ungated.
 
-Writes a JSON report (default ``BENCH_PR6.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR7.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -666,6 +672,116 @@ def bench_reliability_batch(ber: float = 1e-5) -> Dict:
     }
 
 
+def bench_traffic_steady_state(smoke: bool) -> Dict:
+    """Steady-state traffic throughput (PR 7, :mod:`repro.traffic`).
+
+    The gated part runs one small multi-window contended workload —
+    identical in smoke and full runs — through the controller fast
+    path and the branchy reference state machine, asserts the two
+    produce the identical serialized run (schedule, bus, events,
+    per-frame verdicts, aggregate verdict), and reports the wall-clock
+    ratio.  Driver overhead (scheduling, ledger bookkeeping, splicing)
+    is common to both sides, so a regression there drags the ratio
+    toward 1 and trips the gate even though both runs slow down
+    together.
+
+    Full runs add the paper-profile acceptance workload — 32 MajorCAN_5
+    nodes at 90% bus load, four spliced windows, >= 5,000 frames — and
+    record its absolute frames/sec ungated (absolute rates vary with
+    the host; the ratio above is the portable signal).
+    """
+    from repro.metrics.export import json_line
+    from repro.traffic import TrafficSpec, run_traffic, traffic_records
+
+    def run(fast_path: bool):
+        spec = TrafficSpec(
+            name="bench-traffic",
+            protocol="majorcan",
+            m=5,
+            n_nodes=6,
+            windows=2,
+            window_bits=1200,
+            load=0.9,
+            seed=13,
+            fast_path=fast_path,
+        )
+        return run_traffic(spec, jobs=1)
+
+    fast_elapsed, fast = _timed_best(lambda: run(True))
+    ref_elapsed, ref = _timed_best(lambda: run(False))
+
+    def surface(outcome):
+        # Everything but the manifest — the fast_path knob lives there.
+        return [json_line(r) for r in traffic_records(outcome)][1:]
+
+    if surface(fast) != surface(ref):
+        raise AssertionError(
+            "traffic run diverged between the controller fast path and "
+            "the reference state machine"
+        )
+    frames = fast.stats.frames_submitted
+    bits = fast.stats.total_bits
+    report = {
+        "protocol": "majorcan",
+        "n_nodes": 6,
+        "windows": 2,
+        "frames": frames,
+        "bits": bits,
+        "ledgers_identical": True,
+        "atomic": fast.atomic,
+        "reference": {
+            "seconds": ref_elapsed,
+            "frames_per_sec": (
+                frames / ref_elapsed if ref_elapsed else float("inf")
+            ),
+        },
+        "fast_path": {
+            "seconds": fast_elapsed,
+            "frames_per_sec": (
+                frames / fast_elapsed if fast_elapsed else float("inf")
+            ),
+        },
+        "speedup": ref_elapsed / fast_elapsed if fast_elapsed else float("inf"),
+    }
+    if not smoke:
+        spec = TrafficSpec(
+            name="paper-profile",
+            protocol="majorcan",
+            m=5,
+            n_nodes=32,
+            windows=4,
+            window_bits=153_000,
+            load=0.9,
+            seed=2026,
+            record_events=False,
+            max_window_bits=400_000,
+        )
+        started = time.perf_counter()
+        outcome = run_traffic(spec, jobs=1)
+        elapsed = time.perf_counter() - started
+        stats = outcome.stats
+        report["paper_profile"] = {
+            "protocol": spec.protocol,
+            "n_nodes": spec.n_nodes,
+            "load": spec.load,
+            "windows": spec.windows,
+            "window_bits": spec.window_bits,
+            "frames": stats.frames_submitted,
+            "delivered": stats.delivered,
+            "bits": stats.total_bits,
+            "bus_load": stats.bus_load,
+            "atomic": outcome.atomic,
+            "seconds": elapsed,
+            "frames_per_sec": (
+                stats.frames_submitted / elapsed if elapsed else float("inf")
+            ),
+            "bits_per_sec": (
+                stats.total_bits / elapsed if elapsed else float("inf")
+            ),
+        }
+    return report
+
+
 def _speedup(base: float, fast: float) -> float:
     return fast / base if base else float("inf")
 
@@ -683,6 +799,7 @@ SECTIONS = (
     "multiflip_header",
     "campaign_batch",
     "reliability_batch",
+    "traffic_steady_state",
 )
 
 
@@ -696,10 +813,10 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
     flips = 1 if smoke else 2
 
     report = {
-        "bench": "PR6 multi-flip combo classification + campaign/reliability "
-        "batch backends + table-driven signalling (+ PR5 header-site "
-        "backend, PR4 vectorised enumeration, PR3 controller fast path, "
-        "PR1 parallel trials)",
+        "bench": "PR7 steady-state traffic engine (+ PR6 multi-flip combo "
+        "classification and campaign/reliability batch backends, PR5 "
+        "header-site backend, PR4 vectorised enumeration, PR3 controller "
+        "fast path, PR1 parallel trials)",
         "smoke": smoke,
         "host": {
             "cpu_count": cpu_count(),
@@ -780,6 +897,8 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
         report["campaign_batch"] = bench_campaign_batch()
     if "reliability_batch" in wanted:
         report["reliability_batch"] = bench_reliability_batch()
+    if "traffic_steady_state" in wanted:
+        report["traffic_steady_state"] = bench_traffic_steady_state(smoke)
     return report
 
 
@@ -795,7 +914,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR6.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR7.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -928,6 +1047,34 @@ def main(argv=None) -> int:
                 section["engine_share"] * 100.0,
             )
         )
+    if "traffic_steady_state" in report:
+        section = report["traffic_steady_state"]
+        print(
+            "traffic    : %6d frames/%d bits, %8.1f frames/s reference,"
+            " %8.1f frames/s fast path (x%.2f)"
+            % (
+                section["frames"],
+                section["bits"],
+                section["reference"]["frames_per_sec"],
+                section["fast_path"]["frames_per_sec"],
+                section["speedup"],
+            )
+        )
+        if "paper_profile" in section:
+            profile = section["paper_profile"]
+            print(
+                "traffic    : paper profile n=%d load=%.2f: %d frames"
+                " (%d delivered) in %.1fs, %8.1f frames/s, atomic=%s"
+                % (
+                    profile["n_nodes"],
+                    profile["load"],
+                    profile["frames"],
+                    profile["delivered"],
+                    profile["seconds"],
+                    profile["frames_per_sec"],
+                    profile["atomic"],
+                )
+            )
     print("report     : %s (cpu_count=%d)" % (args.out, report["host"]["cpu_count"]))
     return 0
 

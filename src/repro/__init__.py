@@ -41,6 +41,12 @@ The package is organised in layers:
 ``repro.tracestore``
     Persistent trace capture (versioned JSONL), deterministic replay
     with structured diffing, and the golden-scenario regression corpus.
+
+``repro.traffic``
+    Steady-state multi-frame traffic runs: workload generators feeding
+    a multi-node bus, a per-frame message ledger with
+    delivered/omitted/duplicated verdicts, window-sharded parallel
+    execution, and schema-v2 replayable recordings.
 """
 
 from repro._version import __version__
@@ -65,9 +71,17 @@ from repro.tracestore import (
     replay_trace,
     update_corpus,
 )
+from repro.traffic import (
+    BurstSpec,
+    TrafficOutcome,
+    TrafficSpec,
+    record_traffic,
+    run_traffic,
+)
 
 __all__ = [
     "__version__",
+    "BurstSpec",
     "Bus",
     "CanController",
     "CanId",
@@ -82,10 +96,14 @@ __all__ = [
     "Trace",
     "TraceDiff",
     "TraceRecorder",
+    "TrafficOutcome",
+    "TrafficSpec",
     "check_corpus",
     "diff_traces",
     "load_trace",
     "record_outcome",
+    "record_traffic",
     "replay_trace",
+    "run_traffic",
     "update_corpus",
 ]

@@ -31,14 +31,24 @@ from typing import List, Optional, Tuple
 from repro.errors import AnalysisError
 from repro.faults.scenarios import make_controller
 from repro.parallel.pool import run_tasks
-from repro.parallel.seeds import chunk_sizes, spawn_seeds
+from repro.parallel.seeds import adaptive_chunk, chunk_sizes, spawn_seeds
 from repro.parallel.tasks import ChunkCounts, MonteCarloFullChunk, MonteCarloTailChunk
 from repro.simulation.rng import SeedLike
 
-#: Trials per task chunk.  Fixed regardless of ``jobs`` so the seed
-#: spawn tree — and therefore every aggregate count — is identical for
-#: serial and parallel runs of the same seed.
+#: Baseline trials per task chunk, tuned for the canonical three-node
+#: universe.  Fixed regardless of ``jobs`` so the seed spawn tree — and
+#: therefore every aggregate count — is identical for serial and
+#: parallel runs of the same seed.  The default ``chunk_trials=None``
+#: adapts this baseline to the node count (larger universes mean
+#: costlier trials, so smaller chunks) but never to the backend: the
+#: partition shapes the spawn tree, and engine and batch backends must
+#: draw identical placements for the same seed.
 CHUNK_TRIALS = 32
+
+
+def _adaptive_chunk_trials(n_nodes: int) -> int:
+    """Resolve the default chunk size for an ``n_nodes`` universe."""
+    return adaptive_chunk(CHUNK_TRIALS, n_nodes / 3.0)
 
 
 @dataclass
@@ -56,6 +66,10 @@ class MonteCarloResult:
     #: micro-sim, the header class cache and the engine fallback each
     #: classified.
     backend_stats: Optional[dict] = None
+    #: Resolved trials-per-chunk of this run.  Part of the experiment
+    #: identity: it shapes the seed spawn tree, so re-running with a
+    #: different value changes the sampled placements.
+    chunk_trials: Optional[int] = None
 
     @property
     def p_imo(self) -> float:
@@ -116,7 +130,7 @@ def monte_carlo_tail(
     m: int = 5,
     seed: SeedLike = None,
     jobs: Optional[int] = 1,
-    chunk_trials: int = CHUNK_TRIALS,
+    chunk_trials: Optional[int] = None,
     backend: str = "engine",
 ) -> MonteCarloResult:
     """Sample tail-window error patterns and classify them by simulation.
@@ -135,6 +149,13 @@ def monte_carlo_tail(
     sampled placements are bit-identical to the scalar draw order and
     ``backend="batch"`` (vectorised tail replay) produces the exact
     same counts as the engine for the same seed.
+
+    ``chunk_trials=None`` (the default) resolves an adaptive chunk size
+    from the node count — :data:`CHUNK_TRIALS` at the canonical three
+    nodes, proportionally smaller for larger universes.  The resolution
+    never looks at ``backend`` or ``jobs``, and the resolved value is
+    recorded in ``result.chunk_trials``: the partition is part of the
+    experiment identity.
     """
     if n_nodes < 2:
         raise AnalysisError("need at least two nodes")
@@ -150,6 +171,8 @@ def monte_carlo_tail(
         for name in node_names
         for offset in range(window)
     )
+    if chunk_trials is None:
+        chunk_trials = _adaptive_chunk_trials(n_nodes)
     sizes = chunk_sizes(trials, chunk_trials)
     children = spawn_seeds(seed, len(sizes))
     tasks = [
@@ -165,7 +188,9 @@ def monte_carlo_tail(
         )
         for size, child in zip(sizes, children)
     ]
-    return _merge_counts(trials, run_tasks(tasks, jobs))
+    result = _merge_counts(trials, run_tasks(tasks, jobs))
+    result.chunk_trials = chunk_trials
+    return result
 
 
 def monte_carlo_full(
@@ -177,17 +202,20 @@ def monte_carlo_full(
     payload: bytes = b"",
     seed: SeedLike = None,
     jobs: Optional[int] = 1,
-    chunk_trials: int = CHUNK_TRIALS,
+    chunk_trials: Optional[int] = None,
 ) -> MonteCarloResult:
     """Unrestricted per-bit view errors over whole single-frame runs.
 
     Uses :class:`repro.faults.bit_errors.RandomViewErrorInjector`
     directly, so errors can hit arbitration, data, CRC, flags and
     delimiters — everything the protocol machinery covers.  Chunked and
-    seeded like :func:`monte_carlo_tail`: ``jobs`` never changes the
-    counts, only the wall-clock time.
+    seeded like :func:`monte_carlo_tail` (including the adaptive
+    ``chunk_trials=None`` default): ``jobs`` never changes the counts,
+    only the wall-clock time.
     """
     node_names = tuple(["tx"] + ["r%d" % i for i in range(1, n_nodes)])
+    if chunk_trials is None:
+        chunk_trials = _adaptive_chunk_trials(n_nodes)
     sizes = chunk_sizes(trials, chunk_trials)
     children = spawn_seeds(seed, len(sizes))
     tasks = [
@@ -203,4 +231,6 @@ def monte_carlo_full(
         )
         for size, child in zip(sizes, children)
     ]
-    return _merge_counts(trials, run_tasks(tasks, jobs))
+    result = _merge_counts(trials, run_tasks(tasks, jobs))
+    result.chunk_trials = chunk_trials
+    return result

@@ -21,6 +21,11 @@ The trace store (:mod:`repro.tracestore`) adds four more:
 * ``replay``      — re-run a recording and diff against it;
 * ``diff``        — structured diff of two recordings;
 * ``corpus``      — check/update the golden-scenario corpus.
+
+The traffic engine (:mod:`repro.traffic`) adds one more:
+
+* ``traffic``     — steady-state multi-frame run with per-frame ledger
+  verdicts, optionally recorded as a schema-v2 trace.
 """
 
 from __future__ import annotations
@@ -317,6 +322,56 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_burst(text: str):
+    """Parse a ``node:window:start:length`` burst flag."""
+    from repro.errors import ConfigurationError
+    from repro.traffic import BurstSpec
+
+    parts = text.split(":")
+    if len(parts) != 4:
+        raise ConfigurationError(
+            "burst must be node:window:start:length, got %r" % text
+        )
+    try:
+        window, start, length = (int(part) for part in parts[1:])
+    except ValueError:
+        raise ConfigurationError(
+            "burst window/start/length must be integers, got %r" % text
+        )
+    return BurstSpec(node=parts[0], window=window, start=start, length=length)
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.traffic import TrafficSpec, record_traffic, run_traffic
+
+    spec = TrafficSpec(
+        name=args.name,
+        protocol=args.protocol,
+        m=args.m,
+        n_nodes=args.nodes,
+        windows=args.windows,
+        window_bits=args.window_bits,
+        source=args.source,
+        load=args.load,
+        frame_bits=args.frame_bits,
+        rate_per_bit=args.rate,
+        messages_per_node=args.messages,
+        seed=args.seed,
+        hlp=args.hlp,
+        noise_ber=args.noise,
+        noise_nodes=tuple(args.noise_nodes) if args.noise_nodes else None,
+        bursts=tuple(_parse_burst(item) for item in (args.burst or ())),
+        bus_off_recovery=args.bus_off_recovery,
+        record_events=not args.no_events,
+    )
+    outcome = run_traffic(spec, jobs=args.jobs)
+    print(outcome.summary())
+    if args.record:
+        record_traffic(args.record, outcome, meta={"entry": spec.name})
+        print("recorded %s" % args.record)
+    return 0
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -488,6 +543,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default="corpus", help="corpus directory")
     _add_jobs(p)
     p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser(
+        "traffic", help="steady-state multi-frame traffic run"
+    )
+    p.add_argument("--name", default="traffic", help="run/recording name")
+    p.add_argument(
+        "--protocol",
+        choices=["can", "minorcan", "majorcan"],
+        default="can",
+        help="link-layer protocol of every node",
+    )
+    p.add_argument("--m", type=int, default=5, help="MajorCAN_m parameter")
+    p.add_argument("--nodes", type=int, default=4, help="node count")
+    p.add_argument(
+        "--windows", type=int, default=1,
+        help="time-window partition (the sharding unit; part of the "
+        "experiment identity)",
+    )
+    p.add_argument(
+        "--window-bits", type=int, default=2000, dest="window_bits",
+        help="active bits per window (each window drains to idle after)",
+    )
+    p.add_argument(
+        "--source", choices=["periodic", "poisson"], default="periodic",
+        help="workload generator family",
+    )
+    p.add_argument(
+        "--load", type=float, default=0.5,
+        help="target bus load of the periodic workload (values > 1 "
+        "model overload)",
+    )
+    p.add_argument(
+        "--frame-bits", type=int, default=110, dest="frame_bits",
+        help="nominal frame length used by the load arithmetic",
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-bit submission probability of the poisson workload",
+    )
+    p.add_argument(
+        "--messages", type=int, default=None,
+        help="cap on messages per node over the whole run",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument(
+        "--hlp", choices=["edcan", "relcan", "totcan"], default=None,
+        help="run a higher-level protocol above the controllers",
+    )
+    p.add_argument(
+        "--noise", type=float, default=0.0,
+        help="per-node per-bit view-error probability (sustained noise)",
+    )
+    p.add_argument(
+        "--noise-nodes", nargs="*", default=None, dest="noise_nodes",
+        help="restrict noise to these node names",
+    )
+    p.add_argument(
+        "--burst", action="append", default=None,
+        help="view-error burst as node:window:start:length (repeatable; "
+        "window -1 = every window)",
+    )
+    p.add_argument(
+        "--bus-off-recovery", action="store_true", dest="bus_off_recovery",
+        help="let bus-off nodes rejoin after 128 x 11 recessive bits",
+    )
+    p.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the run as a schema-v2 recording",
+    )
+    p.add_argument(
+        "--no-events", action="store_true", dest="no_events",
+        help="skip event lines in recordings (smaller files)",
+    )
+    _add_jobs(p)
+    p.set_defaults(func=_cmd_traffic)
 
     p = sub.add_parser("montecarlo", help="stochastic model validation")
     p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])

@@ -22,6 +22,12 @@ regardless of ``jobs`` and merge partial results in chunk order, so
 """
 
 from repro.parallel.pool import effective_jobs, run_tasks
-from repro.parallel.seeds import rng_from, spawn_seeds
+from repro.parallel.seeds import adaptive_chunk, rng_from, spawn_seeds
 
-__all__ = ["effective_jobs", "run_tasks", "rng_from", "spawn_seeds"]
+__all__ = [
+    "adaptive_chunk",
+    "effective_jobs",
+    "run_tasks",
+    "rng_from",
+    "spawn_seeds",
+]

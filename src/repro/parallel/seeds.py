@@ -60,6 +60,30 @@ def rng_from(child: ChildSeed) -> "np.random.Generator":
     return np.random.default_rng(child)
 
 
+def adaptive_chunk(
+    base: int, cost_units: float, floor: int = 8, cap: int = 4096
+) -> int:
+    """Scale a baseline chunk size by the relative per-item cost.
+
+    ``cost_units`` expresses how expensive one item is relative to the
+    configuration the baseline was tuned for (1.0 = the baseline
+    configuration): costlier items get proportionally smaller chunks,
+    cheaper items larger ones, so per-chunk wall-clock stays roughly
+    constant as problem parameters scale.  The result is clamped to
+    ``[floor, cap]`` and depends only on the arguments — never on the
+    worker count — because the chunk partition is part of the
+    experiment identity (for seeded workloads it shapes the seed spawn
+    tree, so it is recorded alongside results).
+    """
+    if base < 1:
+        raise ValueError("base chunk must be positive, got %d" % base)
+    if not cost_units > 0:
+        raise ValueError("cost_units must be positive, got %r" % cost_units)
+    if floor < 1 or cap < floor:
+        raise ValueError("need 1 <= floor <= cap, got %d..%d" % (floor, cap))
+    return max(floor, min(cap, int(round(base / cost_units))))
+
+
 def chunk_sizes(total: int, chunk: int) -> List[int]:
     """Partition ``total`` items into fixed-size chunks (last may be short).
 

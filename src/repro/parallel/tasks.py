@@ -408,3 +408,27 @@ class CorpusCheckTask:
         from repro.tracestore.corpus import check_recording
 
         return check_recording(self.path)
+
+
+@dataclass(frozen=True)
+class TrafficWindowTask:
+    """Run one time window of a sharded traffic run.
+
+    Pure in its inputs: the frozen spec, the window index, the
+    window's slice of the precomputed submission schedule, and the
+    spawned child seed for the window's noise injector.  The driver
+    (``repro.traffic.run.run_traffic``) splices the results in window
+    order, so the ledger is bit-identical for any worker count.
+    """
+
+    spec: object
+    window: int
+    submissions: Tuple[object, ...]
+    noise_seed: object = None
+
+    def run(self):
+        from repro.traffic.run import run_window
+
+        return run_window(
+            self.spec, self.window, self.submissions, self.noise_seed
+        )

@@ -175,6 +175,22 @@ class AppNode:
         self.protocol.on_broadcast(message)
         return message
 
+    def advance_sequence_to(self, seq: int) -> None:
+        """Fast-forward the next broadcast sequence number to ``seq``.
+
+        Sharded traffic runs (``repro.traffic``) rebuild the network
+        for every time window; the window's first broadcast from this
+        node must continue the global per-origin numbering, so the
+        driver fast-forwards the counter before submitting.  Rewinding
+        is refused — it would mint duplicate (origin, seq) keys.
+        """
+        if seq < self._seq:
+            raise ProtocolError(
+                "sequence numbers only advance (at %d, asked for %d)"
+                % (self._seq, seq)
+            )
+        self._seq = seq
+
     @property
     def delivered_keys(self) -> List[MessageKey]:
         """(origin, seq) keys delivered so far, in delivery order."""

@@ -24,10 +24,16 @@ replayable artifacts:
 
 ``repro.tracestore.corpus``
     The checked-in golden corpus (Fig. 1b/1c and Fig. 3 across CAN,
-    MinorCAN and MajorCAN_m, plus EOF/overload edge cases) with
-    ``update`` and parallel ``check`` operations.
+    MinorCAN and MajorCAN_m, plus EOF/overload edge cases, plus the
+    schema-v2 multi-frame traffic entries) with ``update`` and
+    parallel ``check`` operations.
 
-CLI: ``majorcan-repro record | replay | diff | corpus``.
+Two schema versions coexist: v1 single-frame recordings
+(:data:`SCHEMA_VERSION`) and v2 multi-frame traffic recordings
+(:data:`TRAFFIC_SCHEMA_VERSION`, written by ``repro.traffic``); the
+validator and replayer dispatch on the manifest's ``version``.
+
+CLI: ``majorcan-repro record | replay | diff | corpus | traffic``.
 """
 
 from repro.tracestore.corpus import (
@@ -35,6 +41,7 @@ from repro.tracestore.corpus import (
     CorpusCheckResult,
     CorpusReport,
     GOLDEN_BUILDERS,
+    GOLDEN_TRAFFIC_ENTRIES,
     check_corpus,
     check_recording,
     corpus_entries,
@@ -51,7 +58,12 @@ from repro.tracestore.replay import (
     recorded_from_outcome,
     replay_trace,
 )
-from repro.tracestore.schema import SCHEMA_VERSION, require_valid, validate_records
+from repro.tracestore.schema import (
+    SCHEMA_VERSION,
+    TRAFFIC_SCHEMA_VERSION,
+    require_valid,
+    validate_records,
+)
 from repro.tracestore.spec import (
     ScenarioSpec,
     frame_from_dict,
@@ -64,11 +76,13 @@ __all__ = [
     "CorpusReport",
     "DEFAULT_CORPUS_DIR",
     "GOLDEN_BUILDERS",
+    "GOLDEN_TRAFFIC_ENTRIES",
     "RecordedTrace",
     "Replayer",
     "ReplayResult",
     "SCHEMA_VERSION",
     "ScenarioSpec",
+    "TRAFFIC_SCHEMA_VERSION",
     "TraceDiff",
     "TraceRecorder",
     "check_corpus",

@@ -117,9 +117,88 @@ def _golden_builders() -> Dict[str, Callable[[], object]]:
 GOLDEN_BUILDERS = _golden_builders()
 
 
+def _traffic_spec(name: str):
+    """The frozen :class:`TrafficSpec` of one multi-frame golden entry.
+
+    Specs, not outcomes: ``update_corpus`` runs them through
+    ``run_traffic`` and records the v2 trace; ``check_corpus`` replays
+    the recording from its own manifest, so the spec here only matters
+    when re-recording.
+    """
+    from repro.traffic import BurstSpec, TrafficSpec
+
+    specs = {
+        # Four nodes at the paper's 90% load factor: sustained
+        # arbitration under contention across two spliced windows.
+        "traffic-contended-majorcan": TrafficSpec(
+            name="traffic-contended-majorcan",
+            protocol="majorcan",
+            m=5,
+            n_nodes=4,
+            windows=2,
+            window_bits=900,
+            load=0.9,
+            seed=11,
+        ),
+        # An error-burst storm: two bursts corrupt a receiver's view
+        # mid-frame, forcing error signalling and retransmissions.
+        "traffic-burst-storm-can": TrafficSpec(
+            name="traffic-burst-storm-can",
+            protocol="can",
+            n_nodes=3,
+            windows=2,
+            window_bits=1100,
+            load=0.7,
+            seed=7,
+            bursts=(
+                BurstSpec(node="n1", window=0, start=140, length=24),
+                BurstSpec(node="n2", window=1, start=400, length=18),
+            ),
+        ),
+        # TEC ramp into bus-off and ISO 11898 recovery: a long burst on
+        # the transmitter's own view drives its TEC past 255; low load
+        # leaves enough idle recessive bits to rejoin within the window
+        # and flush the queued backlog.
+        "traffic-busoff-recovery-majorcan": TrafficSpec(
+            name="traffic-busoff-recovery-majorcan",
+            protocol="majorcan",
+            m=5,
+            n_nodes=3,
+            windows=1,
+            window_bits=6000,
+            load=0.3,
+            seed=3,
+            bursts=(BurstSpec(node="n0", window=0, start=10, length=700),),
+            bus_off_recovery=True,
+        ),
+        # An HLP stream: EDCAN riding standard CAN, application-level
+        # (origin, seq) ledger keys across two windows.
+        "traffic-hlp-edcan": TrafficSpec(
+            name="traffic-hlp-edcan",
+            protocol="can",
+            hlp="edcan",
+            n_nodes=3,
+            windows=2,
+            window_bits=900,
+            load=0.3,
+            seed=5,
+        ),
+    }
+    return specs[name]
+
+
+#: Multi-frame (schema v2) golden entry names.
+GOLDEN_TRAFFIC_ENTRIES = (
+    "traffic-burst-storm-can",
+    "traffic-busoff-recovery-majorcan",
+    "traffic-contended-majorcan",
+    "traffic-hlp-edcan",
+)
+
+
 def corpus_entries() -> List[str]:
     """The canonical golden entry names, sorted."""
-    return sorted(GOLDEN_BUILDERS)
+    return sorted(list(GOLDEN_BUILDERS) + list(GOLDEN_TRAFFIC_ENTRIES))
 
 
 def entry_path(directory: str, name: str) -> str:
@@ -146,7 +225,11 @@ def update_corpus(
     from repro.tracestore.spec import spec_from_outcome
 
     selected = corpus_entries() if names is None else list(names)
-    unknown = [name for name in selected if name not in GOLDEN_BUILDERS]
+    unknown = [
+        name
+        for name in selected
+        if name not in GOLDEN_BUILDERS and name not in GOLDEN_TRAFFIC_ENTRIES
+    ]
     if unknown:
         raise TraceStoreError(
             "unknown corpus entries %s (known: %s)" % (unknown, corpus_entries())
@@ -154,15 +237,21 @@ def update_corpus(
     os.makedirs(directory, exist_ok=True)
     written: List[str] = []
     for name in selected:
+        path = entry_path(directory, name)
+        if name in GOLDEN_TRAFFIC_ENTRIES:
+            from repro.traffic import record_traffic, run_traffic
+
+            record_traffic(
+                path,
+                run_traffic(_traffic_spec(name), jobs=1),
+                meta={"entry": name},
+            )
+            written.append(path)
+            continue
         outcome = GOLDEN_BUILDERS[name]()
         spec = spec_from_outcome(outcome)
         written.append(
-            record_outcome(
-                entry_path(directory, name),
-                outcome,
-                spec=spec,
-                meta={"entry": name},
-            )
+            record_outcome(path, outcome, spec=spec, meta={"entry": name})
         )
     return written
 

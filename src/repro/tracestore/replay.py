@@ -32,6 +32,9 @@ class RecordedTrace:
     events: List[Dict[str, Any]]
     verdict: Dict[str, Any]
     source: str = "<memory>"
+    #: v2 (traffic) sections; empty on v1 recordings.
+    submissions: List[Dict[str, Any]] = field(default_factory=list)
+    frame_verdicts: List[Dict[str, Any]] = field(default_factory=list)
 
     @classmethod
     def from_records(
@@ -44,6 +47,8 @@ class RecordedTrace:
         bits: List[Dict[str, Any]] = []
         events: List[Dict[str, Any]] = []
         verdict: Dict[str, Any] = {}
+        submissions: List[Dict[str, Any]] = []
+        frame_verdicts: List[Dict[str, Any]] = []
         for record in records[1:]:
             kind = record["type"]
             if kind == "bus":
@@ -52,6 +57,10 @@ class RecordedTrace:
                 bits.append(record)
             elif kind == "event":
                 events.append(record)
+            elif kind == "submission":
+                submissions.append(record)
+            elif kind == "frame_verdict":
+                frame_verdicts.append(record)
             elif kind == "verdict":
                 verdict = record
         return cls(
@@ -61,11 +70,24 @@ class RecordedTrace:
             events=events,
             verdict=verdict,
             source=source,
+            submissions=submissions,
+            frame_verdicts=frame_verdicts,
         )
+
+    @property
+    def version(self) -> int:
+        """The recording's schema version (1 single-frame, 2 traffic)."""
+        return self.manifest.get("version", 1)
 
     def spec(self) -> ScenarioSpec:
         """The rebuildable scenario spec stored in the manifest."""
         return ScenarioSpec.from_manifest(self.manifest)
+
+    def traffic_spec(self):
+        """The rebuildable traffic spec of a v2 recording."""
+        from repro.traffic import TrafficSpec
+
+        return TrafficSpec.from_manifest(self.manifest)
 
     @property
     def name(self) -> str:
@@ -113,20 +135,33 @@ class TraceDiff:
     bits: List[str] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
     verdict: List[str] = field(default_factory=list)
+    #: v2 (traffic) sections; always empty when diffing v1 recordings.
+    submissions: List[str] = field(default_factory=list)
+    frame_verdicts: List[str] = field(default_factory=list)
 
     @property
     def identical(self) -> bool:
         """Whether no section differs."""
-        return not (self.manifest or self.bus or self.bits or self.events or self.verdict)
+        return not (
+            self.manifest
+            or self.bus
+            or self.bits
+            or self.events
+            or self.verdict
+            or self.submissions
+            or self.frame_verdicts
+        )
 
     def problems(self) -> List[str]:
         """All mismatches, prefixed with their section."""
         out: List[str] = []
         for section, entries in (
             ("manifest", self.manifest),
+            ("submissions", self.submissions),
             ("bus", self.bus),
             ("bits", self.bits),
             ("events", self.events),
+            ("frame_verdicts", self.frame_verdicts),
             ("verdict", self.verdict),
         ):
             out.extend("%s: %s" % (section, entry) for entry in entries)
@@ -201,6 +236,12 @@ def diff_traces(expected: RecordedTrace, actual: RecordedTrace) -> TraceDiff:
     diff.bus = _diff_bus(expected.bus, actual.bus)
     diff.bits = _diff_record_lists(expected.bits, actual.bits, "bit")
     diff.events = _diff_record_lists(expected.events, actual.events, "event")
+    diff.submissions = _diff_record_lists(
+        expected.submissions, actual.submissions, "submission"
+    )
+    diff.frame_verdicts = _diff_record_lists(
+        expected.frame_verdicts, actual.frame_verdicts, "frame verdict"
+    )
     if json_line(expected.verdict) != json_line(actual.verdict):
         for key in sorted(set(expected.verdict) | set(actual.verdict)):
             want = expected.verdict.get(key)
@@ -251,6 +292,8 @@ class Replayer:
 
     def replay(self) -> ReplayResult:
         """Re-run the recorded scenario and diff it against the recording."""
+        if self.recorded.version == 2:
+            return self._replay_traffic()
         spec = self.spec()
         outcome = spec.run()
         replayed = recorded_from_outcome(outcome, spec=spec)
@@ -259,6 +302,27 @@ class Replayer:
         if "meta" in self.recorded.manifest:
             replayed.manifest = dict(replayed.manifest)
             replayed.manifest["meta"] = self.recorded.manifest["meta"]
+        return ReplayResult(
+            recorded=self.recorded,
+            replayed=replayed,
+            diff=diff_traces(self.recorded, replayed),
+            outcome=outcome,
+        )
+
+    def _replay_traffic(self) -> ReplayResult:
+        """Re-run a v2 (traffic) recording from its manifest spec.
+
+        Replays always run ``jobs=1``; the run is jobs-invariant, so a
+        recording made with any worker count diffs empty against it.
+        """
+        from repro.traffic import recorded_traffic, run_traffic
+
+        spec = self.recorded.traffic_spec()
+        outcome = run_traffic(spec, jobs=1)
+        replayed = recorded_traffic(
+            outcome, meta=self.recorded.manifest.get("meta")
+        )
+        replayed.source = "<replay>"
         return ReplayResult(
             recorded=self.recorded,
             replayed=replayed,

@@ -30,12 +30,25 @@ from repro.errors import TraceStoreError
 #: Version stamp written into (and required from) every manifest.
 SCHEMA_VERSION = 1
 
+#: Version stamp of multi-frame *traffic* recordings (see
+#: ``repro.traffic``).  v2 is a sibling schema, not a replacement:
+#: single-frame recordings keep writing v1 and the 13 golden corpus
+#: entries stay byte-identical.  Readers dispatch on the manifest's
+#: ``version`` field.
+TRAFFIC_SCHEMA_VERSION = 2
+
 #: Line types, in their mandatory file order.
 MANIFEST = "manifest"
 BUS = "bus"
 BIT = "bit"
 EVENT = "event"
 VERDICT = "verdict"
+
+#: Additional v2 (traffic) line types.  v2 order: manifest,
+#: submissions, bus, events, frame verdicts, verdict — and never any
+#: ``bit`` lines (steady-state runs always use the fast path).
+SUBMISSION = "submission"
+FRAME_VERDICT = "frame_verdict"
 
 #: Keys a manifest line must carry.
 MANIFEST_KEYS = frozenset(
@@ -59,6 +72,44 @@ VERDICT_KEYS = frozenset(
     }
 )
 
+#: Keys a v2 (traffic) manifest line must carry.
+TRAFFIC_MANIFEST_KEYS = frozenset(
+    {"type", "version", "kind", "name", "traffic", "engine"}
+)
+
+#: Keys a v2 submission line must carry.
+SUBMISSION_KEYS = frozenset(
+    {"type", "t", "window", "node", "seq", "id", "payload", "message_id"}
+)
+
+#: Keys a v2 frame-verdict line must carry.
+FRAME_VERDICT_KEYS = frozenset(
+    {"type", "origin", "seq", "window", "t", "status", "counts",
+     "first_delivered"}
+)
+
+#: Keys a v2 aggregate-verdict line must carry.
+TRAFFIC_VERDICT_KEYS = frozenset(
+    {
+        "type",
+        "frames",
+        "delivered",
+        "duplicated",
+        "omitted",
+        "lost",
+        "total_bits",
+        "bus_load",
+        "max_backlog",
+        "errors_injected",
+        "window_bits",
+        "properties",
+        "deliveries",
+    }
+)
+
+#: Allowed per-message statuses in frame-verdict lines.
+FRAME_STATUSES = frozenset({"delivered", "duplicated", "omitted", "lost"})
+
 
 def _problem(problems: List[str], line_number: int, message: str) -> None:
     problems.append("line %d: %s" % (line_number, message))
@@ -75,6 +126,9 @@ def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
     records = list(records)
     if not records:
         return ["file is empty (expected a manifest line)"]
+
+    if records[0].get("version") == TRAFFIC_SCHEMA_VERSION:
+        return _validate_traffic(records)
 
     manifest = records[0]
     if manifest.get("type") != MANIFEST:
@@ -147,11 +201,101 @@ def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
     return problems
 
 
+def _validate_traffic(records: List[Dict[str, Any]]) -> List[str]:
+    """Validate a v2 (traffic) recording's structure."""
+    problems: List[str] = []
+    manifest = records[0]
+    if manifest.get("type") != MANIFEST:
+        _problem(problems, 1, "first line must be the manifest")
+    else:
+        missing = TRAFFIC_MANIFEST_KEYS - set(manifest)
+        if missing:
+            _problem(problems, 1, "manifest missing keys %s" % sorted(missing))
+        if manifest.get("kind") != "traffic":
+            _problem(
+                problems, 1, "v2 manifest kind must be 'traffic', got %r"
+                % manifest.get("kind")
+            )
+
+    seen_bus = 0
+    seen_verdict = 0
+    last_submission: Optional[int] = None
+    stage = 0
+    order = {MANIFEST: 0, SUBMISSION: 1, BUS: 2, EVENT: 3, FRAME_VERDICT: 4,
+             VERDICT: 5}
+    for number, record in enumerate(records[1:], 2):
+        kind = record.get("type")
+        if kind not in order:
+            _problem(problems, number, "unknown record type %r" % kind)
+            continue
+        if order[kind] < stage:
+            _problem(
+                problems,
+                number,
+                "%r record out of order (manifest, submissions, bus, events, "
+                "frame verdicts, verdict)" % kind,
+            )
+        stage = max(stage, order[kind])
+        if kind == MANIFEST:
+            _problem(problems, number, "duplicate manifest")
+        elif kind == SUBMISSION:
+            missing = SUBMISSION_KEYS - set(record)
+            if missing:
+                _problem(
+                    problems, number, "submission missing keys %s" % sorted(missing)
+                )
+            time = record.get("t")
+            if not isinstance(time, int):
+                _problem(problems, number, "submission needs an integer 't'")
+            elif last_submission is not None and time < last_submission:
+                _problem(problems, number, "submission times must not decrease")
+            else:
+                last_submission = time
+        elif kind == BUS:
+            seen_bus += 1
+            levels = record.get("levels")
+            if not isinstance(levels, str) or set(levels) - {"d", "r"}:
+                _problem(problems, number, "bus levels must be a d/r string")
+        elif kind == EVENT:
+            for field_name in ("t", "node", "kind"):
+                if field_name not in record:
+                    _problem(problems, number, "event missing %r" % field_name)
+        elif kind == FRAME_VERDICT:
+            missing = FRAME_VERDICT_KEYS - set(record)
+            if missing:
+                _problem(
+                    problems,
+                    number,
+                    "frame verdict missing keys %s" % sorted(missing),
+                )
+            if record.get("status") not in FRAME_STATUSES:
+                _problem(
+                    problems, number,
+                    "unknown frame status %r" % record.get("status"),
+                )
+        elif kind == VERDICT:
+            seen_verdict += 1
+            missing = TRAFFIC_VERDICT_KEYS - set(record)
+            if missing:
+                _problem(
+                    problems, number, "verdict missing keys %s" % sorted(missing)
+                )
+    if seen_bus != 1:
+        problems.append("expected exactly one bus line, found %d" % seen_bus)
+    if seen_verdict != 1:
+        problems.append("expected exactly one verdict line, found %d" % seen_verdict)
+    return problems
+
+
 def require_valid(records: Iterable[Dict[str, Any]], source: str = "<trace>") -> None:
     """Raise :class:`TraceStoreError` if ``records`` violate the schema."""
+    records = list(records)
     problems = validate_records(records)
     if problems:
+        version = records[0].get("version") if records else None
+        if version not in (SCHEMA_VERSION, TRAFFIC_SCHEMA_VERSION):
+            version = SCHEMA_VERSION
         raise TraceStoreError(
             "%s is not a valid v%d recording:\n  %s"
-            % (source, SCHEMA_VERSION, "\n  ".join(problems))
+            % (source, version, "\n  ".join(problems))
         )

@@ -17,6 +17,7 @@ the engine.  These tests enforce that contract:
 """
 
 import itertools
+import json
 import random
 from dataclasses import replace
 from pathlib import Path
@@ -45,7 +46,19 @@ from repro.faults.scenarios import make_controller, run_single_frame_scenario
 from repro.tracestore import load_trace
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
-CORPUS_FILES = sorted(CORPUS_DIR.glob("*.jsonl"))
+
+
+def _scenario_version(path):
+    with open(path) as handle:
+        return json.loads(handle.readline()).get("version")
+
+
+#: Single-frame (schema v1) entries only — the tail-universe
+#: differential rebuilds a scenario spec, which v2 traffic recordings
+#: (multi-frame, no injector script) do not have.
+CORPUS_FILES = [
+    p for p in sorted(CORPUS_DIR.glob("*.jsonl")) if _scenario_version(p) == 1
+]
 
 #: Micro-model configs exercised by the random sweep.
 SWEEP_CONFIGS = (

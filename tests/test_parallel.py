@@ -22,7 +22,7 @@ from repro.faults.injector import ScriptedInjector, Trigger, ViewFault
 from repro.can.fields import EOF
 import repro.parallel.pool as pool_module
 from repro.parallel.pool import cpu_count, effective_jobs, run_tasks, shutdown_pool
-from repro.parallel.seeds import chunk_sizes, rng_from, spawn_seeds
+from repro.parallel.seeds import adaptive_chunk, chunk_sizes, rng_from, spawn_seeds
 from repro.parallel.tasks import MonteCarloTailChunk
 from repro.simulation.engine import SimulationEngine
 
@@ -313,3 +313,63 @@ class TestEngineFastPath:
         engine = SimulationEngine([CanController("a")])
         with pytest.raises(SimulationError):
             engine.attach(CanController("a"))
+
+
+class TestAdaptiveChunking:
+    """Adaptive chunk sizing (PR 7 satellite).
+
+    ``adaptive_chunk`` scales the house chunk constants by a per-item
+    cost estimate, and the resolved value is recorded on the result so
+    an experiment's identity includes its partition.
+    """
+
+    def test_scales_inversely_with_cost(self):
+        assert adaptive_chunk(32, 1.0) == 32
+        assert adaptive_chunk(32, 2.0) == 16
+        assert adaptive_chunk(64, 0.5) == 128
+
+    def test_clamps_to_floor_and_cap(self):
+        assert adaptive_chunk(32, 1000.0) == 8
+        assert adaptive_chunk(64, 1e-9) == 4096
+        assert adaptive_chunk(32, 100.0, floor=2) == 2
+        assert adaptive_chunk(64, 0.01, cap=512) == 512
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            adaptive_chunk(0, 1.0)
+        with pytest.raises(ValueError):
+            adaptive_chunk(32, 0.0)
+        with pytest.raises(ValueError):
+            adaptive_chunk(32, 1.0, floor=0)
+        with pytest.raises(ValueError):
+            adaptive_chunk(32, 1.0, floor=16, cap=8)
+
+    def test_montecarlo_records_resolved_chunk(self):
+        result = monte_carlo_tail(protocol="can", m=5, trials=40, seed=3, jobs=1)
+        # Three nodes is the baseline network, so the default resolves
+        # to the historical CHUNK_TRIALS and pinned results stand.
+        assert result.chunk_trials == 32
+
+    def test_montecarlo_explicit_chunk_still_honoured(self):
+        implicit = monte_carlo_tail(protocol="can", m=5, trials=40, seed=3, jobs=1)
+        explicit = monte_carlo_tail(
+            protocol="can", m=5, trials=40, seed=3, jobs=1, chunk_trials=32
+        )
+        assert explicit.chunk_trials == 32
+        assert explicit.inconsistent == implicit.inconsistent
+        assert explicit.imo == implicit.imo
+        assert explicit.double_reception == implicit.double_reception
+
+    def test_verification_records_backend_scaled_chunk(self):
+        engine = verify_consistency(
+            protocol="can", m=5, max_flips=1, jobs=1, backend="engine"
+        )
+        batch = verify_consistency(
+            protocol="can", m=5, max_flips=1, jobs=1, backend="batch"
+        )
+        assert engine.chunk_placements == 64
+        # Batch placements are ~16x cheaper per item, so the default
+        # chunk grows by the same factor.
+        assert batch.chunk_placements == 1024
+        assert engine.counterexamples == batch.counterexamples
+        assert engine.runs == batch.runs

@@ -17,6 +17,7 @@ import repro.protocols
 import repro.redundancy
 import repro.simulation
 import repro.tracestore
+import repro.traffic
 import repro.workload
 
 
@@ -41,6 +42,12 @@ class TestTopLevel:
         assert callable(repro.replay_trace)
         assert callable(repro.check_corpus)
         assert repro.tracestore.SCHEMA_VERSION == 1
+        assert repro.tracestore.TRAFFIC_SCHEMA_VERSION == 2
+
+    def test_traffic_entry_points(self):
+        assert callable(repro.TrafficSpec)
+        assert callable(repro.run_traffic)
+        assert callable(repro.record_traffic)
 
 
 class TestSubpackageAllLists:
@@ -57,6 +64,7 @@ class TestSubpackageAllLists:
             repro.redundancy,
             repro.simulation,
             repro.tracestore,
+            repro.traffic,
             repro.workload,
         ):
             for name in module.__all__:
@@ -98,6 +106,7 @@ class TestDocstrings:
             repro.redundancy,
             repro.simulation,
             repro.tracestore,
+            repro.traffic,
             repro.workload,
         ):
             for name in module.__all__:

@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR6.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR7.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -47,7 +47,11 @@ import sys
 #: * ``campaign_batch.speedup``       — batch vs engine
 #:   ``run_campaign`` on one seeded schedule (rows asserted identical);
 #: * ``reliability_batch.speedup``    — batch vs engine enumerated
-#:   ``reliability_comparison`` rates (rows asserted identical).
+#:   ``reliability_comparison`` rates (rows asserted identical);
+#: * ``traffic_steady_state.speedup`` — controller fast path vs
+#:   reference state machine driving the same steady-state traffic run
+#:   (ledgers asserted identical); traffic-driver overhead is common
+#:   to both sides, so a driver regression drags this ratio toward 1.
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
@@ -57,6 +61,7 @@ GATED_METRICS = (
     "multiflip_header.speedup",
     "campaign_batch.speedup",
     "reliability_batch.speedup",
+    "traffic_steady_state.speedup",
 )
 
 #: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI guard: traffic runs are invariant under the worker count.
+
+The sharding contract of :mod:`repro.traffic` is that ``jobs`` decides
+*where* a time window simulates, never *what* it computes: the
+submission schedule and per-window seeds are fixed before fan-out, and
+window results are spliced in window order.  This check runs the same
+spec at ``jobs=1`` and ``jobs=2`` and compares the complete serialized
+run — schedule, spliced bus, events, per-frame verdicts, aggregate
+verdict — plus the AB1–AB5 property results.  Any mismatch means the
+parallel path leaked state into the simulation and fails the build.
+
+Runs two specs so both traffic regimes are covered: a clean contended
+MajorCAN run and a noisy CAN run whose per-window noise streams come
+from the spawned seed tree.
+
+Usage::
+
+    PYTHONPATH=src python tools/traffic_invariance_check.py
+
+Exit status 0 when both specs are invariant, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+
+def _specs():
+    from repro.traffic import BurstSpec, TrafficSpec
+
+    return (
+        TrafficSpec(
+            name="invariance-contended",
+            protocol="majorcan",
+            m=5,
+            n_nodes=4,
+            windows=3,
+            window_bits=800,
+            load=0.9,
+            seed=23,
+        ),
+        TrafficSpec(
+            name="invariance-noisy",
+            protocol="can",
+            n_nodes=3,
+            windows=3,
+            window_bits=700,
+            load=0.6,
+            seed=29,
+            noise_ber=0.002,
+            bursts=(BurstSpec(node="n1", window=1, start=200, length=16),),
+        ),
+    )
+
+
+def check_spec(spec) -> bool:
+    """Run ``spec`` at jobs=1 and jobs=2; True when bit-identical."""
+    from repro.metrics.export import json_line
+    from repro.traffic import run_traffic, traffic_records
+
+    serial = run_traffic(spec, jobs=1)
+    parallel = run_traffic(spec, jobs=2)
+    serial_lines = [json_line(r) for r in traffic_records(serial)]
+    parallel_lines = [json_line(r) for r in traffic_records(parallel)]
+    ok = serial_lines == parallel_lines
+    if not ok:
+        for index, (want, got) in enumerate(zip(serial_lines, parallel_lines)):
+            if want != got:
+                print("traffic-invariance: %s first diverging record %d:" % (
+                    spec.name, index))
+                print("traffic-invariance:   jobs=1 %s" % want[:160])
+                print("traffic-invariance:   jobs=2 %s" % got[:160])
+                break
+        if len(serial_lines) != len(parallel_lines):
+            print(
+                "traffic-invariance: %s record count differs: %d vs %d"
+                % (spec.name, len(serial_lines), len(parallel_lines))
+            )
+    properties_ok = {
+        name: bool(result) for name, result in serial.properties.items()
+    } == {name: bool(result) for name, result in parallel.properties.items()}
+    print(
+        "traffic-invariance: %-22s records %-9s AB properties %s"
+        % (
+            spec.name,
+            "identical" if ok else "DIVERGED",
+            "identical" if properties_ok else "DIVERGED",
+        )
+    )
+    return ok and properties_ok
+
+
+def main() -> int:
+    failures = 0
+    for spec in _specs():
+        if not check_spec(spec):
+            failures += 1
+    if failures:
+        print("traffic-invariance: FAIL (%d spec(s) diverged)" % failures)
+        return 1
+    print("traffic-invariance: jobs=1 and jobs=2 runs are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
