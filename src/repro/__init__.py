@@ -47,6 +47,12 @@ The package is organised in layers:
     a multi-node bus, a per-frame message ledger with
     delivered/omitted/duplicated verdicts, window-sharded parallel
     execution, and schema-v2 replayable recordings.
+
+``repro.sweep``
+    Resumable design-space sweeps: validated specs over seven axes,
+    content-addressed cell keys, an append-only JSONL result store
+    with byte-deterministic compaction, and a driver that skips stored
+    cells and streams the rest over the worker pool.
 """
 
 from repro._version import __version__
@@ -71,6 +77,7 @@ from repro.tracestore import (
     replay_trace,
     update_corpus,
 )
+from repro.sweep import ResultStore, SweepCell, SweepSpec, run_sweep
 from repro.traffic import (
     BurstSpec,
     TrafficOutcome,
@@ -91,8 +98,11 @@ __all__ = [
     "MinorCanController",
     "RecordedTrace",
     "Replayer",
+    "ResultStore",
     "ScenarioSpec",
     "SimulationEngine",
+    "SweepCell",
+    "SweepSpec",
     "Trace",
     "TraceDiff",
     "TraceRecorder",
@@ -104,6 +114,7 @@ __all__ = [
     "record_outcome",
     "record_traffic",
     "replay_trace",
+    "run_sweep",
     "run_traffic",
     "update_corpus",
 ]

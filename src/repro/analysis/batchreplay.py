@@ -883,6 +883,28 @@ def warm_shapes(payload: bytes = b"\x55") -> None:
             header_shape(frame, shape.eof_length)
 
 
+def warm_universe(entries: Sequence[Tuple[str, int, str]]) -> None:
+    """Pre-populate the shape caches for an explicit cell universe.
+
+    ``entries`` is a sequence of ``(protocol, m, payload_hex)`` triples
+    — the distinct frame universes of a sweep, picklable so the driver
+    can broadcast them to pool workers once per fork (via the pool's
+    worker context) instead of letting every chunk warm its own.  Like
+    :func:`warm_shapes` this is purely a cache fill; bad entries are
+    skipped rather than raised so a stale context can never take a
+    worker down.
+    """
+    for protocol, m, payload_hex in entries:
+        try:
+            frame = data_frame(
+                0x123, bytes.fromhex(payload_hex), message_id="m"
+            )
+            shape = tail_shape(protocol, int(m), frame)
+            header_shape(frame, shape.eof_length)
+        except Exception:  # pragma: no cover - warm-up must stay harmless
+            continue
+
+
 #: Display order of the provenance counters in stats lines.
 _STAT_KEYS = ("batch", "scalar", "header", "engine")
 

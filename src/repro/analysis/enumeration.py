@@ -106,6 +106,7 @@ def enumerate_tail_patterns(
     m: int = 5,
     max_flips: int = None,
     backend: str = "engine",
+    payload: bytes = b"\x55",
 ) -> EnumerationResult:
     """Enumerate all view-error patterns over the last ``window`` EOF bits.
 
@@ -127,6 +128,11 @@ def enumerate_tail_patterns(
         ``"engine"`` simulates every pattern; ``"batch"`` classifies
         them with the vectorised tail replay of
         :mod:`repro.analysis.batchreplay` (identical outcomes).
+    payload:
+        Data bytes of the simulated frame.  The tail-window outcomes do
+        not depend on it, but the design-space sweeps pass each cell's
+        payload so the simulated frame matches the ``tau_data`` the
+        weights are computed against.
     """
     if backend not in ("engine", "batch"):
         raise AnalysisError("unknown backend %r (use 'engine' or 'batch')" % backend)
@@ -159,7 +165,7 @@ def enumerate_tail_patterns(
     if backend == "batch":
         from repro.analysis.batchreplay import BatchReplayEvaluator
 
-        evaluator = BatchReplayEvaluator(protocol, m, node_names)
+        evaluator = BatchReplayEvaluator(protocol, m, node_names, payload=payload)
         combos = [
             tuple(
                 (node_names[node_index], EOF, eof_index)
@@ -180,7 +186,9 @@ def enumerate_tail_patterns(
         result.backend_stats = dict(evaluator.stats)
         return result
     for pattern in patterns:
-        result.outcomes.append(_simulate_pattern(protocol, m, node_names, pattern))
+        result.outcomes.append(
+            _simulate_pattern(protocol, m, node_names, pattern, payload)
+        )
     return result
 
 
@@ -189,6 +197,7 @@ def _simulate_pattern(
     m: int,
     node_names: Sequence[str],
     combo: Sequence[Tuple[int, int]],
+    payload: bytes = b"\x55",
 ) -> PatternOutcome:
     nodes: List[CanController] = [
         make_controller(protocol, name, m=m) for name in node_names
@@ -205,7 +214,7 @@ def _simulate_pattern(
         "pattern",
         nodes,
         ScriptedInjector(view_faults=faults),
-        frame=data_frame(0x123, b"\x55", message_id="m"),
+        frame=data_frame(0x123, payload, message_id="m"),
         record_bits=False,
     )
     return PatternOutcome(

@@ -26,6 +26,12 @@ The traffic engine (:mod:`repro.traffic`) adds one more:
 
 * ``traffic``     — steady-state multi-frame run with per-frame ledger
   verdicts, optionally recorded as a schema-v2 trace.
+
+The sweep service (:mod:`repro.sweep`) adds one more:
+
+* ``sweep``       — resumable design-space sweeps against a
+  content-addressed result store (``plan``/``run``/``status``/
+  ``export``).
 """
 
 from __future__ import annotations
@@ -372,6 +378,69 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        ResultStore,
+        SweepSpec,
+        pending_cells,
+        run_sweep,
+        surface_rows,
+    )
+
+    spec = SweepSpec.from_file(args.spec)
+    store = ResultStore(args.store)
+    if args.action == "plan":
+        pending, skipped = pending_cells(spec, store, backend=args.backend)
+        print(
+            "sweep %r: %d cells (%d pending, %d already stored)"
+            % (spec.name, spec.cell_count(), len(pending), skipped)
+        )
+        for _, _, key in pending[:10]:
+            print("  pending %s" % key[:16])
+        if len(pending) > 10:
+            print("  ... and %d more" % (len(pending) - 10))
+        return 0
+    if args.action == "run":
+        report = run_sweep(
+            spec,
+            store,
+            jobs=args.jobs,
+            backend=args.backend,
+            cell_budget=args.cell_budget,
+        )
+        print(report.summary())
+        print("  store digest %s" % report.digest[:16])
+        _print_backend_stats(report.backend_stats)
+        return 0 if report.complete else 3
+    if args.action == "status":
+        status = store.status()
+        pending, _ = pending_cells(spec, store, backend=args.backend)
+        print("store %s: %s" % (store.root, status.summary()))
+        print("  %d of %d cells pending" % (len(pending), spec.cell_count()))
+        return 0
+    # export
+    from repro.metrics.export import write_rows
+
+    rows = surface_rows(store)
+    if not args.out:
+        for row in rows:
+            print(
+                "%s m=%d ber=%.0e nodes=%d p_imo=%.3e imo/h=%.3e"
+                % (
+                    row["protocol"],
+                    row["m"],
+                    row["ber"],
+                    row["n_nodes"],
+                    row["p_imo"],
+                    row["imo_per_hour"],
+                )
+            )
+        return 0
+    write_rows(args.out, rows)
+    print("wrote %d surface rows -> %s" % (len(rows), args.out))
+    return 0
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -618,6 +687,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs(p)
     p.set_defaults(func=_cmd_traffic)
+
+    p = sub.add_parser(
+        "sweep", help="resumable design-space sweep over a result store"
+    )
+    p.add_argument(
+        "action",
+        choices=["plan", "run", "status", "export"],
+        help="plan: list pending cells; run: evaluate them (resumable); "
+        "status: store summary; export: probability-surface rows",
+    )
+    p.add_argument("spec", help="path to a SweepSpec JSON file")
+    p.add_argument(
+        "--store",
+        default="sweep-store",
+        help="result-store directory (created if missing)",
+    )
+    p.add_argument(
+        "--cell-budget",
+        type=int,
+        default=None,
+        dest="cell_budget",
+        help="evaluate at most this many cells this run (the rest stay "
+        "pending; exit code 3 signals an incomplete grid)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="export target (.csv or .json; default: print a summary "
+        "per cell)",
+    )
+    _add_jobs(p)
+    p.add_argument(
+        "--backend",
+        choices=["engine", "batch"],
+        default="batch",
+        help="placement classifier (part of each cell's identity; "
+        "'batch' is the production default, 'engine' the per-pattern "
+        "reference)",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("montecarlo", help="stochastic model validation")
     p.add_argument("--protocol", choices=["can", "minorcan", "majorcan"])

@@ -21,13 +21,22 @@ regardless of ``jobs`` and merge partial results in chunk order, so
 ``jobs`` only decides *where* a chunk runs, never *what* it computes.
 """
 
-from repro.parallel.pool import effective_jobs, run_tasks
+from repro.parallel.pool import (
+    effective_jobs,
+    imap_tasks,
+    run_tasks,
+    set_worker_context,
+    worker_context,
+)
 from repro.parallel.seeds import adaptive_chunk, rng_from, spawn_seeds
 
 __all__ = [
     "adaptive_chunk",
     "effective_jobs",
+    "imap_tasks",
     "run_tasks",
     "rng_from",
+    "set_worker_context",
     "spawn_seeds",
+    "worker_context",
 ]

@@ -42,6 +42,10 @@ MAXTASKSPERCHILD = 512
 
 _POOL = None
 _POOL_WORKERS = 0
+#: Context the live pool's workers were initialised with.
+_POOL_CONTEXT: tuple = ()
+#: Context requested for the next pool (see :func:`set_worker_context`).
+_CONTEXT: tuple = ()
 
 
 def cpu_count() -> int:
@@ -72,14 +76,46 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def _warm_worker() -> None:
+def set_worker_context(entries) -> None:
+    """Declare what new pool workers should pre-warm at fork time.
+
+    ``entries`` is a sequence of ``(module, function, args)`` triples —
+    all picklable — that each new worker applies once in its
+    initializer, after the default :func:`warm_shapes` pass.  This is
+    the shared-memory half of task batching: a sweep broadcasts its
+    warmed site universes and frame tables to every worker *once per
+    fork* through the pool's ``initargs`` instead of pickling them into
+    every task.  Changing the context replaces the pool on the next
+    ``run_tasks``/``imap_tasks`` call; an equal context reuses it, so
+    repeated sweeps over the same universe keep their warm workers.
+    """
+    global _CONTEXT
+    normalised = []
+    for entry in entries:
+        module, function, args = entry
+        if not isinstance(module, str) or not isinstance(function, str):
+            raise ValueError(
+                "worker context entries are (module, function, args) "
+                "triples, got %r" % (entry,)
+            )
+        normalised.append((module, function, tuple(args)))
+    _CONTEXT = tuple(normalised)
+
+
+def worker_context() -> tuple:
+    """The context new pool workers will be initialised with."""
+    return _CONTEXT
+
+
+def _warm_worker(context: tuple = ()) -> None:
     """Worker initializer: pre-expand the shared campaign shapes.
 
     Populates the ``wire_program``/``tail_shape``/``header_shape``
-    caches for the default campaign frame once per worker process, so
-    every chunk the worker later receives starts from warm caches
-    instead of re-expanding per chunk (the first slice of shared-memory
-    task batching: the expanded context is installed at fork time, not
+    caches for the default campaign frame once per worker process, then
+    applies the broadcast worker context (warmed sweep universes, frame
+    tables), so every chunk the worker later receives starts from warm
+    caches instead of re-expanding per chunk (shared-memory task
+    batching: the expanded context is installed at fork time, not
     shipped with each task).  Purely an optimisation — tasks rebuild
     anything missing on demand — so failures are swallowed.
     """
@@ -89,15 +125,23 @@ def _warm_worker() -> None:
         warm_shapes()
     except Exception:  # pragma: no cover - warm-up must never kill a worker
         pass
+    for module_name, function_name, args in context:
+        try:
+            module = __import__(module_name, fromlist=[function_name])
+            getattr(module, function_name)(*args)
+        except Exception:  # pragma: no cover - warm-up must never kill a worker
+            continue
 
 
 def _get_pool(workers: int):
     """Return the shared pool for ``workers``, creating or resizing it.
 
-    Returns ``None`` when no pool can be created on this platform.
+    The cached pool is reused only when both the worker count and the
+    worker context match what it was built with.  Returns ``None`` when
+    no pool can be created on this platform.
     """
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS == workers:
+    global _POOL, _POOL_WORKERS, _POOL_CONTEXT
+    if _POOL is not None and _POOL_WORKERS == workers and _POOL_CONTEXT == _CONTEXT:
         return _POOL
     if _POOL is not None:
         shutdown_pool()
@@ -106,18 +150,21 @@ def _get_pool(workers: int):
         _POOL = context.Pool(
             processes=workers,
             initializer=_warm_worker,
+            initargs=(_CONTEXT,),
             maxtasksperchild=MAXTASKSPERCHILD,
         )
         _POOL_WORKERS = workers
+        _POOL_CONTEXT = _CONTEXT
     except (ImportError, OSError, PermissionError, ValueError):
         _POOL = None
         _POOL_WORKERS = 0
+        _POOL_CONTEXT = ()
     return _POOL
 
 
 def _discard_pool() -> None:
     """Drop a pool whose state is suspect (an exception escaped a map)."""
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_CONTEXT
     if _POOL is not None:
         try:
             _POOL.terminate()
@@ -126,11 +173,12 @@ def _discard_pool() -> None:
             pass
     _POOL = None
     _POOL_WORKERS = 0
+    _POOL_CONTEXT = ()
 
 
 def shutdown_pool() -> None:
     """Tear down the shared pool (idempotent; also runs at exit)."""
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_CONTEXT
     if _POOL is not None:
         try:
             _POOL.close()
@@ -140,6 +188,7 @@ def shutdown_pool() -> None:
             return
     _POOL = None
     _POOL_WORKERS = 0
+    _POOL_CONTEXT = ()
 
 
 atexit.register(shutdown_pool)
@@ -169,3 +218,43 @@ def run_tasks(tasks: Iterable, jobs: Optional[int] = None, chunksize: int = 1) -
         # work, so never hand it to the next caller.
         _discard_pool()
         raise
+
+
+def imap_tasks(tasks: Iterable, jobs: Optional[int] = None, chunksize: int = 1):
+    """Yield task results one by one, in submission order.
+
+    The streaming twin of :func:`run_tasks`, for drivers that persist
+    partial results as they arrive (the sweep engine appends each chunk
+    to its store the moment it completes, so an interrupted run keeps
+    everything finished so far).  Same contract otherwise: ``jobs=1``
+    executes inline, the pool path preserves submission order, and pool
+    failure degrades to the serial path.
+    """
+    workers = effective_jobs(jobs)
+    if workers == 1:
+        for task in tasks:
+            yield execute(task)
+        return
+    source = tasks if isinstance(tasks, (list, tuple)) else list(tasks)
+    pool = _get_pool(workers)
+    if pool is None:
+        for task in source:
+            yield execute(task)
+        return
+    iterator = pool.imap(execute, source, chunksize)
+    while True:
+        try:
+            result = next(iterator)
+        except StopIteration:
+            return
+        except BaseException:
+            _discard_pool()
+            raise
+        try:
+            yield result
+        except BaseException:
+            # The consumer abandoned the stream (GeneratorExit) or threw
+            # into it: queued chunks may still be in flight, so the pool
+            # is not safe to hand to the next caller.
+            _discard_pool()
+            raise

@@ -389,6 +389,48 @@ class ReliabilityTask:
 
 
 # ---------------------------------------------------------------------------
+# Design-space sweep chunks
+# ---------------------------------------------------------------------------
+
+#: One sweep cell as plain values, in :class:`repro.sweep.spec.SweepCell`
+#: field order: (protocol, m, ber, bit_rate, bus_length_m, payload, n_nodes).
+CellValues = Tuple[str, int, float, float, float, int, int]
+
+
+@dataclass(frozen=True)
+class SweepCellChunk:
+    """A chunk of design-space sweep cells (``repro.sweep``).
+
+    Carries only the cell coordinates and the spec-level constants —
+    the warmed frame tables and site universes the cells share arrive
+    through the pool's worker context (broadcast once per fork), not
+    through the task.  ``run()`` returns one complete store record per
+    cell, keys included, so the driver appends them verbatim.
+    """
+
+    cells: Tuple[CellValues, ...]
+    window: int
+    max_flips: int
+    load: float
+    backend: str = "batch"
+
+    def run(self) -> List[dict]:
+        from repro.sweep.cell import cell_record
+        from repro.sweep.spec import SweepCell
+
+        return [
+            cell_record(
+                SweepCell(*values),
+                window=self.window,
+                max_flips=self.max_flips,
+                load=self.load,
+                backend=self.backend,
+            )
+            for values in self.cells
+        ]
+
+
+# ---------------------------------------------------------------------------
 # Trace-store corpus checks (one recording replayed per task)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,45 @@
+"""Resumable design-space sweeps with a content-addressed result store.
+
+The paper's evaluation samples a handful of (protocol, m, BER) points;
+this package turns that sample into a *service*: a validated
+:class:`SweepSpec` names a grid over seven axes (protocol, tolerance
+``m``, bit-error rate, bit rate, bus length, payload, node count), each
+cell gets a content-addressed key (SHA-256 of its parameters plus the
+code-relevant constants — backend, fault universe, chunk partition),
+and results land in an append-only JSONL store whose compacted form is
+byte-identical for any worker count or interrupt/resume history.
+Re-running a completed sweep evaluates nothing; resuming an interrupted
+one evaluates exactly the missing cells.
+
+* :mod:`repro.sweep.spec` — the validated spec and its expansion;
+* :mod:`repro.sweep.cell` — cell identity and per-cell evaluation;
+* :mod:`repro.sweep.store` — the append-only, compacting result store;
+* :mod:`repro.sweep.run` — the resumable driver over
+  :mod:`repro.parallel`, with warmed universes broadcast to workers
+  once per fork.
+
+CLI: ``repro sweep plan|run|status|export``; integrity gate:
+``tools/sweep_resume_check.py``.
+"""
+
+from repro.sweep.cell import cell_constants, cell_key, cell_record, evaluate_cell
+from repro.sweep.run import SweepRunReport, pending_cells, run_sweep, surface_rows
+from repro.sweep.spec import PROTOCOLS, SweepCell, SweepSpec, expand_cells
+from repro.sweep.store import ResultStore, StoreStatus
+
+__all__ = [
+    "PROTOCOLS",
+    "ResultStore",
+    "StoreStatus",
+    "SweepCell",
+    "SweepRunReport",
+    "SweepSpec",
+    "cell_constants",
+    "cell_key",
+    "cell_record",
+    "evaluate_cell",
+    "expand_cells",
+    "pending_cells",
+    "run_sweep",
+    "surface_rows",
+]

@@ -1,0 +1,306 @@
+"""Validated design-space sweep specifications.
+
+A :class:`SweepSpec` names a grid of experiment *cells* over the seven
+axes the paper's evaluation samples a handful of points from —
+protocol, tolerance ``m``, bit-error rate, bit rate, bus length,
+payload size and node count — plus the spec-level constants shared by
+every cell (tail window, flip bound, bus load).  The grid is either the
+full cartesian product of the axes or an explicit cell list; either
+way :func:`expand_cells` produces the cells in one deterministic order,
+which is what makes resumable runs and the content-addressed store of
+:mod:`repro.sweep.store` line up across processes and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Protocols a cell may name (the simulator's registry keys).
+PROTOCOLS = ("can", "minorcan", "majorcan")
+
+#: Largest classic-CAN payload, bytes.
+MAX_PAYLOAD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete experiment cell of a design-space sweep."""
+
+    protocol: str
+    m: int
+    ber: float
+    bit_rate: float
+    bus_length_m: float
+    payload: int  # payload bytes (0..8)
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                "unknown protocol %r (use one of %s)"
+                % (self.protocol, ", ".join(PROTOCOLS))
+            )
+        if self.m < 2:
+            raise ConfigurationError("m must be at least 2, got %d" % self.m)
+        if not 0.0 < self.ber < 1.0:
+            raise ConfigurationError(
+                "ber must be a probability in (0, 1), got %r" % self.ber
+            )
+        if self.bit_rate <= 0:
+            raise ConfigurationError("bit rate must be positive")
+        if self.bus_length_m < 0:
+            raise ConfigurationError("bus length must be non-negative")
+        if not 0 <= self.payload <= MAX_PAYLOAD_BYTES:
+            raise ConfigurationError(
+                "payload must be 0..%d bytes, got %d"
+                % (MAX_PAYLOAD_BYTES, self.payload)
+            )
+        if self.n_nodes < 2:
+            raise ConfigurationError(
+                "a broadcast network needs >= 2 nodes, got %d" % self.n_nodes
+            )
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """The deterministic payload pattern this cell simulates."""
+        return b"\x55" * self.payload
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _axis(name: str, values: Sequence, kind, allow_empty: bool = False) -> tuple:
+    """Validate one axis: typed, non-empty, duplicate-free, ordered."""
+    values = tuple(values)
+    if not values and not allow_empty:
+        raise ConfigurationError("axis %r must not be empty" % name)
+    for value in values:
+        if not isinstance(value, kind) or isinstance(value, bool):
+            raise ConfigurationError(
+                "axis %r values must be %s, got %r"
+                % (name, getattr(kind, "__name__", kind), value)
+            )
+    if len(set(values)) != len(values):
+        raise ConfigurationError(
+            "axis %r contains duplicate values: %r" % (name, values)
+        )
+    return values
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated design-space sweep over the seven cell axes.
+
+    ``cells`` non-empty selects the *explicit* mode: exactly those
+    cells, in order, and the axis fields are ignored.  Otherwise the
+    grid is the cartesian product of the axes, expanded in declaration
+    order (protocol outermost, node count innermost).
+
+    ``window``, ``max_flips`` and ``load`` are spec-level constants:
+    they shape every cell's fault universe and traffic profile and are
+    therefore part of each cell's content-addressed identity (see
+    :func:`repro.sweep.cell.cell_key`).
+    """
+
+    name: str = "sweep"
+    protocols: Tuple[str, ...] = ("can", "minorcan", "majorcan")
+    m_values: Tuple[int, ...] = (5,)
+    bers: Tuple[float, ...] = (1e-6, 1e-5, 1e-4)
+    bit_rates: Tuple[float, ...] = (1_000_000.0,)
+    bus_lengths_m: Tuple[float, ...] = (40.0,)
+    payloads: Tuple[int, ...] = (1,)
+    node_counts: Tuple[int, ...] = (3,)
+    cells: Tuple[SweepCell, ...] = ()
+    window: int = 2
+    max_flips: int = 2
+    load: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("the sweep needs a non-empty name")
+        explicit = bool(self.cells)
+        object.__setattr__(self, "cells", tuple(self.cells))
+        for cell in self.cells:
+            if not isinstance(cell, SweepCell):
+                raise ConfigurationError(
+                    "explicit cells must be SweepCell instances, got %r"
+                    % (cell,)
+                )
+        object.__setattr__(
+            self,
+            "protocols",
+            _axis("protocols", self.protocols, str, allow_empty=explicit),
+        )
+        for cell_protocol in self.protocols:
+            if cell_protocol not in PROTOCOLS:
+                raise ConfigurationError(
+                    "unknown protocol %r (use one of %s)"
+                    % (cell_protocol, ", ".join(PROTOCOLS))
+                )
+        object.__setattr__(
+            self, "m_values", _axis("m_values", self.m_values, int, explicit)
+        )
+        object.__setattr__(
+            self, "bers", _axis("bers", self.bers, (int, float), explicit)
+        )
+        object.__setattr__(
+            self,
+            "bit_rates",
+            _axis("bit_rates", self.bit_rates, (int, float), explicit),
+        )
+        object.__setattr__(
+            self,
+            "bus_lengths_m",
+            _axis("bus_lengths_m", self.bus_lengths_m, (int, float), explicit),
+        )
+        object.__setattr__(
+            self, "payloads", _axis("payloads", self.payloads, int, explicit)
+        )
+        object.__setattr__(
+            self,
+            "node_counts",
+            _axis("node_counts", self.node_counts, int, explicit),
+        )
+        if self.window < 1:
+            raise ConfigurationError("window must be at least 1 bit")
+        if self.max_flips < 1:
+            raise ConfigurationError("max_flips must be at least 1")
+        if not 0.0 < self.load <= 1.0:
+            raise ConfigurationError("load must be in (0, 1]")
+        if not explicit:
+            # Validate the axis domains up front instead of mid-grid —
+            # expanding a million-cell product just to find a bad value
+            # on one axis would be wasteful.
+            for m in self.m_values:
+                if m < 2:
+                    raise ConfigurationError("m must be at least 2, got %d" % m)
+            for ber in self.bers:
+                if not 0.0 < ber < 1.0:
+                    raise ConfigurationError(
+                        "ber must be a probability in (0, 1), got %r" % ber
+                    )
+            for bit_rate in self.bit_rates:
+                if bit_rate <= 0:
+                    raise ConfigurationError("bit rate must be positive")
+            for bus_length in self.bus_lengths_m:
+                if bus_length < 0:
+                    raise ConfigurationError("bus length must be non-negative")
+            for payload in self.payloads:
+                if not 0 <= payload <= MAX_PAYLOAD_BYTES:
+                    raise ConfigurationError(
+                        "payload must be 0..%d bytes, got %d"
+                        % (MAX_PAYLOAD_BYTES, payload)
+                    )
+            for n_nodes in self.node_counts:
+                if n_nodes < 2:
+                    raise ConfigurationError(
+                        "a broadcast network needs >= 2 nodes, got %d" % n_nodes
+                    )
+
+    # ------------------------------------------------------------------
+    # Serialisation (the CLI's spec-file format)
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["cells"] = [cell.as_dict() for cell in self.cells]
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError("a sweep spec must be a JSON object")
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                "unknown sweep spec fields: %s" % ", ".join(unknown)
+            )
+        kwargs = dict(data)
+        if "cells" in kwargs:
+            cells = kwargs["cells"]
+            if not isinstance(cells, (list, tuple)):
+                raise ConfigurationError("cells must be a list of objects")
+            kwargs["cells"] = tuple(
+                cell if isinstance(cell, SweepCell) else SweepCell(**cell)
+                for cell in cells
+            )
+        for name in (
+            "protocols",
+            "m_values",
+            "bers",
+            "bit_rates",
+            "bus_lengths_m",
+            "payloads",
+            "node_counts",
+        ):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError("invalid sweep spec: %s" % exc)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError("sweep spec is not valid JSON: %s" % exc)
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def cell_count(self) -> int:
+        """Number of cells the spec expands to (product or explicit)."""
+        if self.cells:
+            return len(self.cells)
+        return (
+            len(self.protocols)
+            * len(self.m_values)
+            * len(self.bers)
+            * len(self.bit_rates)
+            * len(self.bus_lengths_m)
+            * len(self.payloads)
+            * len(self.node_counts)
+        )
+
+
+def expand_cells(spec: SweepSpec) -> List[SweepCell]:
+    """Expand ``spec`` into its cells, in the canonical deterministic order.
+
+    Explicit cell lists are returned as given; product grids iterate
+    protocol outermost and node count innermost.  The order never
+    affects the persisted store (records compact sorted by key) but
+    keeps planning, budget truncation and progress reporting stable.
+    """
+    if spec.cells:
+        return list(spec.cells)
+    return [
+        SweepCell(
+            protocol=protocol,
+            m=m,
+            ber=ber,
+            bit_rate=float(bit_rate),
+            bus_length_m=float(bus_length),
+            payload=payload,
+            n_nodes=n_nodes,
+        )
+        for protocol in spec.protocols
+        for m in spec.m_values
+        for ber in spec.bers
+        for bit_rate in spec.bit_rates
+        for bus_length in spec.bus_lengths_m
+        for payload in spec.payloads
+        for n_nodes in spec.node_counts
+    ]

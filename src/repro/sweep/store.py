@@ -1,0 +1,182 @@
+"""The append-only, content-addressed sweep result store.
+
+Layout of a store directory::
+
+    <root>/results.jsonl   append-only log of newly evaluated cells
+    <root>/store.jsonl     compacted store: one record per key, sorted
+    <root>/index.json      record count + SHA-256 digest of store.jsonl
+
+Every line is emitted with :func:`repro.metrics.export.json_line`
+(sorted keys, minimal separators), records compact *sorted by key*, and
+duplicate keys collapse to one record — so the compacted store is a
+pure function of the set of evaluated cells.  Interrupted runs leave a
+valid log (records are flushed line by line); resuming appends only the
+missing keys; and a ``--jobs N`` run compacts to the exact bytes of a
+``--jobs 1`` run, which CI enforces with ``tools/sweep_resume_check.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Set
+
+from repro.errors import ReproError
+from repro.metrics.export import json_line, read_jsonl
+
+LOG_NAME = "results.jsonl"
+COMPACT_NAME = "store.jsonl"
+INDEX_NAME = "index.json"
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Summary of a store directory's contents."""
+
+    records: int  # distinct keys across log + compacted store
+    log_records: int  # raw (pre-dedup) lines still in the log
+    compacted_records: int  # records in store.jsonl
+    digest: str  # SHA-256 of store.jsonl ("" when absent)
+
+    def summary(self) -> str:
+        return (
+            "%d cells stored (%d compacted, %d pending in log) digest=%s"
+            % (
+                self.records,
+                self.compacted_records,
+                self.log_records,
+                self.digest[:12] if self.digest else "-",
+            )
+        )
+
+
+class ResultStore:
+    """Append-only JSONL result store with deterministic compaction."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.root, LOG_NAME)
+
+    @property
+    def compacted_path(self) -> str:
+        return os.path.join(self.root, COMPACT_NAME)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _read(self, path: str) -> List[Dict[str, Any]]:
+        if not os.path.exists(path):
+            return []
+        return read_jsonl(path)
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """All stored records by key (compacted store first, then log).
+
+        Evaluation is deterministic per key, so a key seen twice maps
+        to equal payloads; the first occurrence wins.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        for record in self._read(self.compacted_path) + self._read(self.log_path):
+            key = record.get("key")
+            if not isinstance(key, str) or not key:
+                raise ReproError(
+                    "store record without a key in %s" % self.root
+                )
+            merged.setdefault(key, record)
+        return merged
+
+    def keys(self) -> Set[str]:
+        """The set of cell keys the store already holds."""
+        return set(self.records())
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append records to the log, flushing line by line.
+
+        The flush-per-record discipline is what makes interruption
+        safe: a killed run leaves every completed cell on disk as a
+        complete JSON line (a torn final line would fail ``read_jsonl``
+        loudly rather than corrupt silently).
+        """
+        count = 0
+        with open(self.log_path, "a") as handle:
+            for record in records:
+                if not record.get("key"):
+                    raise ReproError("refusing to append a record without a key")
+                handle.write(json_line(record) + "\n")
+                handle.flush()
+                count += 1
+        return count
+
+    def compact(self) -> StoreStatus:
+        """Fold the log into the sorted, deduplicated compacted store.
+
+        Writes ``store.jsonl`` atomically (temp file + rename), then
+        the index, then truncates the log — in that order, so a crash
+        between steps never loses records (the log is only dropped once
+        its content is safely in the compacted file).  The output bytes
+        depend only on the set of stored keys.
+        """
+        merged = self.records()
+        lines = [json_line(merged[key]) for key in sorted(merged)]
+        body = "".join(line + "\n" for line in lines)
+        tmp_path = self.compacted_path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.compacted_path)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        index = {"records": len(merged), "digest": digest}
+        index_tmp = self.index_path + ".tmp"
+        with open(index_tmp, "w") as handle:
+            handle.write(json.dumps(index, sort_keys=True, indent=2) + "\n")
+        os.replace(index_tmp, self.index_path)
+        if os.path.exists(self.log_path):
+            os.remove(self.log_path)
+        return StoreStatus(
+            records=len(merged),
+            log_records=0,
+            compacted_records=len(merged),
+            digest=digest,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def compacted_bytes(self) -> bytes:
+        """Raw bytes of the compacted store (b"" when never compacted)."""
+        if not os.path.exists(self.compacted_path):
+            return b""
+        with open(self.compacted_path, "rb") as handle:
+            return handle.read()
+
+    def status(self) -> StoreStatus:
+        log = self._read(self.log_path)
+        compacted = self._read(self.compacted_path)
+        body = self.compacted_bytes()
+        return StoreStatus(
+            records=len(self.records()),
+            log_records=len(log),
+            compacted_records=len(compacted),
+            digest=hashlib.sha256(body).hexdigest() if body else "",
+        )

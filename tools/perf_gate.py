@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR7.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR8.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -51,7 +51,12 @@ import sys
 #: * ``traffic_steady_state.speedup`` — controller fast path vs
 #:   reference state machine driving the same steady-state traffic run
 #:   (ledgers asserted identical); traffic-driver overhead is common
-#:   to both sides, so a driver regression drags this ratio toward 1.
+#:   to both sides, so a driver regression drags this ratio toward 1;
+#: * ``sweep.speedup``                — batch vs engine ``run_sweep``
+#:   over the same small design-space grid into fresh result stores
+#:   (stored payloads asserted identical); store/driver overhead is
+#:   common to both sides, so a sweep-engine regression drags this
+#:   ratio toward 1.
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
@@ -62,6 +67,7 @@ GATED_METRICS = (
     "campaign_batch.speedup",
     "reliability_batch.speedup",
     "traffic_steady_state.speedup",
+    "sweep.speedup",
 )
 
 #: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the

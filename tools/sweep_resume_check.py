@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI guard: interrupted sweeps resume to a byte-identical store.
+
+The resumability contract of :mod:`repro.sweep` is that the compacted
+result store is a pure function of the evaluated cell set — independent
+of the worker count, the chunk grouping, and any interrupt/resume
+history.  This check models the full failure story on a small grid:
+
+1. run the sweep uninterrupted at ``jobs=1`` (the reference store);
+2. run the same sweep into a fresh store with a cell budget that cuts
+   it off mid-grid (the "killed" run), then resume it at ``jobs=2``;
+3. assert the resumed store's compacted bytes equal the reference's;
+4. re-run the completed sweep and assert it evaluates zero cells
+   (pure skip — the incrementality half of the contract).
+
+Any mismatch means cell identity, store compaction or the resume path
+leaked nondeterminism and fails the build.
+
+Usage::
+
+    PYTHONPATH=src python tools/sweep_resume_check.py
+
+Exit status 0 when the store is byte-identical and the re-run is a pure
+skip, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+
+def _spec():
+    from repro.sweep import SweepSpec
+
+    return SweepSpec(
+        name="resume-check",
+        protocols=("can", "majorcan"),
+        m_values=(5,),
+        bers=(1e-5, 1e-4),
+        bit_rates=(500_000.0,),
+        bus_lengths_m=(30.0,),
+        payloads=(1,),
+        node_counts=(3,),
+        window=2,
+        max_flips=2,
+    )
+
+
+def main() -> int:
+    from repro.sweep import ResultStore, run_sweep
+
+    spec = _spec()
+    workdir = tempfile.mkdtemp(prefix="sweep-resume-check-")
+    try:
+        reference = ResultStore(os.path.join(workdir, "reference"))
+        full = run_sweep(spec, reference, jobs=1)
+        print("sweep-resume: reference  %s" % full.summary())
+        if not full.complete or full.evaluated != spec.cell_count():
+            print("sweep-resume: FAIL (reference run did not cover the grid)")
+            return 1
+
+        # Kill mid-grid via the cell budget, then resume at jobs=2.
+        resumed = ResultStore(os.path.join(workdir, "resumed"))
+        budget = max(1, spec.cell_count() // 2)
+        killed = run_sweep(spec, resumed, jobs=1, cell_budget=budget)
+        print("sweep-resume: interrupted %s" % killed.summary())
+        if killed.complete:
+            print("sweep-resume: FAIL (budget did not interrupt the run)")
+            return 1
+        resume = run_sweep(spec, resumed, jobs=2)
+        print("sweep-resume: resumed    %s" % resume.summary())
+
+        identical = resumed.compacted_bytes() == reference.compacted_bytes()
+        print(
+            "sweep-resume: compacted store %s (reference digest %s)"
+            % ("identical" if identical else "DIVERGED", full.digest[:16])
+        )
+        if not identical:
+            return 1
+
+        rerun = run_sweep(spec, reference, jobs=1)
+        print("sweep-resume: re-run      %s" % rerun.summary())
+        if rerun.evaluated != 0:
+            print(
+                "sweep-resume: FAIL (completed sweep re-evaluated %d cells)"
+                % rerun.evaluated
+            )
+            return 1
+        if rerun.digest != full.digest:
+            print("sweep-resume: FAIL (re-run changed the store digest)")
+            return 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(
+        "sweep-resume: interrupted runs resume byte-identically and "
+        "completed sweeps are pure skips"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
