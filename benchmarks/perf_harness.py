@@ -38,9 +38,14 @@ Measures the axes this repo's perf trajectory tracks:
   small design-space grid evaluated through ``run_sweep`` on both
   backends into fresh result stores (stored payloads asserted
   identical, the ratio gated), plus a re-run that must evaluate zero
-  cells — the content-addressed store's incrementality.
+  cells — the content-addressed store's incrementality;
+* **engine vs frame-granular traffic windows** (PR 9,
+  :mod:`repro.traffic.batch`): one clean contended profile replayed
+  on both traffic backends with cold window caches, the full
+  serialized surface plus ledger/stats/properties asserted identical,
+  the ratio gated at >= 3x with a zero-window engine share.
 
-Writes a JSON report (default ``BENCH_PR8.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR9.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -888,6 +893,98 @@ def bench_sweep() -> Dict:
     }
 
 
+def bench_traffic_batch() -> Dict:
+    """Engine vs frame-granular traffic windows (PR 9, :mod:`repro.traffic.batch`).
+
+    Runs one clean contended profile — six MajorCAN_5 nodes at 90%
+    load, identical in smoke and full runs — through ``run_traffic``
+    on the per-bit engine and the frame-granular batch backend, then
+    asserts the *entire* observable surface identical: every
+    serialized schema-v2 record (schedule, spliced bus, events,
+    per-frame verdicts, aggregate verdict) plus the ledger,
+    ``TrafficStats`` and the AB1–AB5 property booleans compared
+    directly.  The spec is fault-free, so the engine-fallback share
+    must be exactly zero windows.  The batch timing clears the window
+    memo cache inside every repeat — the gated ratio measures the
+    evaluator, not the cache — and the PR 9 acceptance bar for
+    ``speedup`` is >= 3x.
+    """
+    from repro.metrics.export import json_line
+    from repro.traffic import (
+        TrafficSpec,
+        clear_window_cache,
+        run_traffic,
+        traffic_records,
+    )
+
+    spec = TrafficSpec(
+        name="bench-traffic-batch",
+        protocol="majorcan",
+        m=5,
+        n_nodes=6,
+        windows=2,
+        window_bits=2400,
+        load=0.9,
+        seed=13,
+    )
+
+    engine_elapsed, engine = _timed_best(lambda: run_traffic(spec, jobs=1))
+
+    def batch_run():
+        clear_window_cache()
+        return run_traffic(spec, jobs=1, backend="batch")
+
+    batch_elapsed, batch = _timed_best(batch_run)
+
+    def lines(outcome):
+        return [json_line(record) for record in traffic_records(outcome)]
+
+    if lines(batch) != lines(engine):
+        raise AssertionError(
+            "batch traffic run diverged from the per-bit engine"
+        )
+    if (
+        batch.ledger != engine.ledger
+        or batch.stats != engine.stats
+        or batch.properties != engine.properties
+    ):
+        raise AssertionError(
+            "batch traffic ledger/stats/properties diverged from the engine"
+        )
+    if batch.backend_stats != {"batch": spec.windows}:
+        raise AssertionError(
+            "fault-free spec fell back to the engine: %r"
+            % (batch.backend_stats,)
+        )
+    frames = batch.stats.frames_submitted
+    return {
+        "protocol": spec.protocol,
+        "n_nodes": spec.n_nodes,
+        "windows": spec.windows,
+        "window_bits": spec.window_bits,
+        "frames": frames,
+        "bits": batch.stats.total_bits,
+        "ledgers_identical": True,
+        "atomic": batch.atomic,
+        "engine_windows": 0,
+        "engine": {
+            "seconds": engine_elapsed,
+            "frames_per_sec": (
+                frames / engine_elapsed if engine_elapsed else float("inf")
+            ),
+        },
+        "batch": {
+            "seconds": batch_elapsed,
+            "frames_per_sec": (
+                frames / batch_elapsed if batch_elapsed else float("inf")
+            ),
+        },
+        "speedup": (
+            engine_elapsed / batch_elapsed if batch_elapsed else float("inf")
+        ),
+    }
+
+
 def _speedup(base: float, fast: float) -> float:
     return fast / base if base else float("inf")
 
@@ -906,6 +1003,7 @@ SECTIONS = (
     "campaign_batch",
     "reliability_batch",
     "traffic_steady_state",
+    "traffic_batch",
     "sweep",
 )
 
@@ -926,7 +1024,8 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
     gated_frames = 60
 
     report = {
-        "bench": "PR8 resumable design-space sweep service (+ PR7 "
+        "bench": "PR9 frame-granular traffic batch backend (+ PR8 "
+        "resumable design-space sweep service, PR7 "
         "steady-state traffic engine, PR6 multi-flip combo classification "
         "and campaign/reliability batch backends, PR5 header-site backend, "
         "PR4 vectorised enumeration, PR3 controller fast path, PR1 "
@@ -1013,6 +1112,8 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
         report["reliability_batch"] = bench_reliability_batch()
     if "traffic_steady_state" in wanted:
         report["traffic_steady_state"] = bench_traffic_steady_state(smoke)
+    if "traffic_batch" in wanted:
+        report["traffic_batch"] = bench_traffic_batch()
     if "sweep" in wanted:
         report["sweep"] = bench_sweep()
     return report
@@ -1030,7 +1131,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR8.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR9.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -1191,6 +1292,20 @@ def main(argv=None) -> int:
                     profile["atomic"],
                 )
             )
+    if "traffic_batch" in report:
+        section = report["traffic_batch"]
+        print(
+            "trafficbat : %6d frames/%d bits, %8.1f frames/s engine,"
+            " %9.1f frames/s batch (x%.2f, engine windows %d)"
+            % (
+                section["frames"],
+                section["bits"],
+                section["engine"]["frames_per_sec"],
+                section["batch"]["frames_per_sec"],
+                section["speedup"],
+                section["engine_windows"],
+            )
+        )
     if "sweep" in report:
         section = report["sweep"]
         print(

@@ -517,6 +517,39 @@ def header_shape(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> HeaderS
     )
 
 
+@dataclass(frozen=True)
+class BusImage:
+    """The bus-level waveform of an uncontested, acknowledged frame.
+
+    ``symbols`` is the wired-AND bus trace over the frame's span as the
+    one-character trace alphabet (``d``/``r``): the transmitter's driven
+    levels with the ACK slot forced dominant, because any online
+    receiver with a complete, CRC-clean header acknowledges.  On a bus
+    free of injected faults this *is* the observed trace even under
+    contention — an arbitration loser's dominant prefix coincides with
+    the winner's (identical stuffed prefixes up to the first divergent
+    identifier bit, where the loser observes dominant and withdraws) —
+    which is what lets the traffic batch backend synthesize a window's
+    bus history by concatenating images instead of stepping the engine.
+    """
+
+    program: WireProgram
+    symbols: str
+    length: int
+
+
+@lru_cache(maxsize=512)
+def bus_image(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> BusImage:
+    """The cached :class:`BusImage` of ``frame`` (see the class docs)."""
+    program = wire_program(frame, eof_length=eof_length)
+    ack = program.wire.ack_slot_position
+    symbols = "".join(
+        "d" if (value == 0 or position == ack) else "r"
+        for position, value in enumerate(program.bit_values)
+    )
+    return BusImage(program=program, symbols=symbols, length=program.length)
+
+
 @lru_cache(maxsize=512)
 def wire_program(frame: Frame, eof_length: int = STANDARD_EOF_LENGTH) -> WireProgram:
     """Encode ``frame`` and compile it, caching by frame identity.

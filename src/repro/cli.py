@@ -370,8 +370,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         bus_off_recovery=args.bus_off_recovery,
         record_events=not args.no_events,
     )
-    outcome = run_traffic(spec, jobs=args.jobs)
+    outcome = run_traffic(spec, jobs=args.jobs, backend=args.backend)
     print(outcome.summary())
+    _print_backend_stats(outcome.backend_stats)
     if args.record:
         record_traffic(args.record, outcome, meta={"entry": spec.name})
         print("recorded %s" % args.record)
@@ -424,6 +425,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = surface_rows(store)
     if not args.out:
         for row in rows:
+            if row.get("surface") == "traffic":
+                print(
+                    "%s m=%d nodes=%d load=%.2f %s: %d/%d delivered "
+                    "bus=%.3f backlog=%d arb_lost=%d atomic=%s"
+                    % (
+                        row["protocol"],
+                        row["m"],
+                        row["n_nodes"],
+                        row["load"],
+                        row["source"],
+                        row["delivered"],
+                        row["frames_submitted"],
+                        row["bus_load"],
+                        row["max_backlog"],
+                        row["arbitration_lost"],
+                        row["atomic"],
+                    )
+                )
+                continue
             print(
                 "%s m=%d ber=%.0e nodes=%d p_imo=%.3e imo/h=%.3e"
                 % (
@@ -686,6 +706,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip event lines in recordings (smaller files)",
     )
     _add_jobs(p)
+    p.add_argument(
+        "--backend",
+        choices=["engine", "batch"],
+        default="engine",
+        help="window evaluator: 'engine' steps every bit, 'batch' "
+        "replays fault-free windows frame-granularly (identical "
+        "ledger/stats/recording; prints its batch/engine window split)",
+    )
     p.set_defaults(func=_cmd_traffic)
 
     p = sub.add_parser(

@@ -430,6 +430,46 @@ class SweepCellChunk:
         ]
 
 
+#: One traffic-surface cell as plain values, in
+#: :class:`repro.sweep.spec.TrafficCell` field order:
+#: (protocol, m, n_nodes, load, source).
+TrafficCellValues = Tuple[str, int, int, float, str]
+
+
+@dataclass(frozen=True)
+class TrafficCellChunk:
+    """A chunk of measured-under-load sweep cells (``surface="traffic"``).
+
+    Each cell runs a steady-state ``repro.traffic`` spec serially
+    inside the worker (``jobs=1``) — the fan-out unit is the cell, not
+    the window — on the frame-granular batch backend by default.  The
+    wire images the batch windows share arrive through the pool's
+    worker context (``repro.traffic.batch.warm_traffic``), not through
+    the task.
+    """
+
+    cells: Tuple[TrafficCellValues, ...]
+    windows: int
+    window_bits: int
+    seed: int
+    backend: str = "batch"
+
+    def run(self) -> List[dict]:
+        from repro.sweep.cell import traffic_cell_record
+        from repro.sweep.spec import TrafficCell
+
+        return [
+            traffic_cell_record(
+                TrafficCell(*values),
+                windows=self.windows,
+                window_bits=self.window_bits,
+                seed=self.seed,
+                backend=self.backend,
+            )
+            for values in self.cells
+        ]
+
+
 # ---------------------------------------------------------------------------
 # Trace-store corpus checks (one recording replayed per task)
 # ---------------------------------------------------------------------------
@@ -467,10 +507,15 @@ class TrafficWindowTask:
     window: int
     submissions: Tuple[object, ...]
     noise_seed: object = None
+    backend: str = "engine"
 
     def run(self):
         from repro.traffic.run import run_window
 
         return run_window(
-            self.spec, self.window, self.submissions, self.noise_seed
+            self.spec,
+            self.window,
+            self.submissions,
+            self.noise_seed,
+            backend=self.backend,
         )

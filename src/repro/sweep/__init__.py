@@ -22,9 +22,25 @@ CLI: ``repro sweep plan|run|status|export``; integrity gate:
 ``tools/sweep_resume_check.py``.
 """
 
-from repro.sweep.cell import cell_constants, cell_key, cell_record, evaluate_cell
+from repro.sweep.cell import (
+    cell_constants,
+    cell_key,
+    cell_record,
+    evaluate_cell,
+    evaluate_traffic_cell,
+    traffic_cell_constants,
+    traffic_cell_record,
+    traffic_cell_spec,
+)
 from repro.sweep.run import SweepRunReport, pending_cells, run_sweep, surface_rows
-from repro.sweep.spec import PROTOCOLS, SweepCell, SweepSpec, expand_cells
+from repro.sweep.spec import (
+    PROTOCOLS,
+    SweepCell,
+    SweepSpec,
+    TrafficCell,
+    expand_cells,
+    expand_traffic_cells,
+)
 from repro.sweep.store import ResultStore, StoreStatus
 
 __all__ = [
@@ -34,12 +50,18 @@ __all__ = [
     "SweepCell",
     "SweepRunReport",
     "SweepSpec",
+    "TrafficCell",
     "cell_constants",
     "cell_key",
     "cell_record",
     "evaluate_cell",
+    "evaluate_traffic_cell",
     "expand_cells",
+    "expand_traffic_cells",
     "pending_cells",
     "run_sweep",
     "surface_rows",
+    "traffic_cell_constants",
+    "traffic_cell_record",
+    "traffic_cell_spec",
 ]

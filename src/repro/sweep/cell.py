@@ -250,3 +250,145 @@ def stats_of(record: Dict[str, Any]) -> Optional[Dict[str, int]]:
     result = record.get("result") or {}
     stats = result.get("backend_stats")
     return dict(stats) if stats else None
+
+
+# ---------------------------------------------------------------------------
+# Measured-under-load traffic cells (surface="traffic")
+# ---------------------------------------------------------------------------
+
+#: Baseline cells per traffic chunk.  A traffic cell runs whole
+#: steady-state windows rather than one enumerated pattern set, so the
+#: baseline is far coarser than the analytic ``CHUNK_CELLS`` and the
+#: adaptive floor drops to one cell per task.
+TRAFFIC_CHUNK_CELLS = 2
+
+#: Window count x window bits of the chunk-size baseline cell.
+_BASELINE_TRAFFIC_BITS = 2 * 1200.0
+
+
+def traffic_cell_constants(
+    cell: "TrafficCell",
+    *,
+    windows: int,
+    window_bits: int,
+    seed: int,
+    backend: str = "batch",
+) -> Dict[str, Any]:
+    """The code-relevant constants folded into a traffic cell's identity.
+
+    The ``"surface": "traffic"`` marker keeps these keys disjoint from
+    every analytic key even if the parameter names were ever to
+    collide.
+    """
+    if backend not in ("engine", "batch"):
+        raise ConfigurationError(
+            "unknown backend %r (use 'engine' or 'batch')" % (backend,)
+        )
+    cost_units = (windows * window_bits) / _BASELINE_TRAFFIC_BITS
+    return {
+        "key_version": KEY_VERSION,
+        "surface": "traffic",
+        "backend": backend,
+        "windows": windows,
+        "window_bits": window_bits,
+        "seed": seed,
+        "chunk_cells": adaptive_chunk(
+            TRAFFIC_CHUNK_CELLS, cost_units, floor=1
+        ),
+    }
+
+
+def traffic_cell_spec(
+    cell: "TrafficCell", *, windows: int, window_bits: int, seed: int
+):
+    """The :class:`repro.traffic.spec.TrafficSpec` a traffic cell runs.
+
+    Events stay off — the surface keeps headline statistics and
+    verdict tallies, not per-bit traces — which also keeps the window
+    results small on the wire between pool workers.
+    """
+    from repro.traffic.spec import TrafficSpec
+
+    return TrafficSpec(
+        name="sweep-traffic",
+        protocol=cell.protocol,
+        m=cell.m,
+        n_nodes=cell.n_nodes,
+        windows=windows,
+        window_bits=window_bits,
+        source=cell.source,
+        load=cell.load,
+        seed=seed,
+        record_events=False,
+    )
+
+
+def evaluate_traffic_cell(
+    cell: "TrafficCell",
+    windows: int,
+    window_bits: int,
+    seed: int,
+    backend: str = "batch",
+) -> Dict[str, Any]:
+    """Run one traffic cell; returns the plain-JSON result payload.
+
+    Like :func:`evaluate_cell` this is a pure function of its
+    arguments: the schedule is precomputed from the seed and both
+    backends produce bit-identical ledgers, so any process evaluating
+    the same key writes the same bytes.
+    """
+    from repro.traffic.run import run_traffic
+
+    spec = traffic_cell_spec(
+        cell, windows=windows, window_bits=window_bits, seed=seed
+    )
+    outcome = run_traffic(spec, jobs=1, backend=backend)
+    stats = outcome.stats
+    return {
+        "frames_submitted": stats.frames_submitted,
+        "delivered": stats.delivered,
+        "duplicated": stats.duplicated,
+        "omitted": stats.omitted,
+        "lost": stats.lost,
+        "total_bits": stats.total_bits,
+        "bus_load": stats.bus_load,
+        "max_backlog": stats.max_backlog,
+        "arbitration_lost": stats.arbitration_lost,
+        "properties": {
+            name: bool(result) for name, result in outcome.properties.items()
+        },
+        "atomic": outcome.atomic,
+        "backend_stats": (
+            dict(outcome.backend_stats) if outcome.backend_stats else None
+        ),
+    }
+
+
+def traffic_cell_record(
+    cell: "TrafficCell",
+    *,
+    windows: int,
+    window_bits: int,
+    seed: int,
+    backend: str = "batch",
+) -> Dict[str, Any]:
+    """Evaluate a traffic ``cell`` and wrap it as one store record."""
+    constants = traffic_cell_constants(
+        cell,
+        windows=windows,
+        window_bits=window_bits,
+        seed=seed,
+        backend=backend,
+    )
+    return {
+        "key": cell_key(cell, constants),
+        "cell": cell.as_dict(),
+        "constants": constants,
+        "result": evaluate_traffic_cell(
+            cell,
+            windows=windows,
+            window_bits=window_bits,
+            seed=seed,
+            backend=backend,
+        ),
+    }

@@ -28,9 +28,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.parallel import imap_tasks, set_worker_context
-from repro.parallel.tasks import SweepCellChunk
-from repro.sweep.cell import cell_constants, cell_key, stats_of
-from repro.sweep.spec import SweepCell, SweepSpec, expand_cells
+from repro.parallel.tasks import SweepCellChunk, TrafficCellChunk
+from repro.sweep.cell import (
+    cell_constants,
+    cell_key,
+    stats_of,
+    traffic_cell_constants,
+    traffic_cell_spec,
+)
+from repro.sweep.spec import (
+    SweepCell,
+    SweepSpec,
+    expand_cells,
+    expand_traffic_cells,
+)
 from repro.sweep.store import ResultStore
 
 
@@ -74,9 +85,20 @@ class SweepRunReport:
 
 def _keyed_cells(
     spec: SweepSpec, backend: str
-) -> List[Tuple[SweepCell, Dict[str, Any], str]]:
+) -> List[Tuple[Any, Dict[str, Any], str]]:
     """Expand the spec and attach each cell's constants and key."""
     keyed = []
+    if spec.surface == "traffic":
+        for cell in expand_traffic_cells(spec):
+            constants = traffic_cell_constants(
+                cell,
+                windows=spec.traffic_windows,
+                window_bits=spec.traffic_window_bits,
+                seed=spec.traffic_seed,
+                backend=backend,
+            )
+            keyed.append((cell, constants, cell_key(cell, constants)))
+        return keyed
     for cell in expand_cells(spec):
         constants = cell_constants(
             cell,
@@ -112,10 +134,10 @@ def pending_cells(
 
 
 def _chunk_tasks(
-    pending: List[Tuple[SweepCell, Dict[str, Any], str]],
+    pending: List[Tuple[Any, Dict[str, Any], str]],
     spec: SweepSpec,
     backend: str,
-) -> List[SweepCellChunk]:
+) -> List[Any]:
     """Chunk pending cells into tasks, honouring each cell's partition.
 
     Walks the pending list in order and closes a chunk when it reaches
@@ -123,26 +145,24 @@ def _chunk_tasks(
     different partition — a pure function of the pending list, so the
     chunking (and the submission order) is identical for any ``jobs``.
     """
-    tasks: List[SweepCellChunk] = []
-    current: List[Tuple[str, int, float, float, float, int, int]] = []
-    current_size = 0
-    for cell, constants, _ in pending:
-        chunk_cells = int(constants["chunk_cells"])
-        if current and (chunk_cells != current_size or len(current) >= current_size):
-            tasks.append(
-                SweepCellChunk(
-                    cells=tuple(current),
-                    window=spec.window,
-                    max_flips=spec.max_flips,
-                    load=spec.load,
-                    backend=backend,
-                )
+    if spec.surface == "traffic":
+
+        def values(cell):
+            return (cell.protocol, cell.m, cell.n_nodes, cell.load, cell.source)
+
+        def make(cells):
+            return TrafficCellChunk(
+                cells=cells,
+                windows=spec.traffic_windows,
+                window_bits=spec.traffic_window_bits,
+                seed=spec.traffic_seed,
+                backend=backend,
             )
-            current = []
-        if not current:
-            current_size = chunk_cells
-        current.append(
-            (
+
+    else:
+
+        def values(cell):
+            return (
                 cell.protocol,
                 cell.m,
                 cell.ber,
@@ -151,24 +171,60 @@ def _chunk_tasks(
                 cell.payload,
                 cell.n_nodes,
             )
-        )
-    if current:
-        tasks.append(
-            SweepCellChunk(
-                cells=tuple(current),
+
+        def make(cells):
+            return SweepCellChunk(
+                cells=cells,
                 window=spec.window,
                 max_flips=spec.max_flips,
                 load=spec.load,
                 backend=backend,
             )
-        )
+
+    tasks: List[Any] = []
+    current: List[Tuple] = []
+    current_size = 0
+    for cell, constants, _ in pending:
+        chunk_cells = int(constants["chunk_cells"])
+        if current and (chunk_cells != current_size or len(current) >= current_size):
+            tasks.append(make(tuple(current)))
+            current = []
+        if not current:
+            current_size = chunk_cells
+        current.append(values(cell))
+    if current:
+        tasks.append(make(tuple(current)))
     return tasks
 
 
 def _universe_context(
-    pending: List[Tuple[SweepCell, Dict[str, Any], str]]
+    pending: List[Tuple[Any, Dict[str, Any], str]],
+    spec: SweepSpec,
 ) -> List[Tuple[str, str, Tuple]]:
-    """The worker-context entries warming this run's frame universes."""
+    """The worker-context entries warming this run's frame universes.
+
+    Analytic cells broadcast their distinct (protocol, m, payload)
+    universes to :func:`repro.analysis.batchreplay.warm_universe`;
+    traffic cells broadcast their distinct traffic specs to
+    :func:`repro.traffic.batch.warm_traffic`, which pre-compiles the
+    wire images the batch windows concatenate.
+    """
+    if spec.surface == "traffic":
+        specs = []
+        seen = set()
+        for cell, _, _ in pending:
+            traffic_spec = traffic_cell_spec(
+                cell,
+                windows=spec.traffic_windows,
+                window_bits=spec.traffic_window_bits,
+                seed=spec.traffic_seed,
+            )
+            if traffic_spec not in seen:
+                seen.add(traffic_spec)
+                specs.append(traffic_spec)
+        if not specs:
+            return []
+        return [("repro.traffic.batch", "warm_traffic", (tuple(specs),))]
     universes = []
     seen = set()
     for cell, _, _ in pending:
@@ -208,7 +264,7 @@ def run_sweep(
         deferred = max(0, len(pending) - cell_budget)
         pending = pending[:cell_budget]
     tasks = _chunk_tasks(pending, spec, backend)
-    set_worker_context(_universe_context(pending))
+    set_worker_context(_universe_context(pending, spec))
     try:
         evaluated = 0
         stats: Dict[str, int] = {}
@@ -255,13 +311,29 @@ _SURFACE_FIELDS = (
     "eq4_per_hour",
 )
 
+#: Result fields of a measured-under-load (traffic-surface) row.
+_TRAFFIC_SURFACE_FIELDS = (
+    "frames_submitted",
+    "delivered",
+    "omitted",
+    "duplicated",
+    "lost",
+    "total_bits",
+    "bus_load",
+    "max_backlog",
+    "arbitration_lost",
+    "atomic",
+)
+
 
 def surface_rows(store: ResultStore) -> List[Dict[str, Any]]:
     """Flatten the store into probability-surface rows, sorted by key.
 
-    One row per stored cell: the seven cell coordinates, the headline
-    probabilities and rates, and the bus feasibility verdict — the
-    shape plotting scripts and the CLI ``export`` action want.
+    One row per stored cell: the cell coordinates plus either the
+    analytic headline probabilities (and the bus feasibility verdict)
+    or, for ``surface="traffic"`` records, the measured ledger
+    statistics of the steady-state run — the shape plotting scripts
+    and the CLI ``export`` action want.
     """
     rows = []
     records = store.records()
@@ -269,9 +341,17 @@ def surface_rows(store: ResultStore) -> List[Dict[str, Any]]:
         record = records[key]
         cell = record.get("cell", {})
         result = record.get("result", {})
+        constants = record.get("constants", {})
         row: Dict[str, Any] = {"key": key}
         row.update(cell)
-        row["backend"] = record.get("constants", {}).get("backend")
+        row["backend"] = constants.get("backend")
+        if constants.get("surface") == "traffic":
+            row["surface"] = "traffic"
+            for name in _TRAFFIC_SURFACE_FIELDS:
+                row[name] = result.get(name)
+            rows.append(row)
+            continue
+        row["surface"] = "analytic"
         for name in _SURFACE_FIELDS:
             row[name] = result.get(name)
         bus = result.get("bus") or {}

@@ -73,6 +73,55 @@ class SweepCell:
         return asdict(self)
 
 
+#: Workload families a traffic-surface cell may name
+#: (:class:`repro.traffic.spec.TrafficSpec` sources).
+TRAFFIC_SOURCES = ("periodic", "poisson")
+
+
+@dataclass(frozen=True)
+class TrafficCell:
+    """One measured-under-load cell of a traffic-surface sweep.
+
+    Where a :class:`SweepCell` samples the analytic single-frame fault
+    universe, a traffic cell runs a whole steady-state
+    :class:`repro.traffic.spec.TrafficSpec` — protocol, tolerance,
+    node count, target bus load and workload family — and surfaces the
+    *measured* ledger statistics (deliveries, bus load, backlog,
+    arbitration losses) instead of closed-form probabilities.
+    """
+
+    protocol: str
+    m: int
+    n_nodes: int
+    load: float
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                "unknown protocol %r (use one of %s)"
+                % (self.protocol, ", ".join(PROTOCOLS))
+            )
+        if self.m < 2:
+            raise ConfigurationError("m must be at least 2, got %d" % self.m)
+        if self.n_nodes < 2:
+            raise ConfigurationError(
+                "a broadcast network needs >= 2 nodes, got %d" % self.n_nodes
+            )
+        if not 0.0 < self.load <= 4.0:
+            raise ConfigurationError(
+                "traffic load must be in (0, 4], got %r" % self.load
+            )
+        if self.source not in TRAFFIC_SOURCES:
+            raise ConfigurationError(
+                "unknown traffic source %r (use one of %s)"
+                % (self.source, ", ".join(TRAFFIC_SOURCES))
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
 def _axis(name: str, values: Sequence, kind, allow_empty: bool = False) -> tuple:
     """Validate one axis: typed, non-empty, duplicate-free, ordered."""
     values = tuple(values)
@@ -104,6 +153,16 @@ class SweepSpec:
     they shape every cell's fault universe and traffic profile and are
     therefore part of each cell's content-addressed identity (see
     :func:`repro.sweep.cell.cell_key`).
+
+    ``surface`` selects what the cells measure.  The default
+    ``"analytic"`` grid is the seven-axis single-frame fault sweep
+    above.  ``surface="traffic"`` instead crosses protocol x m x node
+    count with the ``loads`` and ``sources`` axes and evaluates each
+    cell as a steady-state ``repro.traffic`` run (on the frame-granular
+    batch backend) of ``traffic_windows`` windows of
+    ``traffic_window_bits`` bits seeded from ``traffic_seed`` — the
+    measured-under-load surfaces of ROADMAP direction 2.  Explicit
+    ``cells`` lists remain analytic-only.
     """
 
     name: str = "sweep"
@@ -118,6 +177,12 @@ class SweepSpec:
     window: int = 2
     max_flips: int = 2
     load: float = 0.9
+    surface: str = "analytic"
+    loads: Tuple[float, ...] = (0.9,)
+    sources: Tuple[str, ...] = ("periodic",)
+    traffic_windows: int = 2
+    traffic_window_bits: int = 1200
+    traffic_seed: int = 1
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -171,6 +236,44 @@ class SweepSpec:
             raise ConfigurationError("max_flips must be at least 1")
         if not 0.0 < self.load <= 1.0:
             raise ConfigurationError("load must be in (0, 1]")
+        if self.surface not in ("analytic", "traffic"):
+            raise ConfigurationError(
+                "surface must be 'analytic' or 'traffic', got %r"
+                % (self.surface,)
+            )
+        object.__setattr__(
+            self, "loads", _axis("loads", self.loads, (int, float), True)
+        )
+        object.__setattr__(
+            self, "sources", _axis("sources", self.sources, str, True)
+        )
+        if self.surface == "traffic":
+            if explicit:
+                raise ConfigurationError(
+                    "explicit cell lists are analytic-only; a traffic "
+                    "surface expands from its axes"
+                )
+            if not self.loads or not self.sources:
+                raise ConfigurationError(
+                    "a traffic surface needs non-empty loads and sources"
+                )
+            for cell_load in self.loads:
+                if not 0.0 < cell_load <= 4.0:
+                    raise ConfigurationError(
+                        "traffic load must be in (0, 4], got %r" % cell_load
+                    )
+            for cell_source in self.sources:
+                if cell_source not in TRAFFIC_SOURCES:
+                    raise ConfigurationError(
+                        "unknown traffic source %r (use one of %s)"
+                        % (cell_source, ", ".join(TRAFFIC_SOURCES))
+                    )
+            if self.traffic_windows < 1:
+                raise ConfigurationError("traffic_windows must be >= 1")
+            if self.traffic_window_bits < 64:
+                raise ConfigurationError(
+                    "traffic_window_bits must be >= 64"
+                )
         if not explicit:
             # Validate the axis domains up front instead of mid-grid —
             # expanding a million-cell product just to find a bad value
@@ -240,6 +343,8 @@ class SweepSpec:
             "bus_lengths_m",
             "payloads",
             "node_counts",
+            "loads",
+            "sources",
         ):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
@@ -263,6 +368,14 @@ class SweepSpec:
 
     def cell_count(self) -> int:
         """Number of cells the spec expands to (product or explicit)."""
+        if self.surface == "traffic":
+            return (
+                len(self.protocols)
+                * len(self.m_values)
+                * len(self.node_counts)
+                * len(self.loads)
+                * len(self.sources)
+            )
         if self.cells:
             return len(self.cells)
         return (
@@ -303,4 +416,31 @@ def expand_cells(spec: SweepSpec) -> List[SweepCell]:
         for bus_length in spec.bus_lengths_m
         for payload in spec.payloads
         for n_nodes in spec.node_counts
+    ]
+
+
+def expand_traffic_cells(spec: SweepSpec) -> List[TrafficCell]:
+    """Expand a traffic-surface spec into its cells, in canonical order.
+
+    Protocol outermost, then m, node count, load, source — the same
+    declaration-order convention as :func:`expand_cells`.
+    """
+    if spec.surface != "traffic":
+        raise ConfigurationError(
+            "expand_traffic_cells needs surface='traffic', got %r"
+            % (spec.surface,)
+        )
+    return [
+        TrafficCell(
+            protocol=protocol,
+            m=m,
+            n_nodes=n_nodes,
+            load=float(load),
+            source=source,
+        )
+        for protocol in spec.protocols
+        for m in spec.m_values
+        for n_nodes in spec.node_counts
+        for load in spec.loads
+        for source in spec.sources
     ]

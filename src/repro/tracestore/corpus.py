@@ -183,6 +183,20 @@ def _traffic_spec(name: str):
             load=0.3,
             seed=5,
         ),
+        # TOTCAN under sustained contention: vector-clock causal order
+        # over MajorCAN while three nodes keep the bus busy — the
+        # total-order HLP exercised beyond single-frame scenarios.
+        "traffic-hlp-totcan-contended": TrafficSpec(
+            name="traffic-hlp-totcan-contended",
+            protocol="majorcan",
+            m=5,
+            hlp="totcan",
+            n_nodes=3,
+            windows=2,
+            window_bits=1100,
+            load=0.6,
+            seed=17,
+        ),
     }
     return specs[name]
 
@@ -193,6 +207,7 @@ GOLDEN_TRAFFIC_ENTRIES = (
     "traffic-busoff-recovery-majorcan",
     "traffic-contended-majorcan",
     "traffic-hlp-edcan",
+    "traffic-hlp-totcan-contended",
 )
 
 

@@ -112,6 +112,11 @@ class TrafficOutcome:
     stats: TrafficStats
     bus: str
     events: Optional[List[dict]]
+    #: Windows per evaluation backend (``{"batch": ..., "engine": ...}``)
+    #: when the run was asked for the batch backend; None on the engine
+    #: backend.  Same counter shape as the analytic workloads'
+    #: ``repro.analysis.batchreplay`` stats.
+    backend_stats: Optional[Dict[str, int]] = None
 
     @property
     def atomic(self) -> bool:
@@ -225,13 +230,23 @@ def run_window(
     window: int,
     submissions: Tuple[Submission, ...],
     noise_seed=None,
+    backend: str = "engine",
 ) -> WindowResult:
     """Run one window of ``spec`` from idle and summarise it.
 
     ``submissions`` is the window's slice of the global schedule (still
     carrying global nominal times); ``noise_seed`` the spawned child
     seed for this window's noise injector (None when noise is off).
+    ``backend="batch"`` routes fault-free windows through the
+    frame-granular evaluator (:mod:`repro.traffic.batch`); windows that
+    carry noise, bursts or an HLP always run on the engine.
     """
+    if backend == "batch":
+        from repro.traffic.batch import run_window_batch, window_backend
+
+        if window_backend(spec, window) == "batch":
+            return run_window_batch(spec, window, submissions)
+
     from repro.faults.scenarios import make_controller
     from repro.simulation.engine import SimulationEngine
     from repro.tracestore.recorder import event_record
@@ -381,6 +396,7 @@ def splice_windows(
     spec: TrafficSpec,
     schedule: Tuple[Submission, ...],
     results: List[WindowResult],
+    backend_stats: Optional[Dict[str, int]] = None,
 ) -> TrafficOutcome:
     """Concatenate the window results into one global outcome."""
     from repro.can.events import EventKind
@@ -506,20 +522,35 @@ def splice_windows(
         stats=stats,
         bus=bus,
         events=events,
+        backend_stats=backend_stats,
     )
 
 
-def run_traffic(spec: TrafficSpec, jobs: Optional[int] = None) -> TrafficOutcome:
+def run_traffic(
+    spec: TrafficSpec,
+    jobs: Optional[int] = None,
+    backend: str = "engine",
+) -> TrafficOutcome:
     """Run ``spec``, sharding its windows over ``jobs`` workers.
 
     The ledger, verdicts and property results are bit-identical for
     any ``jobs`` at the same spec: the schedule is precomputed
     serially, the per-window noise seeds are spawned from the root
     seed, and ``run_tasks`` preserves submission order.
+
+    ``backend="batch"`` evaluates fault-free windows with the
+    frame-granular replay of :mod:`repro.traffic.batch` — same ledger,
+    stats and events, no per-bit engine — and falls back to the engine
+    per window wherever noise, bursts or an HLP make the window
+    non-deterministic; the split is reported in
+    :attr:`TrafficOutcome.backend_stats`.
     """
+    from repro.errors import ConfigurationError
     from repro.parallel.pool import run_tasks
     from repro.parallel.tasks import TrafficWindowTask
 
+    if backend not in ("engine", "batch"):
+        raise ConfigurationError("unknown traffic backend %r" % (backend,))
     schedule = build_schedule(spec)
     per_window: List[List[Submission]] = [[] for _ in range(spec.windows)]
     for sub in schedule:
@@ -534,8 +565,17 @@ def run_traffic(spec: TrafficSpec, jobs: Optional[int] = None) -> TrafficOutcome
             window=window,
             submissions=tuple(per_window[window]),
             noise_seed=noise_children[window],
+            backend=backend,
         )
         for window in range(spec.windows)
     ]
+    backend_stats: Optional[Dict[str, int]] = None
+    if backend == "batch":
+        from repro.traffic.batch import window_backend
+
+        backend_stats = {}
+        for window in range(spec.windows):
+            chosen = window_backend(spec, window)
+            backend_stats[chosen] = backend_stats.get(chosen, 0) + 1
     results = run_tasks(tasks, jobs=jobs)
-    return splice_windows(spec, schedule, results)
+    return splice_windows(spec, schedule, results, backend_stats=backend_stats)

@@ -398,3 +398,118 @@ class TestSweepCli:
         header = out_path.read_text().splitlines()[0]
         assert "p_imo" in header and "protocol" in header
         assert len(out_path.read_text().splitlines()) == 5
+
+
+#: A tiny measured-under-load (traffic-surface) grid.
+TRAFFIC_SPEC = dict(
+    name="test-traffic-grid",
+    surface="traffic",
+    protocols=("can", "majorcan"),
+    m_values=(5,),
+    node_counts=(3,),
+    loads=(0.6,),
+    sources=("periodic",),
+    traffic_windows=1,
+    traffic_window_bits=600,
+    traffic_seed=7,
+)
+
+
+def traffic_spec(**overrides):
+    params = dict(TRAFFIC_SPEC)
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+class TestTrafficSurface:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(surface="measured")
+        with pytest.raises(ConfigurationError):
+            traffic_spec(loads=(5.0,))
+        with pytest.raises(ConfigurationError):
+            traffic_spec(sources=("bursty",))
+        with pytest.raises(ConfigurationError):
+            traffic_spec(
+                cells=(
+                    SweepCell(
+                        protocol="can",
+                        m=5,
+                        ber=1e-5,
+                        bit_rate=500_000.0,
+                        bus_length_m=30.0,
+                        payload=1,
+                        n_nodes=3,
+                    ),
+                )
+            )
+
+    def test_round_trips_through_json(self):
+        spec = traffic_spec(loads=(0.6, 1.2), sources=("periodic", "poisson"))
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        # protocols x m_values x node_counts x loads x sources
+        assert spec.cell_count() == 2 * 1 * 1 * 2 * 2
+
+    def test_expansion_order_and_keys_disjoint_from_analytic(self):
+        from repro.sweep import (
+            TrafficCell,
+            expand_traffic_cells,
+            traffic_cell_constants,
+        )
+
+        spec = traffic_spec(loads=(0.6, 1.2))
+        cells = expand_traffic_cells(spec)
+        assert cells[0] == TrafficCell("can", 5, 3, 0.6, "periodic")
+        assert cells[1] == TrafficCell("can", 5, 3, 1.2, "periodic")
+        constants = traffic_cell_constants(
+            cells[0], windows=1, window_bits=600, seed=7
+        )
+        assert constants["surface"] == "traffic"
+        key = cell_key(cells[0], constants)
+        analytic = small_spec()
+        analytic_keys = {
+            cell_key(
+                cell,
+                cell_constants(
+                    cell,
+                    window=analytic.window,
+                    max_flips=analytic.max_flips,
+                    load=analytic.load,
+                ),
+            )
+            for cell in expand_cells(analytic)
+        }
+        assert key not in analytic_keys
+
+    def test_run_resume_and_rows(self, tmp_path):
+        spec = traffic_spec()
+        store = ResultStore(str(tmp_path / "s"))
+        report = run_sweep(spec, store, jobs=2)
+        assert report.complete and report.evaluated == 2
+        assert report.backend_stats.get("batch", 0) == 2
+        # Re-running evaluates nothing and keeps the digest.
+        again = run_sweep(spec, store, jobs=1)
+        assert again.evaluated == 0 and again.skipped == 2
+        assert again.digest == report.digest
+        rows = surface_rows(store)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["surface"] == "traffic"
+            assert row["frames_submitted"] > 0
+            assert row["delivered"] == row["frames_submitted"]
+            assert row["atomic"] is True
+            assert 0.0 < row["bus_load"] <= 1.0
+
+    def test_engine_and_batch_cells_agree(self, tmp_path):
+        spec = traffic_spec(protocols=("majorcan",))
+        batch_store = ResultStore(str(tmp_path / "b"))
+        engine_store = ResultStore(str(tmp_path / "e"))
+        run_sweep(spec, batch_store, jobs=1, backend="batch")
+        run_sweep(spec, engine_store, jobs=1, backend="engine")
+        (b,) = batch_store.records().values()
+        (e,) = engine_store.records().values()
+        assert b["key"] != e["key"]
+        b_result = {k: v for k, v in b["result"].items() if k != "backend_stats"}
+        e_result = {k: v for k, v in e["result"].items() if k != "backend_stats"}
+        assert b_result == e_result
+        assert b["result"]["backend_stats"] == {"batch": 1}

@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR8.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR9.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -56,7 +56,11 @@ import sys
 #:   over the same small design-space grid into fresh result stores
 #:   (stored payloads asserted identical); store/driver overhead is
 #:   common to both sides, so a sweep-engine regression drags this
-#:   ratio toward 1.
+#:   ratio toward 1;
+#: * ``traffic_batch.speedup``        — frame-granular batch windows
+#:   vs the per-bit engine on one clean contended traffic profile
+#:   with cold window caches (serialized records, ledger, stats and
+#:   AB1–AB5 asserted identical in-harness; engine share must be 0).
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
@@ -67,6 +71,7 @@ GATED_METRICS = (
     "campaign_batch.speedup",
     "reliability_batch.speedup",
     "traffic_steady_state.speedup",
+    "traffic_batch.speedup",
     "sweep.speedup",
 )
 

@@ -1,18 +1,23 @@
 #!/usr/bin/env python
-"""CI guard: traffic runs are invariant under the worker count.
+"""CI guard: traffic runs are invariant under worker count and backend.
 
 The sharding contract of :mod:`repro.traffic` is that ``jobs`` decides
 *where* a time window simulates, never *what* it computes: the
 submission schedule and per-window seeds are fixed before fan-out, and
-window results are spliced in window order.  This check runs the same
-spec at ``jobs=1`` and ``jobs=2`` and compares the complete serialized
-run — schedule, spliced bus, events, per-frame verdicts, aggregate
-verdict — plus the AB1–AB5 property results.  Any mismatch means the
-parallel path leaked state into the simulation and fails the build.
+window results are spliced in window order.  The backend contract is
+the same one level up: ``backend`` decides *how* a fault-free window
+evaluates — per-bit engine or frame-granular batch replay — never what
+it observes.  This check runs each spec at ``jobs=1`` and ``jobs=2``
+on both backends and compares the complete serialized run — schedule,
+spliced bus, events, per-frame verdicts, aggregate verdict — plus the
+AB1–AB5 property results.  Any mismatch means the parallel path leaked
+state into the simulation (or the batch evaluator drifted from the
+engine) and fails the build.
 
 Runs two specs so both traffic regimes are covered: a clean contended
-MajorCAN run and a noisy CAN run whose per-window noise streams come
-from the spawned seed tree.
+MajorCAN run (all windows batch-eligible) and a noisy CAN run whose
+per-window noise streams come from the spawned seed tree (every window
+falls back to the engine, exercising the fallback accounting).
 
 Usage::
 
@@ -63,41 +68,71 @@ def _specs():
     )
 
 
-def check_spec(spec) -> bool:
-    """Run ``spec`` at jobs=1 and jobs=2; True when bit-identical."""
+def _lines(outcome):
     from repro.metrics.export import json_line
-    from repro.traffic import run_traffic, traffic_records
+    from repro.traffic import traffic_records
 
-    serial = run_traffic(spec, jobs=1)
-    parallel = run_traffic(spec, jobs=2)
-    serial_lines = [json_line(r) for r in traffic_records(serial)]
-    parallel_lines = [json_line(r) for r in traffic_records(parallel)]
-    ok = serial_lines == parallel_lines
-    if not ok:
-        for index, (want, got) in enumerate(zip(serial_lines, parallel_lines)):
-            if want != got:
-                print("traffic-invariance: %s first diverging record %d:" % (
-                    spec.name, index))
-                print("traffic-invariance:   jobs=1 %s" % want[:160])
-                print("traffic-invariance:   jobs=2 %s" % got[:160])
-                break
-        if len(serial_lines) != len(parallel_lines):
-            print(
-                "traffic-invariance: %s record count differs: %d vs %d"
-                % (spec.name, len(serial_lines), len(parallel_lines))
-            )
-    properties_ok = {
-        name: bool(result) for name, result in serial.properties.items()
-    } == {name: bool(result) for name, result in parallel.properties.items()}
-    print(
-        "traffic-invariance: %-22s records %-9s AB properties %s"
-        % (
-            spec.name,
-            "identical" if ok else "DIVERGED",
-            "identical" if properties_ok else "DIVERGED",
+    return [json_line(record) for record in traffic_records(outcome)]
+
+
+def _report_divergence(spec, label, want, got):
+    for index, (want_line, got_line) in enumerate(zip(want, got)):
+        if want_line != got_line:
+            print("traffic-invariance: %s first diverging record %d (%s):" % (
+                spec.name, index, label))
+            print("traffic-invariance:   want %s" % want_line[:160])
+            print("traffic-invariance:   got  %s" % got_line[:160])
+            break
+    if len(want) != len(got):
+        print(
+            "traffic-invariance: %s record count differs (%s): %d vs %d"
+            % (spec.name, label, len(want), len(got))
         )
+
+
+def check_spec(spec) -> bool:
+    """Run ``spec`` across jobs x backend; True when all bit-identical.
+
+    The jobs=1 engine run is the reference; every other (jobs, backend)
+    combination must serialize to the same records and the same AB1–AB5
+    verdicts.
+    """
+    from repro.traffic import run_traffic
+
+    reference = run_traffic(spec, jobs=1)
+    reference_lines = _lines(reference)
+    reference_properties = {
+        name: bool(result) for name, result in reference.properties.items()
+    }
+    ok = True
+    split = None
+    for jobs in (1, 2):
+        for backend in ("engine", "batch"):
+            if jobs == 1 and backend == "engine":
+                continue
+            outcome = run_traffic(spec, jobs=jobs, backend=backend)
+            label = "jobs=%d backend=%s" % (jobs, backend)
+            lines = _lines(outcome)
+            if lines != reference_lines:
+                _report_divergence(spec, label, reference_lines, lines)
+                ok = False
+            properties = {
+                name: bool(result)
+                for name, result in outcome.properties.items()
+            }
+            if properties != reference_properties:
+                print(
+                    "traffic-invariance: %s AB properties diverged (%s)"
+                    % (spec.name, label)
+                )
+                ok = False
+            if backend == "batch":
+                split = outcome.backend_stats
+    print(
+        "traffic-invariance: %-22s jobs x backend %-9s split %s"
+        % (spec.name, "identical" if ok else "DIVERGED", split)
     )
-    return ok and properties_ok
+    return ok
 
 
 def main() -> int:
@@ -108,7 +143,9 @@ def main() -> int:
     if failures:
         print("traffic-invariance: FAIL (%d spec(s) diverged)" % failures)
         return 1
-    print("traffic-invariance: jobs=1 and jobs=2 runs are bit-identical")
+    print(
+        "traffic-invariance: jobs=1/2 runs are bit-identical on both backends"
+    )
     return 0
 
 
