@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 # JSON report written by bench-perf (override: make bench-perf OUT=foo.json).
-OUT ?= BENCH_PR9.json
+OUT ?= BENCH_PR10.json
 
 .PHONY: install test lint bench bench-perf bench-batch corpus-check corpus-update examples experiments clean
 

@@ -43,9 +43,15 @@ Measures the axes this repo's perf trajectory tracks:
   :mod:`repro.traffic.batch`): one clean contended profile replayed
   on both traffic backends with cold window caches, the full
   serialized surface plus ledger/stats/properties asserted identical,
-  the ratio gated at >= 3x with a zero-window engine share.
+  the ratio gated at >= 3x with a zero-window engine share;
+* **engine vs vectorised noise** (PR 10,
+  :mod:`repro.analysis.noisebatch`): one noisy contended traffic
+  profile and one noisy campaign schedule, each run on both backends
+  with cold caches — the flip scan classifies zero-flip
+  windows/rounds closed-form and resumes the engine from the first
+  flip — surfaces asserted identical, both ratios gated at >= 3x.
 
-Writes a JSON report (default ``BENCH_PR9.json`` in the repo root)
+Writes a JSON report (default ``BENCH_PR10.json`` in the repo root)
 recording the raw rates, the speedups, and the host's CPU budget —
 parallel speedup is physically bounded by ``cpu_count``, so the file
 keeps that context alongside the numbers.
@@ -985,6 +991,153 @@ def bench_traffic_batch() -> Dict:
     }
 
 
+def bench_noise_batch() -> Dict:
+    """Engine vs vectorised noise scans (PR 10, :mod:`repro.analysis.noisebatch`).
+
+    Two halves, both draw-order-preserving and asserted bit-identical
+    before any timing is reported:
+
+    * **traffic** — a contended MajorCAN profile with seeded per-bit
+      noise at a realistic BER; the batch side scans each window's
+      whole noise-draw prefix vectorised, returns the memoised clean
+      replay when the scan comes back empty, and resumes the engine
+      from the first flip otherwise.  The full serialized schema-v2
+      surface must match the per-bit engine and the full-engine share
+      must stay under 10% of windows.
+    * **campaign** — a noisy seeded campaign; zero-flip rounds classify
+      through the combo evaluator, flipped rounds rewind the generator
+      and re-run on the engine.  The campaign surface must match.
+
+    Both sides are best-of-3; every timed batch repeat starts from cold
+    work caches (the window memo, the batch-replay caches and the
+    campaign round-reference cache are cleared inside the repeat), so
+    the gated ratios measure the scan + dispatch, not cache reuse.  The
+    universes are identical in smoke and full runs; the PR 10
+    acceptance bar is >= 3x on each half.
+    """
+    from repro.analysis.batchreplay import HAVE_NUMPY, clear_caches
+    from repro.faults.campaigns import _ROUND_REFERENCE, CampaignSpec, run_campaign
+    from repro.metrics.export import json_line
+    from repro.traffic import (
+        TrafficSpec,
+        clear_window_cache,
+        run_traffic,
+        traffic_records,
+    )
+
+    traffic_spec = TrafficSpec(
+        name="bench-noise-traffic",
+        protocol="majorcan",
+        m=3,
+        n_nodes=4,
+        windows=40,
+        window_bits=900,
+        load=0.55,
+        seed=11,
+        noise_ber=2e-5,
+    )
+
+    def lines(outcome):
+        return [json_line(record) for record in traffic_records(outcome)]
+
+    traffic_engine_elapsed, traffic_engine = _timed_best(
+        lambda: run_traffic(traffic_spec, jobs=1)
+    )
+
+    def traffic_batch_run():
+        clear_window_cache()
+        clear_caches()
+        return run_traffic(traffic_spec, jobs=1, backend="batch")
+
+    traffic_batch_elapsed, traffic_batch = _timed_best(traffic_batch_run)
+    if lines(traffic_batch) != lines(traffic_engine):
+        raise AssertionError(
+            "noisy batch traffic run diverged from the per-bit engine"
+        )
+    split = dict(traffic_batch.backend_stats or {})
+    engine_share = split.get("engine", 0) / traffic_spec.windows
+    if engine_share >= 0.10:
+        raise AssertionError(
+            "noisy traffic full-engine share %.1f%% breaches the 10%% "
+            "bound: %r" % (engine_share * 100.0, split)
+        )
+
+    campaign_spec = CampaignSpec(
+        protocol="majorcan",
+        n_nodes=4,
+        rounds=60,
+        attack_probability=0.4,
+        noise_ber_star=2e-5,
+        seed=17,
+    )
+
+    def campaign_surface(outcome):
+        return (
+            outcome.as_row(),
+            outcome.omission_rounds,
+            outcome.attacked_rounds,
+            outcome.errors_injected,
+        )
+
+    campaign_engine_elapsed, campaign_engine = _timed_best(
+        lambda: run_campaign(campaign_spec, backend="engine")
+    )
+
+    def campaign_batch_run():
+        clear_caches()
+        _ROUND_REFERENCE.clear()
+        return run_campaign(campaign_spec, backend="batch")
+
+    campaign_batch_elapsed, campaign_batch = _timed_best(campaign_batch_run)
+    if campaign_surface(campaign_batch) != campaign_surface(campaign_engine):
+        raise AssertionError(
+            "noisy batch campaign rows diverged from the engine"
+        )
+    campaign_split = dict(campaign_batch.backend_stats or {})
+    campaign_share = campaign_split.get("engine", 0) / campaign_spec.rounds
+    if campaign_share >= 0.10:
+        raise AssertionError(
+            "noisy campaign engine share %.1f%% breaches the 10%% bound: %r"
+            % (campaign_share * 100.0, campaign_split)
+        )
+
+    return {
+        "vector_backend": "numpy" if HAVE_NUMPY else "python",
+        "traffic": {
+            "protocol": traffic_spec.protocol,
+            "m": traffic_spec.m,
+            "n_nodes": traffic_spec.n_nodes,
+            "windows": traffic_spec.windows,
+            "noise_ber": traffic_spec.noise_ber,
+            "records_identical": True,
+            "backend_stats": split,
+            "engine_share": engine_share,
+            "engine": {"seconds": traffic_engine_elapsed},
+            "batch": {"seconds": traffic_batch_elapsed},
+            "speedup": (
+                traffic_engine_elapsed / traffic_batch_elapsed
+                if traffic_batch_elapsed
+                else float("inf")
+            ),
+        },
+        "campaign": {
+            "protocol": campaign_spec.protocol,
+            "rounds": campaign_spec.rounds,
+            "noise_ber_star": campaign_spec.noise_ber_star,
+            "rows_identical": True,
+            "backend_stats": campaign_split,
+            "engine_share": campaign_share,
+            "engine": {"seconds": campaign_engine_elapsed},
+            "batch": {"seconds": campaign_batch_elapsed},
+            "speedup": (
+                campaign_engine_elapsed / campaign_batch_elapsed
+                if campaign_batch_elapsed
+                else float("inf")
+            ),
+        },
+    }
+
+
 def _speedup(base: float, fast: float) -> float:
     return fast / base if base else float("inf")
 
@@ -1005,6 +1158,7 @@ SECTIONS = (
     "traffic_steady_state",
     "traffic_batch",
     "sweep",
+    "noise_batch",
 )
 
 
@@ -1024,7 +1178,8 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
     gated_frames = 60
 
     report = {
-        "bench": "PR9 frame-granular traffic batch backend (+ PR8 "
+        "bench": "PR10 vectorised noise classification (+ PR9 "
+        "frame-granular traffic batch backend, PR8 "
         "resumable design-space sweep service, PR7 "
         "steady-state traffic engine, PR6 multi-flip combo classification "
         "and campaign/reliability batch backends, PR5 header-site backend, "
@@ -1116,6 +1271,8 @@ def run_harness(jobs: int, smoke: bool, sections=None) -> Dict:
         report["traffic_batch"] = bench_traffic_batch()
     if "sweep" in wanted:
         report["sweep"] = bench_sweep()
+    if "noise_batch" in wanted:
+        report["noise_batch"] = bench_noise_batch()
     return report
 
 
@@ -1131,7 +1288,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default=os.path.join(_REPO_ROOT, "BENCH_PR9.json"),
+        default=os.path.join(_REPO_ROOT, "BENCH_PR10.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -1318,6 +1475,31 @@ def main(argv=None) -> int:
                 section["vector_backend"],
                 section["speedup"],
                 section["rerun_evaluated"],
+            )
+        )
+    if "noise_batch" in report:
+        section = report["noise_batch"]
+        print(
+            "noise      : traffic %2d windows %6.2fs engine, %6.2fs batch"
+            " (x%.2f, engine share %.1f%%)"
+            % (
+                section["traffic"]["windows"],
+                section["traffic"]["engine"]["seconds"],
+                section["traffic"]["batch"]["seconds"],
+                section["traffic"]["speedup"],
+                section["traffic"]["engine_share"] * 100.0,
+            )
+        )
+        print(
+            "noise      : campaign %2d rounds %6.2fs engine, %6.2fs batch"
+            " [%s] (x%.2f, engine share %.1f%%)"
+            % (
+                section["campaign"]["rounds"],
+                section["campaign"]["engine"]["seconds"],
+                section["campaign"]["batch"]["seconds"],
+                section["vector_backend"],
+                section["campaign"]["speedup"],
+                section["campaign"]["engine_share"] * 100.0,
             )
         )
     print("report     : %s (cpu_count=%d)" % (args.out, report["host"]["cpu_count"]))

@@ -906,7 +906,7 @@ def warm_universe(entries: Sequence[Tuple[str, int, str]]) -> None:
 
 
 #: Display order of the provenance counters in stats lines.
-_STAT_KEYS = ("batch", "scalar", "header", "engine")
+_STAT_KEYS = ("batch", "scalar", "header", "resume", "engine")
 
 #: Engine share above which :func:`engine_share_notice` speaks up.
 ENGINE_SHARE_NOTICE = 0.10

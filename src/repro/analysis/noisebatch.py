@@ -1,0 +1,123 @@
+"""Draw-order-preserving vectorised noise scans (ISSUE 10 tentpole).
+
+The engine's :class:`repro.faults.bit_errors.RandomViewErrorInjector`
+consumes exactly one uniform draw per noise-eligible node per bus bit,
+in a fixed order (the engine's per-tick node loop).  That makes a whole
+window's — or campaign round's — noise realisation a *prefix* of the
+generator stream whose length is known in advance from the fault-free
+timeline: ``bits * draw_width`` draws, where ``draw_width`` is the
+number of nodes the injector actually draws for.
+
+This module materialises that prefix in large generator calls and
+thresholds it against the BER, so the batch backends can answer the
+only question that matters cheaply — *where is the first flip?* — and
+dispatch:
+
+* no flip → the realisation **is** the fault-free timeline, already
+  solved in closed form (the PR 9 window memo, the PR 6 combo cache);
+* a flip at draw ``i`` → the engine re-enters at tick
+  ``i // draw_width`` with the generator rewound (``generator_state`` /
+  ``restore_state``) or fast-forwarded (``advance``) to the exact same
+  stream position, so the cascade is bit-identical to a full engine
+  run at the same seed.
+
+numpy's ``Generator.random(k)`` fills from the same PCG64 stream as
+``k`` scalar ``.random()`` calls (the invariant the Monte-Carlo tail
+chunk already relies on), so the vector scan preserves the engine's
+draw order exactly.  numpy ships with the ``repro[fast]`` extra; a
+scalar fallback keeps the scan correct (just not vectorised) for any
+generator exposing ``.random()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by numpy-less installs
+    np = None
+
+#: Draws per vectorised scan call: large enough to amortise the call,
+#: small enough that a hit early in a long window wastes little work.
+SCAN_CHUNK = 65536
+
+
+def _vector_generator(rng) -> bool:
+    """Whether ``rng`` supports numpy's vectorised ``random(k)``."""
+    return np is not None and isinstance(rng, np.random.Generator)
+
+
+def first_flip(rng, total: int, ber: float, chunk: int = SCAN_CHUNK) -> Optional[int]:
+    """Index of the first draw in the next ``total`` that is ``< ber``.
+
+    Consumes draws from ``rng`` in the engine's order and returns the
+    stream-relative index of the first flip, or ``None`` when the whole
+    prefix is flip-free.  On a hit the generator has overshot to the
+    end of the containing chunk — rewind with ``restore_state`` before
+    handing the stream to an engine run.
+    """
+    if total <= 0:
+        return None
+    if not _vector_generator(rng):
+        for index in range(total):
+            if rng.random() < ber:
+                return index
+        return None
+    offset = 0
+    while offset < total:
+        draws = rng.random(min(chunk, total - offset))
+        hits = np.nonzero(draws < ber)[0]
+        if hits.size:
+            return offset + int(hits[0])
+        offset += draws.size
+    return None
+
+
+def advance(rng, draws: int, chunk: int = SCAN_CHUNK) -> None:
+    """Discard the next ``draws`` uniforms from ``rng``.
+
+    Positions the stream exactly where the engine's injector would be
+    after ``draws`` scalar calls, so a resumed engine continues the
+    same realisation the scan classified.
+    """
+    if draws <= 0:
+        return
+    if not _vector_generator(rng):
+        for _ in range(draws):
+            rng.random()
+        return
+    remaining = draws
+    while remaining:
+        step = min(chunk, remaining)
+        rng.random(step)
+        remaining -= step
+
+
+def generator_state(rng):
+    """Snapshot of ``rng``'s stream position (opaque; see ``restore_state``)."""
+    bit_generator = getattr(rng, "bit_generator", None)
+    if bit_generator is not None:
+        return ("bit_generator", bit_generator.state)
+    getstate = getattr(rng, "getstate", None)
+    if getstate is not None:
+        return ("getstate", getstate())
+    raise TypeError("cannot snapshot generator %r" % (rng,))
+
+
+def restore_state(rng, state) -> None:
+    """Rewind ``rng`` to a ``generator_state`` snapshot, in place.
+
+    Restores the *same object* rather than re-creating it: campaign
+    child seeds may be shared ``np.random.Generator`` instances, so the
+    engine fallback must consume the original stream object from the
+    restored position, exactly like the pure engine path.
+    """
+    kind, payload = state
+    if kind == "bit_generator":
+        rng.bit_generator.state = payload
+        return
+    if kind == "getstate":
+        rng.setstate(payload)
+        return
+    raise TypeError("unknown generator state %r" % (kind,))

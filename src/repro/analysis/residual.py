@@ -28,10 +28,23 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
-try:
-    from scipy import stats
-except ImportError:  # pragma: no cover - exercised by numpy-less installs
-    stats = None
+#: Lazily-resolved ``scipy.stats`` (``False`` = not yet attempted).
+#: scipy takes ~2s to import; deferring it keeps ``repro.analysis`` —
+#: whose ``noisebatch`` sits on the hot noisy-traffic path — cheap to
+#: import for workers that never touch the residual-rate tables.
+_stats = False
+
+
+def _scipy_stats():
+    global _stats
+    if _stats is False:
+        try:
+            from scipy import stats as scipy_stats
+
+            _stats = scipy_stats
+        except ImportError:  # pragma: no cover - numpy-less installs
+            _stats = None
+    return _stats
 
 from repro.analysis.rates import incidents_per_hour
 from repro.errors import AnalysisError
@@ -53,6 +66,7 @@ def p_more_than_m_errors(
     b = ber_star(ber, n_nodes)
     sites = n_nodes * exposed_bits
     # Survival function: P(X > m) for X ~ Binomial(sites, b).
+    stats = _scipy_stats()
     if stats is not None:
         return float(stats.binom.sf(m, sites, b))
     return _binom_sf(m, sites, b)

@@ -109,9 +109,13 @@ def run_campaign(
     of rounds out over the worker pool with identical results.
 
     ``backend="batch"`` classifies noise-free rounds with the vectorised
-    tail replay of :mod:`repro.analysis.batchreplay` (identical round
-    rows, provenance in ``CampaignOutcome.backend_stats``); campaigns
-    with view noise keep the full engine rounds.
+    tail replay of :mod:`repro.analysis.batchreplay`, and noisy rounds
+    with the draw-order-preserving scan of
+    :mod:`repro.analysis.noisebatch` — a round whose noise mask never
+    fires resolves through the same tail replay; a round whose mask
+    fires reruns on the engine from the rewound generator.  Round rows
+    are identical either way; provenance lands in
+    ``CampaignOutcome.backend_stats``.
     """
     if backend not in ("engine", "batch"):
         raise ConfigurationError(
@@ -138,7 +142,33 @@ def run_campaign(
             )
         )
         start += size
-    for chunk in run_tasks(tasks, jobs):
+    if backend == "batch" and spec.noise_ber_star > 0.0:
+        # Forked workers prime the reference-round cache once (there
+        # are only n_nodes distinct noise-free rounds per spec) instead
+        # of once per chunk.
+        from repro.parallel.pool import set_worker_context
+
+        node_names = ["critical"] + [
+            "bg%d" % i for i in range(1, spec.n_nodes)
+        ]
+        entries = [
+            (spec.protocol, spec.m, tuple(node_names),
+             spec.background_frames, False, None)
+        ] + [
+            (spec.protocol, spec.m, tuple(node_names),
+             spec.background_frames, True, victim)
+            for victim in node_names[1:]
+        ]
+        set_worker_context(
+            (("repro.faults.campaigns", "warm_campaign", (tuple(entries),)),)
+        )
+        try:
+            chunks = run_tasks(tasks, jobs)
+        finally:
+            set_worker_context(())
+    else:
+        chunks = run_tasks(tasks, jobs)
+    for chunk in chunks:
         for key, value in chunk.stats.items():
             outcome.backend_stats[key] = outcome.backend_stats.get(key, 0) + value
         for round_index, attacked, category, injected in chunk.rounds:
@@ -164,6 +194,97 @@ def classify_counts(counts: Sequence[int]) -> str:
     return "consistent"
 
 
+def _round_network(
+    protocol: str,
+    m: int,
+    node_names: Sequence[str],
+    attacked: bool,
+    victim: str,
+):
+    """Fresh controllers + scripted injector for one round (no frames yet)."""
+    controllers = [make_controller(protocol, name, m=m) for name in node_names]
+    eof_last = controllers[0].config.eof_length - 1
+    faults = []
+    if attacked:
+        faults = [
+            ViewFault(victim, Trigger(field=EOF, index=eof_last - 1), force=DOMINANT),
+            ViewFault(
+                "critical", Trigger(field=EOF, index=eof_last), force=RECESSIVE
+            ),
+        ]
+    return controllers, ScriptedInjector(view_faults=faults)
+
+
+def _submit_round(controllers, background_frames: int):
+    """Queue the critical command + background traffic; returns the command."""
+    command = data_frame(0x010, b"\xc0\x01", message_id="critical")
+    controllers[0].submit(command)
+    for index, controller in enumerate(controllers[1:], start=1):
+        for seq in range(background_frames):
+            controller.submit(
+                data_frame(0x100 + index, bytes([index, seq]))
+            )
+    return command
+
+
+#: Per-process cache of noise-free reference round lengths, keyed by
+#: everything a round's timeline depends on besides the noise stream.
+_ROUND_REFERENCE: Dict[tuple, int] = {}
+
+
+def round_reference_bits(
+    protocol: str,
+    m: int,
+    node_names: Sequence[str],
+    background_frames: int,
+    attacked: bool,
+    victim: Optional[str],
+) -> int:
+    """Bus bits of the noise-free (scripted-faults-only) round.
+
+    A noisy round whose per-bit noise mask never fires *is* this
+    reference round, so its bit count bounds the draws the engine's
+    noise injector would consume: exactly ``bits * n_nodes`` uniforms
+    (one per node per tick).  The vectorised campaign scan thresholds
+    that prefix to decide whether a round needs the engine at all.
+    Cached per process — there are only ``n_nodes`` distinct rounds
+    (not attacked, or attacked per victim) for a given spec.
+    """
+    key = (
+        protocol,
+        m,
+        tuple(node_names),
+        background_frames,
+        victim if attacked else None,
+    )
+    cached = _ROUND_REFERENCE.get(key)
+    if cached is not None:
+        return cached
+    controllers, scripted = _round_network(protocol, m, node_names, attacked, victim)
+    engine = SimulationEngine(controllers, injector=scripted, record_bits=False)
+    _submit_round(controllers, background_frames)
+    try:
+        engine.run_until_idle(120000)
+    except Exception:
+        pass  # the noisy zero-flip round would stop at the same tick
+    _ROUND_REFERENCE[key] = engine.time
+    return engine.time
+
+
+def warm_campaign(entries) -> None:
+    """Worker warm hook: prime the reference-round cache at fork time.
+
+    ``entries`` are ``round_reference_bits`` argument tuples broadcast
+    via :func:`repro.parallel.set_worker_context`.  Purely a cache
+    fill — failures are swallowed, chunks rebuild on demand.
+    """
+    for entry in entries:
+        try:
+            round_reference_bits(*entry)
+        except Exception:  # pragma: no cover - warm-up must never kill a worker
+            continue
+
+
 def run_round(
     protocol: str,
     m: int,
@@ -180,30 +301,14 @@ def run_round(
     :class:`repro.parallel.tasks.CampaignRoundsChunk` can run rounds in
     worker processes.
     """
-    controllers = [make_controller(protocol, name, m=m) for name in node_names]
-    eof_last = controllers[0].config.eof_length - 1
-    faults = []
-    if attacked:
-        faults = [
-            ViewFault(victim, Trigger(field=EOF, index=eof_last - 1), force=DOMINANT),
-            ViewFault(
-                "critical", Trigger(field=EOF, index=eof_last), force=RECESSIVE
-            ),
-        ]
-    scripted = ScriptedInjector(view_faults=faults)
+    controllers, scripted = _round_network(protocol, m, node_names, attacked, victim)
     injector = scripted
     noise: Optional[RandomViewErrorInjector] = None
     if noise_ber_star > 0.0:
         noise = RandomViewErrorInjector(noise_ber_star, seed=rng)
         injector = CompositeInjector([scripted, noise])
     engine = SimulationEngine(controllers, injector=injector, record_bits=False)
-    command = data_frame(0x010, b"\xc0\x01", message_id="critical")
-    controllers[0].submit(command)
-    for index, controller in enumerate(controllers[1:], start=1):
-        for seq in range(background_frames):
-            controller.submit(
-                data_frame(0x100 + index, bytes([index, seq]))
-            )
+    command = _submit_round(controllers, background_frames)
     try:
         engine.run_until_idle(120000)
     except Exception:

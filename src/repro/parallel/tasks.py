@@ -272,7 +272,7 @@ class CampaignRoundsChunk:
             attacked = bool(rng.random() < self.attack_probability)
             victim = node_names[1 + int(rng.integers(0, self.n_nodes - 1))]
             draws.append((round_index, attacked, victim, rng))
-        if self.backend == "batch" and self.noise_ber_star == 0.0:
+        if self.backend == "batch":
             # Without view noise a round is a pure function of the
             # attack draw: the critical frame has the lowest identifier
             # so background traffic never reorders it, and the Fig. 3a
@@ -280,6 +280,13 @@ class CampaignRoundsChunk:
             # extended flag makes the transmitter's masked EOF bit
             # dominant on the bus).  Each scripted fault fires exactly
             # once, so the injected count is 2 per attacked round.
+            # With view noise the round is *still* that pure function
+            # whenever its noise mask never fires — and the mask is a
+            # known-length prefix of the child stream (one uniform per
+            # node per bus bit of the noise-free reference round), so a
+            # vectorised scan classifies each round up front and only
+            # the rounds whose mask fires rerun on the engine, from the
+            # rewound generator (bit-identical to the engine path).
             from repro.analysis.batchreplay import BatchReplayEvaluator
             from repro.can.fields import EOF
             from repro.can.frame import data_frame
@@ -291,35 +298,78 @@ class CampaignRoundsChunk:
                 frame=data_frame(0x010, b"\xc0\x01", message_id="critical"),
             )
             eof_last = evaluator.shape.eof_length - 1
-            combos = [
-                (
-                    (victim, EOF, eof_last - 1),
-                    ("critical", EOF, eof_last),
-                )
-                if attacked
-                else ()
-                for _, attacked, victim, _ in draws
-            ]
-            result = CampaignChunkResult()
-            for (round_index, attacked, _, _), outcome in zip(
-                draws, evaluator.evaluate(combos)
-            ):
-                result.rounds.append(
-                    (
-                        round_index,
-                        attacked,
-                        classify_counts(outcome.deliveries),
-                        2 if attacked else 0,
+            combos = []
+            combo_positions = []
+            engine_rows = {}
+            for position, (round_index, attacked, victim, rng) in enumerate(draws):
+                flip = None
+                if self.noise_ber_star > 0.0:
+                    from repro.analysis.noisebatch import (
+                        first_flip,
+                        generator_state,
+                        restore_state,
                     )
+                    from repro.faults.campaigns import round_reference_bits
+
+                    state = generator_state(rng)
+                    bits = round_reference_bits(
+                        self.protocol,
+                        self.m,
+                        node_names,
+                        self.background_frames,
+                        attacked,
+                        victim,
+                    )
+                    flip = first_flip(
+                        rng, bits * self.n_nodes, self.noise_ber_star
+                    )
+                if flip is None:
+                    combos.append(
+                        (
+                            (victim, EOF, eof_last - 1),
+                            ("critical", EOF, eof_last),
+                        )
+                        if attacked
+                        else ()
+                    )
+                    combo_positions.append(position)
+                    continue
+                restore_state(rng, state)
+                counts, injected = run_round(
+                    protocol=self.protocol,
+                    m=self.m,
+                    node_names=node_names,
+                    background_frames=self.background_frames,
+                    noise_ber_star=self.noise_ber_star,
+                    attacked=attacked,
+                    victim=victim,
+                    rng=rng,
                 )
-            result.stats = dict(evaluator.stats)
+                engine_rows[position] = (
+                    round_index,
+                    attacked,
+                    classify_counts(counts),
+                    injected,
+                )
+            rows = dict(engine_rows)
+            for position, outcome in zip(
+                combo_positions, evaluator.evaluate(combos)
+            ):
+                round_index, attacked, _, _ = draws[position]
+                rows[position] = (
+                    round_index,
+                    attacked,
+                    classify_counts(outcome.deliveries),
+                    2 if attacked else 0,
+                )
+            result = CampaignChunkResult(stats=dict(evaluator.stats))
+            if engine_rows:
+                result.stats["engine"] = (
+                    result.stats.get("engine", 0) + len(engine_rows)
+                )
+            result.rounds = [rows[position] for position in range(len(draws))]
             return result
-        # Per-bit random view noise needs the full engine round; a
-        # batch request degrades honestly (the rounds are accounted as
-        # engine runs so the share notice fires).
-        result = CampaignChunkResult(
-            stats={"engine": len(draws)} if self.backend == "batch" else {}
-        )
+        result = CampaignChunkResult()
         for round_index, attacked, victim, rng in draws:
             counts, injected = run_round(
                 protocol=self.protocol,
@@ -432,8 +482,8 @@ class SweepCellChunk:
 
 #: One traffic-surface cell as plain values, in
 #: :class:`repro.sweep.spec.TrafficCell` field order:
-#: (protocol, m, n_nodes, load, source).
-TrafficCellValues = Tuple[str, int, int, float, str]
+#: (protocol, m, n_nodes, load, source, noise_ber).
+TrafficCellValues = Tuple[str, int, int, float, str, float]
 
 
 @dataclass(frozen=True)

@@ -319,6 +319,7 @@ def traffic_cell_spec(
         source=cell.source,
         load=cell.load,
         seed=seed,
+        noise_ber=cell.noise_ber,
         record_events=False,
     )
 

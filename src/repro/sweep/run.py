@@ -148,7 +148,14 @@ def _chunk_tasks(
     if spec.surface == "traffic":
 
         def values(cell):
-            return (cell.protocol, cell.m, cell.n_nodes, cell.load, cell.source)
+            return (
+                cell.protocol,
+                cell.m,
+                cell.n_nodes,
+                cell.load,
+                cell.source,
+                cell.noise_ber,
+            )
 
         def make(cells):
             return TrafficCellChunk(

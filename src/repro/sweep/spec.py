@@ -95,6 +95,8 @@ class TrafficCell:
     n_nodes: int
     load: float
     source: str
+    #: Uniform per-node per-bit view-noise probability (0 = clean).
+    noise_ber: float = 0.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -116,6 +118,10 @@ class TrafficCell:
             raise ConfigurationError(
                 "unknown traffic source %r (use one of %s)"
                 % (self.source, ", ".join(TRAFFIC_SOURCES))
+            )
+        if not 0.0 <= self.noise_ber < 1.0:
+            raise ConfigurationError(
+                "noise_ber must be in [0, 1), got %r" % (self.noise_ber,)
             )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -180,6 +186,8 @@ class SweepSpec:
     surface: str = "analytic"
     loads: Tuple[float, ...] = (0.9,)
     sources: Tuple[str, ...] = ("periodic",)
+    #: View-noise axis of the traffic surface (``(0.0,)`` = clean only).
+    noise_bers: Tuple[float, ...] = (0.0,)
     traffic_windows: int = 2
     traffic_window_bits: int = 1200
     traffic_seed: int = 1
@@ -247,16 +255,27 @@ class SweepSpec:
         object.__setattr__(
             self, "sources", _axis("sources", self.sources, str, True)
         )
+        object.__setattr__(
+            self,
+            "noise_bers",
+            _axis("noise_bers", self.noise_bers, (int, float), True),
+        )
         if self.surface == "traffic":
             if explicit:
                 raise ConfigurationError(
                     "explicit cell lists are analytic-only; a traffic "
                     "surface expands from its axes"
                 )
-            if not self.loads or not self.sources:
+            if not self.loads or not self.sources or not self.noise_bers:
                 raise ConfigurationError(
-                    "a traffic surface needs non-empty loads and sources"
+                    "a traffic surface needs non-empty loads, sources "
+                    "and noise_bers"
                 )
+            for noise_ber in self.noise_bers:
+                if not 0.0 <= noise_ber < 1.0:
+                    raise ConfigurationError(
+                        "noise_ber must be in [0, 1), got %r" % (noise_ber,)
+                    )
             for cell_load in self.loads:
                 if not 0.0 < cell_load <= 4.0:
                     raise ConfigurationError(
@@ -345,6 +364,7 @@ class SweepSpec:
             "node_counts",
             "loads",
             "sources",
+            "noise_bers",
         ):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
@@ -375,6 +395,7 @@ class SweepSpec:
                 * len(self.node_counts)
                 * len(self.loads)
                 * len(self.sources)
+                * len(self.noise_bers)
             )
         if self.cells:
             return len(self.cells)
@@ -422,8 +443,8 @@ def expand_cells(spec: SweepSpec) -> List[SweepCell]:
 def expand_traffic_cells(spec: SweepSpec) -> List[TrafficCell]:
     """Expand a traffic-surface spec into its cells, in canonical order.
 
-    Protocol outermost, then m, node count, load, source — the same
-    declaration-order convention as :func:`expand_cells`.
+    Protocol outermost, then m, node count, load, source, noise BER —
+    the same declaration-order convention as :func:`expand_cells`.
     """
     if spec.surface != "traffic":
         raise ConfigurationError(
@@ -437,10 +458,12 @@ def expand_traffic_cells(spec: SweepSpec) -> List[TrafficCell]:
             n_nodes=n_nodes,
             load=float(load),
             source=source,
+            noise_ber=float(noise_ber),
         )
         for protocol in spec.protocols
         for m in spec.m_values
         for n_nodes in spec.node_counts
         for load in spec.loads
         for source in spec.sources
+        for noise_ber in spec.noise_bers
     ]

@@ -22,6 +22,11 @@ replayable artifacts:
     it, and produce a structured :class:`TraceDiff` (bus divergence,
     per-bit, event and verdict mismatches).
 
+``repro.tracestore.rle``
+    Opt-in run-length compression of per-bit records
+    (``compression="rle"`` in the manifest), expanded transparently by
+    every reader.
+
 ``repro.tracestore.corpus``
     The checked-in golden corpus (Fig. 1b/1c and Fig. 3 across CAN,
     MinorCAN and MajorCAN_m, plus EOF/overload edge cases, plus the
@@ -48,6 +53,13 @@ from repro.tracestore.corpus import (
     update_corpus,
 )
 from repro.tracestore.recorder import TraceRecorder, outcome_records, record_outcome
+from repro.tracestore.rle import (
+    COMPRESSIONS,
+    compress_bit_records,
+    compress_records,
+    expand_bit_records,
+    expand_records,
+)
 from repro.tracestore.replay import (
     RecordedTrace,
     Replayer,
@@ -72,6 +84,7 @@ from repro.tracestore.spec import (
 )
 
 __all__ = [
+    "COMPRESSIONS",
     "CorpusCheckResult",
     "CorpusReport",
     "DEFAULT_CORPUS_DIR",
@@ -87,8 +100,12 @@ __all__ = [
     "TraceRecorder",
     "check_corpus",
     "check_recording",
+    "compress_bit_records",
+    "compress_records",
     "corpus_entries",
     "diff_traces",
+    "expand_bit_records",
+    "expand_records",
     "frame_from_dict",
     "frame_to_dict",
     "load_trace",

@@ -197,17 +197,50 @@ def _traffic_spec(name: str):
             load=0.6,
             seed=17,
         ),
+        # Random per-bit noise under an HLP: the direction-1 residual
+        # channel model (seeded BER flips on one receiver's view) riding
+        # the EDCAN ledger.  HLP windows classify to the engine even
+        # with the noise evaluator available, so this entry pins the
+        # noisy engine path while the batch scan handles raw CAN.
+        "traffic-noisy-hlp-edcan": TrafficSpec(
+            name="traffic-noisy-hlp-edcan",
+            protocol="can",
+            hlp="edcan",
+            n_nodes=3,
+            windows=2,
+            window_bits=900,
+            load=0.4,
+            seed=23,
+            noise_ber=0.001,
+            noise_nodes=("n1",),
+        ),
+        # A deterministic burst under the RELCAN relay HLP: the burst
+        # forces error signalling mid-window, exercising the relay
+        # retransmission ledger across the splice.
+        "traffic-burst-relcan": TrafficSpec(
+            name="traffic-burst-relcan",
+            protocol="can",
+            hlp="relcan",
+            n_nodes=3,
+            windows=2,
+            window_bits=1000,
+            load=0.5,
+            seed=13,
+            bursts=(BurstSpec(node="n1", window=0, start=180, length=20),),
+        ),
     }
     return specs[name]
 
 
 #: Multi-frame (schema v2) golden entry names.
 GOLDEN_TRAFFIC_ENTRIES = (
+    "traffic-burst-relcan",
     "traffic-burst-storm-can",
     "traffic-busoff-recovery-majorcan",
     "traffic-contended-majorcan",
     "traffic-hlp-edcan",
     "traffic-hlp-totcan-contended",
+    "traffic-noisy-hlp-edcan",
 )
 
 

@@ -65,6 +65,7 @@ def outcome_records(
     outcome,
     spec: Optional[ScenarioSpec] = None,
     meta: Optional[Dict[str, Any]] = None,
+    compression: Optional[str] = None,
 ) -> Iterator[Dict[str, Any]]:
     """Yield the full recording of ``outcome``, line by line, in order.
 
@@ -72,10 +73,25 @@ def outcome_records(
     derived from the very engine that ran.  Supply it explicitly when
     the outcome was produced by :meth:`ScenarioSpec.run` and you want
     the original manifest round-tripped untouched.
+
+    ``compression="rle"`` run-length-encodes the per-bit records (see
+    :mod:`repro.tracestore.rle`) and stamps the scheme into the
+    manifest so readers expand transparently.
     """
+    from repro.tracestore.rle import COMPRESSIONS, compress_bit_records
+
+    if compression is not None and compression not in COMPRESSIONS:
+        raise TraceStoreError(
+            "unknown trace compression %r (supported: %s)"
+            % (compression, ", ".join(COMPRESSIONS))
+        )
     if spec is None:
         spec = spec_from_outcome(outcome)
-    yield spec.to_manifest(meta=meta)
+    manifest = spec.to_manifest(meta=meta)
+    if compression is not None:
+        manifest = dict(manifest)
+        manifest["compression"] = compression
+    yield manifest
     engine = outcome.engine
     if engine is None:
         raise TraceStoreError("outcome %r carries no engine" % outcome.name)
@@ -83,8 +99,13 @@ def outcome_records(
         "type": "bus",
         "levels": "".join(level.symbol for level in engine.bus.history),
     }
-    for record in outcome.trace.bits:
-        yield bit_record(record)
+    bits = (bit_record(record) for record in outcome.trace.bits)
+    if compression is not None:
+        for record in compress_bit_records(bits):
+            yield record
+    else:
+        for record in bits:
+            yield record
     for event in outcome.trace.events:
         yield event_record(event)
     yield verdict_record(outcome)
@@ -135,9 +156,14 @@ class TraceRecorder:
         outcome,
         spec: Optional[ScenarioSpec] = None,
         meta: Optional[Dict[str, Any]] = None,
+        compression: Optional[str] = None,
     ) -> int:
         """Record a completed scenario run (manifest through verdict)."""
-        return self.write_records(outcome_records(outcome, spec=spec, meta=meta))
+        return self.write_records(
+            outcome_records(
+                outcome, spec=spec, meta=meta, compression=compression
+            )
+        )
 
     def close(self) -> None:
         """Flush and, if the recorder opened the sink, close it."""
@@ -157,10 +183,13 @@ def record_outcome(
     outcome,
     spec: Optional[ScenarioSpec] = None,
     meta: Optional[Dict[str, Any]] = None,
+    compression: Optional[str] = None,
 ) -> str:
     """Record ``outcome`` to ``path``; returns the path written."""
     with TraceRecorder(path) as recorder:
-        recorder.write_outcome(outcome, spec=spec, meta=meta)
+        recorder.write_outcome(
+            outcome, spec=spec, meta=meta, compression=compression
+        )
     return str(path)
 
 

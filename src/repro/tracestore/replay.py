@@ -40,8 +40,18 @@ class RecordedTrace:
     def from_records(
         cls, records: List[Dict[str, Any]], source: str = "<memory>"
     ) -> "RecordedTrace":
-        """Partition a validated record stream into its sections."""
+        """Partition a validated record stream into its sections.
+
+        Compressed recordings (manifest ``compression="rle"``) are
+        expanded here, so every consumer downstream — diffing, replay,
+        the corpus checks — sees full per-bit records regardless of
+        how the file was written.
+        """
         require_valid(records, source=source)
+        if records and records[0].get("compression") is not None:
+            from repro.tracestore.rle import expand_records
+
+            records = expand_records(records)
         manifest = records[0]
         bus = ""
         bits: List[Dict[str, Any]] = []
@@ -297,11 +307,16 @@ class Replayer:
         spec = self.spec()
         outcome = spec.run()
         replayed = recorded_from_outcome(outcome, spec=spec)
-        # The recorded manifest may carry free-form metadata; replays
-        # compare scenario substance, so mirror it before diffing.
-        if "meta" in self.recorded.manifest:
-            replayed.manifest = dict(replayed.manifest)
-            replayed.manifest["meta"] = self.recorded.manifest["meta"]
+        # The recorded manifest may carry free-form metadata or a
+        # compression stamp; replays compare scenario substance (the
+        # replayed sections are already expanded), so mirror both
+        # before diffing.
+        for passthrough in ("meta", "compression"):
+            if passthrough in self.recorded.manifest:
+                replayed.manifest = dict(replayed.manifest)
+                replayed.manifest[passthrough] = self.recorded.manifest[
+                    passthrough
+                ]
         return ReplayResult(
             recorded=self.recorded,
             replayed=replayed,

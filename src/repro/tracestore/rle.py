@@ -1,0 +1,141 @@
+"""Run-length (carry-forward) compression of per-bit trace records.
+
+A ``bit`` line carries five observability fields — ``bus``, ``drives``,
+``views``, ``pos``, ``state`` — sampled every bus bit.  Most of them
+run for long stretches unchanged (a node's MAC state persists across a
+whole field; all views equal the bus level whenever no fault fires), so
+a recording with per-bit observability is dominated by repeated values.
+
+The ``"rle"`` scheme run-length-encodes each field's value stream by
+omission: the first ``bit`` record of a run is written in full, and
+every subsequent record keeps only ``type``, ``t`` and the fields whose
+value *changed* since the previous bit — an omitted field means "the
+run continues".  Expansion carries the previous value forward, so
+``expand_records(compress_records(records)) == records`` exactly (the
+round-trip property the tests pin down).
+
+Opt-in via ``compression="rle"`` on the recorder, which stamps the
+manifest; readers (:mod:`repro.tracestore.replay`, the schema
+validator) expand transparently, so a compressed recording replays and
+diffs byte-identically to its uncompressed twin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import TraceStoreError
+
+#: The manifest value naming this scheme.
+RLE = "rle"
+
+#: Compression schemes a manifest may name.
+COMPRESSIONS = (RLE,)
+
+#: The bit-record fields subject to carry-forward omission (everything
+#: except ``type`` and the strictly-increasing ``t``).
+_BIT_FIELDS = ("bus", "drives", "views", "pos", "state")
+
+
+def _frozen(value: Any) -> str:
+    """A hashable, order-insensitive identity for run comparison."""
+    return json.dumps(value, sort_keys=True)
+
+
+def compress_bit_records(
+    bits: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run-length-compress a stream of full ``bit`` records."""
+    compressed: List[Dict[str, Any]] = []
+    previous: Dict[str, str] = {}
+    for record in bits:
+        missing = [name for name in _BIT_FIELDS if name not in record]
+        if missing:
+            raise TraceStoreError(
+                "cannot compress bit record at t=%r: missing %s"
+                % (record.get("t"), ", ".join(missing))
+            )
+        line: Dict[str, Any] = {"type": "bit", "t": record["t"]}
+        for name in _BIT_FIELDS:
+            identity = _frozen(record[name])
+            if previous.get(name) != identity:
+                line[name] = record[name]
+                previous[name] = identity
+        compressed.append(line)
+    return compressed
+
+
+def expand_bit_records(
+    bits: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Invert :func:`compress_bit_records` by carrying values forward."""
+    expanded: List[Dict[str, Any]] = []
+    carried: Dict[str, Any] = {}
+    for record in bits:
+        line: Dict[str, Any] = {"type": "bit", "t": record.get("t")}
+        for name in _BIT_FIELDS:
+            if name in record:
+                carried[name] = record[name]
+            elif name not in carried:
+                raise TraceStoreError(
+                    "compressed bit record at t=%r omits %r before any "
+                    "run started" % (record.get("t"), name)
+                )
+            # Re-parse the carried identity so expanded records never
+            # alias each other's mutable field values.
+            line[name] = json.loads(_frozen(carried[name]))
+        expanded.append(line)
+    return expanded
+
+
+def compress_records(
+    records: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Compress the ``bit`` lines of a whole record stream in place.
+
+    Non-``bit`` lines pass through untouched; the caller is responsible
+    for stamping ``compression="rle"`` into the manifest.
+    """
+    out: List[Dict[str, Any]] = []
+    run: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "bit":
+            run.append(record)
+            continue
+        if run:
+            out.extend(compress_bit_records(run))
+            run = []
+        out.append(record)
+    if run:
+        out.extend(compress_bit_records(run))
+    return out
+
+
+def expand_records(
+    records: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Expand the ``bit`` lines of a compressed record stream."""
+    out: List[Dict[str, Any]] = []
+    run: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "bit":
+            run.append(record)
+            continue
+        if run:
+            out.extend(expand_bit_records(run))
+            run = []
+        out.append(record)
+    if run:
+        out.extend(expand_bit_records(run))
+    return out
+
+
+def require_known_compression(manifest: Dict[str, Any]) -> None:
+    """Reject manifests naming a compression this reader cannot expand."""
+    compression = manifest.get("compression")
+    if compression is not None and compression not in COMPRESSIONS:
+        raise TraceStoreError(
+            "unknown trace compression %r (supported: %s)"
+            % (compression, ", ".join(COMPRESSIONS))
+        )

@@ -130,6 +130,17 @@ def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
     if records[0].get("version") == TRAFFIC_SCHEMA_VERSION:
         return _validate_traffic(records)
 
+    if records[0].get("compression") is not None:
+        # Compressed bit lines omit carried-forward fields by design;
+        # validate the expanded stream the readers actually consume.
+        from repro.tracestore.rle import expand_records, require_known_compression
+
+        try:
+            require_known_compression(records[0])
+            records = expand_records(records)
+        except TraceStoreError as exc:
+            return [str(exc)]
+
     manifest = records[0]
     if manifest.get("type") != MANIFEST:
         _problem(problems, 1, "first line must be the manifest")

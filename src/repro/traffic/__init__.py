@@ -11,6 +11,7 @@ the tracestore replays and diffs like the golden corpus.
 from repro.traffic.batch import (
     clear_window_cache,
     run_window_batch,
+    run_window_noisy,
     warm_traffic,
     window_backend,
     window_cache_stats,
@@ -63,6 +64,7 @@ __all__ = [
     "run_traffic",
     "run_window",
     "run_window_batch",
+    "run_window_noisy",
     "splice_windows",
     "submission_record",
     "traffic_records",

@@ -78,19 +78,21 @@ _CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def window_backend(spec: TrafficSpec, window: int) -> str:
-    """Which backend evaluates ``window`` of ``spec`` under ``batch``.
+    """Which evaluator handles ``window`` of ``spec`` under ``batch``.
 
-    A window is batch-eligible exactly when nothing can perturb the
-    deterministic arbitration replay: no higher-level protocol (HLP
-    timers submit frames mid-run), no random view noise (irreducibly
-    per-bit), and no error burst targeting this window (TEC ramps and
-    bus-off only ever follow injected errors, so clean windows never
-    reach them).
+    ``"batch"`` is the closed-form replay: nothing can perturb the
+    deterministic arbitration timeline.  ``"noise"`` is the vectorised
+    noise dispatch (:func:`run_window_noisy`): random view noise and
+    scheduled bursts are scanned against the clean timeline and only
+    actually-flipped realisations touch the engine, resumed from the
+    fault point.  Only higher-level protocols stay on ``"engine"``
+    outright — HLP timers submit frames mid-run, so the clean timeline
+    the scan needs is not known in advance.
     """
-    if spec.hlp is not None or spec.noise_ber > 0.0:
+    if spec.hlp is not None:
         return "engine"
-    if spec.bursts_for_window(window):
-        return "engine"
+    if spec.noise_ber > 0.0 or spec.bursts_for_window(window):
+        return "noise"
     return "batch"
 
 
@@ -280,40 +282,53 @@ def _max_sampled_backlog(
     return deepest
 
 
-def _evaluate_window(
+class _FramePlan:
+    """One planned frame on the clean timeline (plan/render split)."""
+
+    __slots__ = ("t0", "t_end", "winner", "contenders")
+
+    def __init__(self, t0: int, t_end: int, winner: int, contenders: Tuple[int, ...]):
+        self.t0 = t0
+        self.t_end = t_end
+        self.winner = winner
+        self.contenders = contenders
+
+
+def _local_queues(
     spec: TrafficSpec, window: int, submissions: Tuple[Submission, ...]
-):
-    """Closed-form replay of one clean window (see the module docs)."""
-    from repro.can.frame import Frame
-    from repro.can.encoding import bus_image
-    from repro.can.identifiers import CanId
-    from repro.tracestore.recorder import event_record
-    from repro.traffic.run import WindowResult, _controller_config
-
-    config = _controller_config(spec)
-    eof_length = config.eof_length
-    names = spec.node_names
-    n_nodes = spec.n_nodes
+) -> List[List[Tuple[int, object, Submission]]]:
+    """Per-node (window-local arrival, frame, submission) queues."""
     offset = window * spec.window_bits
-    # Receivers of a standard CAN frame deliver at the last-but-one EOF
-    # bit; MinorCAN and MajorCAN postpone delivery to the last.
-    rx_lag = 1 if spec.protocol == "can" else 0
-
-    queues: List[List[Tuple[int, object, Submission]]] = [[] for _ in range(n_nodes)]
+    queues: List[List[Tuple[int, object, Submission]]] = [
+        [] for _ in range(spec.n_nodes)
+    ]
     for sub in submissions:
         queues[sub.node_index].append(
             (sub.time - offset, _submission_frame(spec, sub), sub)
         )
-    heads = [0] * n_nodes
-    attempts = [0] * n_nodes
-    node_events: List[List[Event]] = [[] for _ in range(n_nodes)]
-    deliveries: List[List[Tuple[str, int, int]]] = [[] for _ in range(n_nodes)]
-    completions: List[List[int]] = [[] for _ in range(n_nodes)]
-    segments: List[Tuple[int, str]] = []
+    return queues
 
+
+def _plan_frames(
+    spec: TrafficSpec,
+    queues: List[List[Tuple[int, object, Submission]]],
+    count: int,
+) -> Tuple[List[_FramePlan], int]:
+    """Lay the window's frames on the clean timeline; no rendering.
+
+    Returns the time-ordered frame plans and the window's total bit
+    length (active + drain), raising the engine's drain-parity
+    ``SimulationError`` when the clean timeline alone would overflow
+    the window's drain budget.
+    """
+    from repro.can.encoding import bus_image
+
+    eof_length = _eof_length(spec)
+    n_nodes = spec.n_nodes
+    heads = [0] * n_nodes
+    plans: List[_FramePlan] = []
     idle_from = 0
-    remaining = len(submissions)
-    last_end = None
+    remaining = count
     while remaining:
         a_min = min(
             queues[index][heads[index]][0]
@@ -321,16 +336,73 @@ def _evaluate_window(
             if heads[index] < len(queues[index])
         )
         t0 = max(idle_from, a_min + 1)
-        contenders = [
+        contenders = tuple(
             index
             for index in range(n_nodes)
             if heads[index] < len(queues[index])
             and queues[index][heads[index]][0] < t0
-        ]
+        )
         winner = contenders[0]
+        image = bus_image(queues[winner][heads[winner]][1], eof_length)
+        t_end = t0 + image.length - 1
+        plans.append(_FramePlan(t0, t_end, winner, contenders))
+        heads[winner] += 1
+        remaining -= 1
+        idle_from = t_end + _TURNAROUND
+    if not plans:
+        total_bits = spec.window_bits + _SETTLE_BITS
+    else:
+        total_bits = (
+            max(spec.window_bits, plans[-1].t_end + _TURNAROUND - 1) + _SETTLE_BITS
+        )
+    if total_bits - spec.window_bits > spec.max_window_bits:
+        raise SimulationError(
+            "bus did not become idle within %d bits" % spec.max_window_bits
+        )
+    return plans, total_bits
+
+
+def _render_frames(
+    spec: TrafficSpec,
+    queues: List[List[Tuple[int, object, Submission]]],
+    plans: List[_FramePlan],
+):
+    """Engine-exact surface of the planned frames.
+
+    Returns ``(node_events, deliveries, completions, segments,
+    attempts)`` for exactly the frames in ``plans`` — the whole window
+    on the clean path, the committed prefix on the noisy resume path.
+    ``attempts`` is the per-node retry counter left standing after the
+    last plan (losers of committed arbitration rounds carry it into
+    the resumed engine so their next TX_START numbers identically).
+    """
+    from repro.can.frame import Frame
+    from repro.can.encoding import bus_image
+    from repro.can.identifiers import CanId
+    from repro.traffic.run import _controller_config
+
+    config = _controller_config(spec)
+    eof_length = config.eof_length
+    names = spec.node_names
+    n_nodes = spec.n_nodes
+    # Receivers of a standard CAN frame deliver at the last-but-one EOF
+    # bit; MinorCAN and MajorCAN postpone delivery to the last.
+    rx_lag = 1 if spec.protocol == "can" else 0
+
+    heads = [0] * n_nodes
+    attempts = [0] * n_nodes
+    node_events: List[List[Event]] = [[] for _ in range(n_nodes)]
+    deliveries: List[List[Tuple[str, int, int]]] = [[] for _ in range(n_nodes)]
+    completions: List[List[int]] = [[] for _ in range(n_nodes)]
+    segments: List[Tuple[int, str]] = []
+
+    for plan in plans:
+        t0 = plan.t0
+        t_end = plan.t_end
+        winner = plan.winner
+        contenders = plan.contenders
         _, winner_frame, winner_sub = queues[winner][heads[winner]]
         image = bus_image(winner_frame, eof_length)
-        t_end = t0 + image.length - 1
 
         contending = set(contenders)
         for index in range(n_nodes):
@@ -416,21 +488,25 @@ def _evaluate_window(
         completions[winner].append(t_end)
         heads[winner] += 1
         attempts[winner] = 0
-        remaining -= 1
         segments.append((t0, image.symbols))
-        last_end = t_end
-        idle_from = t_end + _TURNAROUND
 
-    if last_end is None:
-        total_bits = spec.window_bits + _SETTLE_BITS
-    else:
-        total_bits = (
-            max(spec.window_bits, last_end + _TURNAROUND - 1) + _SETTLE_BITS
-        )
-    if total_bits - spec.window_bits > spec.max_window_bits:
-        raise SimulationError(
-            "bus did not become idle within %d bits" % spec.max_window_bits
-        )
+    return node_events, deliveries, completions, segments, attempts
+
+
+def _evaluate_window(
+    spec: TrafficSpec, window: int, submissions: Tuple[Submission, ...]
+):
+    """Closed-form replay of one clean window (see the module docs)."""
+    from repro.tracestore.recorder import event_record
+    from repro.traffic.run import WindowResult
+
+    names = spec.node_names
+    n_nodes = spec.n_nodes
+    queues = _local_queues(spec, window, submissions)
+    plans, total_bits = _plan_frames(spec, queues, len(submissions))
+    node_events, deliveries, completions, segments, _ = _render_frames(
+        spec, queues, plans
+    )
 
     symbols = ["r"] * total_bits
     for start, frame_symbols in segments:
@@ -464,6 +540,7 @@ def _evaluate_window(
         max_backlog=_max_sampled_backlog(arrivals, completions, total_bits),
         busy_bits=_busy_symbols(bus),
         errors_injected=0,
+        backend="batch",
     )
 
 
@@ -492,3 +569,286 @@ def run_window_batch(
         _WINDOW_CACHE.pop(next(iter(_WINDOW_CACHE)))
     _WINDOW_CACHE[key] = result
     return result
+
+
+def _noise_draw_width(spec: TrafficSpec) -> int:
+    """Uniform draws the noise injector consumes per engine tick.
+
+    ``RandomViewErrorInjector`` draws once per ``perturb_view`` call —
+    one per node per tick in engine node order — except that nodes
+    outside ``only_nodes`` return early *before* the draw.
+    """
+    if spec.noise_ber <= 0.0:
+        return 0
+    if spec.noise_nodes is None:
+        return spec.n_nodes
+    allowed = set(spec.noise_nodes)
+    return sum(1 for name in spec.node_names if name in allowed)
+
+
+def run_window_noisy(
+    spec: TrafficSpec,
+    window: int,
+    submissions: Tuple[Submission, ...],
+    noise_seed,
+):
+    """Vectorised dispatch of one noisy/burst window (ISSUE 10).
+
+    Draws the window's whole noise mask in the engine's stream order
+    (one uniform per noise-eligible node per tick over the fault-free
+    timeline) and thresholds it against the BER.  A zero-fault window
+    *is* the clean window, so it resolves through the memoised batch
+    evaluator with no simulation; a window whose mask fires — or whose
+    scheduled burst lands inside the clean timeline — commits the
+    clean frames that provably finish before the first fault and
+    re-enters the engine from the cut point with the generator
+    advanced to the same stream position, so error cascades and the
+    shifted downstream schedule are exactly the engine's.  Falls back
+    to a plain engine run when nothing can be committed (fault at the
+    window start) or when even the clean timeline overflows the drain
+    budget (only the engine reproduces the exact overflow surface).
+    """
+    from repro.analysis.noisebatch import first_flip, generator_state, restore_state
+    from repro.traffic.run import _run_window_engine
+
+    try:
+        clean = run_window_batch(spec, window, submissions)
+    except SimulationError:
+        return _run_window_engine(spec, window, submissions, noise_seed)
+    draw_width = _noise_draw_width(spec)
+    rng = None
+    fault_tick = None
+    if draw_width:
+        from repro.parallel.seeds import rng_from
+
+        rng = rng_from(noise_seed)
+        state = generator_state(rng)
+        flip = first_flip(rng, clean.bits * draw_width, spec.noise_ber)
+        restore_state(rng, state)
+        if flip is not None:
+            fault_tick = flip // draw_width
+    for burst in spec.bursts_for_window(window):
+        if burst.start < clean.bits and (
+            fault_tick is None or burst.start < fault_tick
+        ):
+            fault_tick = burst.start
+    if fault_tick is None:
+        return clean
+    return _resume_window(
+        spec, window, submissions, noise_seed, rng, draw_width, fault_tick
+    )
+
+
+def _resume_window(
+    spec: TrafficSpec,
+    window: int,
+    submissions: Tuple[Submission, ...],
+    noise_seed,
+    rng,
+    draw_width: int,
+    fault_tick: int,
+):
+    """Engine run of a faulted window, resumed from the last safe cut.
+
+    The clean timeline is committed frame by frame while a frame's
+    whole extent *including its three intermission bits* ends strictly
+    before the first fault tick — so the frame carrying the fault (in
+    body or intermission) is never committed, no frame is mid-flight
+    at the cut, and every committed tick is provably fault-free.  The
+    cut ``s`` is the latest tick with those guarantees: the first
+    fault tick itself, clamped below the next uncommitted frame's SOF.
+    A fresh engine then replays global ticks ``s..`` at local ``0..``
+    with (a) the generator fast-forwarded ``s * draw_width`` draws, (b)
+    uncommitted submissions re-queued at ``max(0, arrival - s)``, (c)
+    carried arbitration attempt counters restored, and (d) bursts
+    shifted by ``s``; the surfaces are spliced (prefix events strictly
+    precede tick ``s``, so concatenation is the engine's heap merge).
+    """
+    from repro.analysis.noisebatch import advance
+    from repro.can.events import EventKind
+    from repro.faults.scenarios import make_controller
+    from repro.simulation.engine import SimulationEngine
+    from repro.tracestore.recorder import event_record
+    from repro.traffic.run import (
+        WindowResult,
+        _controller_config,
+        _decode_wire_key,
+        _run_window_engine,
+    )
+
+    queues = _local_queues(spec, window, submissions)
+    plans, _ = _plan_frames(spec, queues, len(submissions))
+    committed: List[_FramePlan] = []
+    for plan in plans:
+        if plan.t_end + _TURNAROUND - 1 < fault_tick:
+            committed.append(plan)
+        else:
+            break
+    if len(committed) < len(plans):
+        cut = min(fault_tick, plans[len(committed)].t0 - 1)
+    else:
+        cut = fault_tick
+    if cut <= 0:
+        # Nothing commits: the resume would be a full engine run, so
+        # run (and account) it as one.
+        return _run_window_engine(spec, window, submissions, noise_seed)
+
+    names = spec.node_names
+    n_nodes = spec.n_nodes
+    node_events, deliveries, completions, segments, attempts_carry = _render_frames(
+        spec, queues, committed
+    )
+    heads = [0] * n_nodes
+    for plan in committed:
+        heads[plan.winner] += 1
+
+    # Uncommitted submissions re-enter the resumed engine at shifted
+    # times; a stable (time, node) sort preserves each node's queue
+    # order, which is all the per-node controllers can observe.
+    carried: List[Tuple[int, int, object]] = []
+    for index in range(n_nodes):
+        for arrival, frame, _ in queues[index][heads[index]:]:
+            carried.append((max(0, arrival - cut), index, frame))
+    carried.sort(key=lambda item: (item[0], item[1]))
+
+    injectors: List[object] = []
+    if rng is not None:
+        from repro.faults.bit_errors import RandomViewErrorInjector
+
+        advance(rng, cut * draw_width)
+        injectors.append(
+            RandomViewErrorInjector(
+                spec.noise_ber, seed=rng, only_nodes=spec.noise_nodes
+            )
+        )
+    for burst in spec.bursts_for_window(window):
+        from repro.faults.bit_errors import BurstViewErrorInjector
+
+        injectors.append(
+            BurstViewErrorInjector(burst.node, burst.start - cut, burst.length)
+        )
+    if not injectors:
+        injector = None
+    elif len(injectors) == 1:
+        injector = injectors[0]
+    else:
+        from repro.faults.injector import CompositeInjector
+
+        injector = CompositeInjector(list(injectors))
+
+    config = _controller_config(spec)
+    controllers = [
+        make_controller(spec.protocol, name, m=spec.m, config=config)
+        for name in names
+    ]
+    engine = SimulationEngine(controllers, injector=injector, record_bits=False)
+
+    cursor = [0]
+
+    def _submit(now: int) -> None:
+        index = cursor[0]
+        while index < len(carried) and carried[index][0] == now:
+            _, node_index, frame = carried[index]
+            controllers[node_index].submit(frame)
+            index += 1
+        cursor[0] = index
+        if now == 0:
+            # Losers of committed arbitration rounds retry with their
+            # attempt counters intact, so resumed TX_START/TX_SUCCESS
+            # events number exactly like the engine's.
+            for node_index, carry in enumerate(attempts_carry):
+                if carry and controllers[node_index].tx_queue:
+                    controllers[node_index].tx_queue[0].attempts = carry
+
+    backlog = [0]
+
+    def _sample_backlog(now: int) -> None:
+        if (now + cut) & (_BACKLOG_STRIDE - 1) == 0:
+            depth = max(c.pending_transmissions for c in controllers)
+            if depth > backlog[0]:
+                backlog[0] = depth
+
+    engine.add_tick_hook(_submit)
+    engine.add_tick_hook(_sample_backlog)
+
+    try:
+        if cut < spec.window_bits:
+            engine.run(spec.window_bits - cut)
+            drain_budget = spec.max_window_bits
+        else:
+            # The committed prefix already spent part of the drain
+            # budget; the resumed engine gets exactly the remainder.
+            drain_budget = spec.max_window_bits - (cut - spec.window_bits)
+        engine.run_until_idle(max_bits=drain_budget, settle_bits=_SETTLE_BITS)
+    except SimulationError as exc:
+        if str(exc).startswith("bus did not become idle"):
+            raise SimulationError(
+                "bus did not become idle within %d bits" % spec.max_window_bits
+            )
+        raise
+
+    trace = engine.collect_events()
+    prefix_events = list(heapq.merge(*node_events, key=lambda event: event.time))
+    event_counts: Dict[str, int] = {}
+    for event in prefix_events:
+        event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
+    for event in trace.events:
+        event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
+    events: Optional[Tuple[dict, ...]] = None
+    if spec.record_events:
+        records = [event_record(event) for event in prefix_events]
+        for event in trace.events:
+            record = event_record(event)
+            record["t"] += cut
+            records.append(record)
+        events = tuple(records)
+
+    merged_deliveries: Dict[str, Tuple[Tuple[str, int, int], ...]] = {}
+    for index, name in enumerate(names):
+        rows = list(deliveries[index])
+        for delivery in controllers[index].deliveries:
+            key = _decode_wire_key(delivery.frame, n_nodes)
+            if key is not None:
+                rows.append((key[0], key[1], delivery.time + cut))
+        merged_deliveries[name] = tuple(rows)
+
+    prefix_symbols = ["r"] * cut
+    for start, frame_symbols in segments:
+        prefix_symbols[start : start + len(frame_symbols)] = frame_symbols
+    bus = "".join(prefix_symbols) + "".join(
+        level.symbol for level in engine.bus.history
+    )
+
+    ever_offline = sorted(
+        {
+            event.node
+            for event in trace.events
+            if event.kind
+            in (EventKind.BUS_OFF, EventKind.CRASHED, EventKind.DISCONNECTED)
+        }
+        | {c.name for c in controllers if c.offline}
+    )
+    # Prefix depth only: arrivals at or after the cut are re-submitted
+    # into the resumed engine (at ``max(0, arrival - cut)``) and show
+    # up through its own sampler, so the closed-form walk stops at the
+    # cut — it must never see ticks beyond its ``total_bits`` horizon.
+    arrivals = [
+        [entry[0] for entry in node_queue if entry[0] < cut] for node_queue in queues
+    ]
+
+    return WindowResult(
+        window=window,
+        bits=cut + engine.time,
+        bus=bus,
+        deliveries=merged_deliveries,
+        event_counts=event_counts,
+        events=events,
+        ever_offline=tuple(ever_offline),
+        offline_at_end=tuple(c.name for c in controllers if c.offline),
+        max_backlog=max(
+            _max_sampled_backlog(arrivals, completions, cut), backlog[0]
+        ),
+        busy_bits=_busy_symbols(bus),
+        errors_injected=sum(getattr(part, "injected", 0) for part in injectors),
+        backend="resume",
+    )

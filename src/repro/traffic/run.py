@@ -57,6 +57,11 @@ class WindowResult:
     max_backlog: int
     busy_bits: int
     errors_injected: int
+    #: Which evaluator produced this window: ``"engine"`` (per-bit run),
+    #: ``"batch"`` (closed-form clean replay, incl. zero-flip noisy
+    #: windows) or ``"resume"`` (clean prefix + engine from the fault
+    #: point).  Aggregated into :attr:`TrafficOutcome.backend_stats`.
+    backend: str = "engine"
 
 
 @dataclass(frozen=True)
@@ -112,10 +117,10 @@ class TrafficOutcome:
     stats: TrafficStats
     bus: str
     events: Optional[List[dict]]
-    #: Windows per evaluation backend (``{"batch": ..., "engine": ...}``)
-    #: when the run was asked for the batch backend; None on the engine
-    #: backend.  Same counter shape as the analytic workloads'
-    #: ``repro.analysis.batchreplay`` stats.
+    #: Windows per evaluation backend (``{"batch": ..., "resume": ...,
+    #: "engine": ...}``) when the run was asked for the batch backend;
+    #: None on the engine backend.  Same counter shape as the analytic
+    #: workloads' ``repro.analysis.batchreplay`` stats.
     backend_stats: Optional[Dict[str, int]] = None
 
     @property
@@ -238,15 +243,32 @@ def run_window(
     carrying global nominal times); ``noise_seed`` the spawned child
     seed for this window's noise injector (None when noise is off).
     ``backend="batch"`` routes fault-free windows through the
-    frame-granular evaluator (:mod:`repro.traffic.batch`); windows that
-    carry noise, bursts or an HLP always run on the engine.
+    frame-granular evaluator and noisy/burst windows through the
+    vectorised noise dispatch (:mod:`repro.traffic.batch`); only HLP
+    windows always run on the engine.
     """
     if backend == "batch":
-        from repro.traffic.batch import run_window_batch, window_backend
+        from repro.traffic.batch import (
+            run_window_batch,
+            run_window_noisy,
+            window_backend,
+        )
 
-        if window_backend(spec, window) == "batch":
+        chosen = window_backend(spec, window)
+        if chosen == "batch":
             return run_window_batch(spec, window, submissions)
+        if chosen == "noise":
+            return run_window_noisy(spec, window, submissions, noise_seed)
+    return _run_window_engine(spec, window, submissions, noise_seed)
 
+
+def _run_window_engine(
+    spec: TrafficSpec,
+    window: int,
+    submissions: Tuple[Submission, ...],
+    noise_seed=None,
+) -> WindowResult:
+    """The per-bit engine evaluation of one window (see ``run_window``)."""
     from repro.faults.scenarios import make_controller
     from repro.simulation.engine import SimulationEngine
     from repro.tracestore.recorder import event_record
@@ -389,6 +411,7 @@ def run_window(
         max_backlog=backlog[0],
         busy_bits=_busy_bits(engine.bus.history),
         errors_injected=injected,
+        backend="engine",
     )
 
 
@@ -540,9 +563,11 @@ def run_traffic(
 
     ``backend="batch"`` evaluates fault-free windows with the
     frame-granular replay of :mod:`repro.traffic.batch` — same ledger,
-    stats and events, no per-bit engine — and falls back to the engine
-    per window wherever noise, bursts or an HLP make the window
-    non-deterministic; the split is reported in
+    stats and events, no per-bit engine — and noisy/burst windows with
+    the vectorised noise dispatch (zero-flip realisations resolve
+    through the clean replay, flipped ones resume the engine from the
+    fault point); only HLP windows fall back to the engine outright.
+    The per-window provenance is reported in
     :attr:`TrafficOutcome.backend_stats`.
     """
     from repro.errors import ConfigurationError
@@ -569,13 +594,14 @@ def run_traffic(
         )
         for window in range(spec.windows)
     ]
+    results = run_tasks(tasks, jobs=jobs)
     backend_stats: Optional[Dict[str, int]] = None
     if backend == "batch":
-        from repro.traffic.batch import window_backend
-
+        # Measured provenance, not a prediction: noisy windows resolve
+        # to "batch" (zero-flip), "resume" (fault-point re-entry) or
+        # "engine" (nothing committable) only once their masks are
+        # drawn.
         backend_stats = {}
-        for window in range(spec.windows):
-            chosen = window_backend(spec, window)
-            backend_stats[chosen] = backend_stats.get(chosen, 0) + 1
-    results = run_tasks(tasks, jobs=jobs)
+        for result in results:
+            backend_stats[result.backend] = backend_stats.get(result.backend, 0) + 1
     return splice_windows(spec, schedule, results, backend_stats=backend_stats)

@@ -552,7 +552,13 @@ class TestStatsHelpers:
 
         line = format_stats({"batch": 10, "scalar": 0, "header": 4, "engine": 2})
         assert line == (
-            "backend stats: batch=10 scalar=0 header=4 engine=2 (total 16)"
+            "backend stats: batch=10 scalar=0 header=4 resume=0 engine=2 "
+            "(total 16)"
+        )
+        line = format_stats({"batch": 2, "resume": 1})
+        assert line == (
+            "backend stats: batch=2 scalar=0 header=0 resume=1 engine=0 "
+            "(total 3)"
         )
 
     def test_engine_share_notice_thresholds(self):

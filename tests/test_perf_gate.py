@@ -105,8 +105,8 @@ class TestMain:
         assert perf_gate.main([baseline, report, "--tolerance", "0.20"]) == 0
 
     def test_committed_baseline_is_gateable(self):
-        """The repo's own BENCH_PR9.json carries every gated metric."""
-        bench = os.path.join(os.path.dirname(GATE_PATH), "..", "BENCH_PR9.json")
+        """The repo's own BENCH_PR10.json carries every gated metric."""
+        bench = os.path.join(os.path.dirname(GATE_PATH), "..", "BENCH_PR10.json")
         with open(bench) as handle:
             baseline = json.load(handle)
         for metric in perf_gate.GATED_METRICS:

@@ -147,7 +147,7 @@ class TestFallbackAccounting:
         outcome = run_traffic(_SEEDED_SPECS[1], jobs=1)
         assert outcome.backend_stats is None
 
-    def test_burst_window_falls_back_per_window(self):
+    def test_burst_window_resumes_from_the_cut(self):
         spec = TrafficSpec(
             name="burst-split",
             protocol="majorcan",
@@ -160,29 +160,40 @@ class TestFallbackAccounting:
             bursts=(BurstSpec(node="n1", window=1, start=120, length=6),),
         )
         assert window_backend(spec, 0) == "batch"
-        assert window_backend(spec, 1) == "engine"
+        assert window_backend(spec, 1) == "noise"
         assert window_backend(spec, 2) == "batch"
         clear_window_cache()
         batch = run_traffic(spec, jobs=1, backend="batch")
-        assert batch.backend_stats == {"batch": 2, "engine": 1}
+        assert batch.backend_stats == {"batch": 2, "resume": 1}
         assert _lines(batch) == _lines(run_traffic(spec, jobs=1))
 
-    def test_noise_and_hlp_classify_every_window_to_engine(self):
-        noisy = TrafficSpec(
+    def test_noisy_windows_route_to_the_noise_evaluator(self):
+        spec = TrafficSpec(
             name="noisy", n_nodes=3, windows=2, window_bits=600,
             load=0.5, seed=2, noise_ber=0.001,
         )
-        hlp = TrafficSpec(
+        assert all(
+            window_backend(spec, window) == "noise"
+            for window in range(spec.windows)
+        )
+        clear_window_cache()
+        outcome = run_traffic(spec, jobs=1, backend="batch")
+        assert outcome.backend_stats is not None
+        assert set(outcome.backend_stats) <= {"batch", "resume", "engine"}
+        assert sum(outcome.backend_stats.values()) == spec.windows
+        assert _lines(outcome) == _lines(run_traffic(spec, jobs=1))
+
+    def test_hlp_windows_still_classify_to_engine(self):
+        spec = TrafficSpec(
             name="hlp", n_nodes=3, windows=2, window_bits=900,
             load=0.3, seed=2, hlp="edcan",
         )
-        for spec in (noisy, hlp):
-            assert all(
-                window_backend(spec, window) == "engine"
-                for window in range(spec.windows)
-            )
-            outcome = run_traffic(spec, jobs=1, backend="batch")
-            assert outcome.backend_stats == {"engine": spec.windows}
+        assert all(
+            window_backend(spec, window) == "engine"
+            for window in range(spec.windows)
+        )
+        outcome = run_traffic(spec, jobs=1, backend="batch")
+        assert outcome.backend_stats == {"engine": spec.windows}
 
 
 class TestWindowCache:

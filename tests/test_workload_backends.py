@@ -68,9 +68,12 @@ class TestCampaignBackend:
         outcome = run_campaign(spec, jobs=jobs, backend=backend)
         assert campaign_surface(outcome) == campaign_surface(reference)
 
-    def test_noisy_campaign_degrades_to_engine_rounds(self):
-        """View noise needs per-bit engine rounds; the batch request
-        stays exact and accounts every round as an engine run."""
+    def test_noisy_campaign_scans_rounds_and_resumes_flipped_ones(self):
+        """A noisy round is classified by a vectorised scan of its
+        noise-mask prefix: zero-flip rounds resolve through the tail
+        replay, flipped rounds rerun on the engine from the rewound
+        generator — same rows either way, engine count only for the
+        rounds whose mask actually fired."""
         spec = CampaignSpec(
             protocol="can",
             rounds=6,
@@ -81,7 +84,26 @@ class TestCampaignBackend:
         engine = run_campaign(spec, backend="engine")
         batch = run_campaign(spec, backend="batch")
         assert campaign_surface(batch) == campaign_surface(engine)
-        assert batch.backend_stats == {"engine": 6}
+        classified = sum(
+            batch.backend_stats.get(key, 0)
+            for key in ("batch", "scalar", "header", "engine")
+        )
+        assert classified == 6
+        assert batch.backend_stats.get("engine", 0) < 6
+
+    def test_noisy_campaign_low_ber_rarely_needs_the_engine(self):
+        spec = CampaignSpec(
+            protocol="majorcan",
+            m=5,
+            rounds=20,
+            attack_probability=0.4,
+            noise_ber_star=1e-5,
+            seed=12,
+        )
+        engine = run_campaign(spec, backend="engine")
+        batch = run_campaign(spec, jobs=2, backend="batch")
+        assert campaign_surface(batch) == campaign_surface(engine)
+        assert batch.backend_stats.get("engine", 0) <= 2
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):

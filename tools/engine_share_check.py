@@ -13,7 +13,14 @@ header-class or scalar micro-sim routes.  CI runs this next to the
 golden-trace corpus replay: the corpus pins the engine's behaviour,
 this pins the batch layer's *coverage* of that behaviour.
 
-Exit status 0 when every workload is under the threshold, 1 otherwise.
+The PR 10 bar extends the same discipline to *noisy* runs: with random
+per-bit noise at realistic BERs, the vectorised flip scan must resolve
+most windows/rounds without a full per-bit engine run — under 10% may
+fall back to one.  Resumed windows (scan finds a flip, engine re-enters
+from the cut) are the designed noisy path and do not count against the
+bound; full fallbacks do.
+
+Exit status 0 when every workload is under its threshold, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -29,8 +36,16 @@ if _SRC not in sys.path:
     except ImportError:
         sys.path.insert(0, _SRC)
 
-#: Maximum tolerated fraction of engine-classified work items.
+#: Maximum tolerated fraction of engine-classified work items
+#: (noise-free workloads).
 THRESHOLD = 0.01
+
+#: Maximum tolerated full-engine fraction on noisy workloads.  The flip
+#: scan classifies zero-flip work closed-form and *resumes* flipped
+#: windows from the cut; only windows/rounds that re-run entirely on
+#: the per-bit engine count against this bound (mirrors
+#: ``repro.analysis.batchreplay.ENGINE_SHARE_NOTICE``).
+NOISY_THRESHOLD = 0.10
 
 
 def check_verification() -> dict:
@@ -99,23 +114,65 @@ def check_reliability() -> dict:
     return stats
 
 
+def check_noisy_traffic() -> dict:
+    """A contended noisy traffic run: flip scan + resume, rare engine."""
+    from repro.traffic import TrafficSpec, clear_window_cache, run_traffic
+
+    clear_window_cache()
+    outcome = run_traffic(
+        TrafficSpec(
+            name="share-noisy-traffic",
+            protocol="majorcan",
+            m=3,
+            n_nodes=4,
+            windows=40,
+            window_bits=900,
+            load=0.55,
+            seed=11,
+            noise_ber=2e-5,
+        ),
+        backend="batch",
+    )
+    return dict(outcome.backend_stats or {})
+
+
+def check_noisy_campaign() -> dict:
+    """A noisy fault-injection campaign on the batch backend."""
+    from repro.faults.campaigns import CampaignSpec, run_campaign
+
+    outcome = run_campaign(
+        CampaignSpec(
+            protocol="majorcan",
+            n_nodes=4,
+            rounds=60,
+            attack_probability=0.4,
+            noise_ber_star=2e-5,
+            seed=17,
+        ),
+        backend="batch",
+    )
+    return dict(outcome.backend_stats or {})
+
+
 def main() -> int:
     failures = 0
-    for name, run in (
-        ("verification", check_verification),
-        ("campaign", check_campaign),
-        ("reliability", check_reliability),
+    for name, run, threshold in (
+        ("verification", check_verification, THRESHOLD),
+        ("campaign", check_campaign, THRESHOLD),
+        ("reliability", check_reliability, THRESHOLD),
+        ("noisy-traffic", check_noisy_traffic, NOISY_THRESHOLD),
+        ("noisy-campaign", check_noisy_campaign, NOISY_THRESHOLD),
     ):
         stats = run()
         total = sum(stats.values())
         share = stats.get("engine", 0) / total if total else 0.0
-        verdict = "ok" if share < THRESHOLD else "FAIL"
+        verdict = "ok" if share < threshold else "FAIL"
         print(
-            "engine-share: %-12s %6d items, engine %d (%.2f%% < %.0f%%)  %s"
+            "engine-share: %-14s %6d items, engine %d (%.2f%% < %.0f%%)  %s"
             % (name, total, stats.get("engine", 0), share * 100.0,
-               THRESHOLD * 100.0, verdict)
+               threshold * 100.0, verdict)
         )
-        if share >= THRESHOLD:
+        if share >= threshold:
             failures += 1
     if not failures:
         print("engine-share: all batch workloads under the threshold")

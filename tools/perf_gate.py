@@ -2,7 +2,7 @@
 """Per-PR performance regression gate.
 
 Compares a freshly measured perf-harness report (typically CI's
-``--smoke`` run) against the committed baseline (``BENCH_PR9.json``)
+``--smoke`` run) against the committed baseline (``BENCH_PR10.json``)
 and fails when a hot-loop metric regressed beyond the tolerance.
 
 Only *ratio* metrics are compared — speedups of one code path over
@@ -60,7 +60,14 @@ import sys
 #: * ``traffic_batch.speedup``        — frame-granular batch windows
 #:   vs the per-bit engine on one clean contended traffic profile
 #:   with cold window caches (serialized records, ledger, stats and
-#:   AB1–AB5 asserted identical in-harness; engine share must be 0).
+#:   AB1–AB5 asserted identical in-harness; engine share must be 0);
+#: * ``noise_batch.traffic.speedup``  — vectorised first-flip scan +
+#:   resume vs the per-bit engine on one noisy contended traffic
+#:   profile with cold caches (serialized records asserted identical
+#:   in-harness; full-engine share must stay under 10%);
+#: * ``noise_batch.campaign.speedup`` — flip-scanned noisy campaign
+#:   rounds vs the engine on one seeded schedule (campaign surface
+#:   asserted identical in-harness).
 GATED_METRICS = (
     "engine.fast_path_speedup",
     "controller.fast_path_speedup",
@@ -73,6 +80,8 @@ GATED_METRICS = (
     "traffic_steady_state.speedup",
     "traffic_batch.speedup",
     "sweep.speedup",
+    "noise_batch.traffic.speedup",
+    "noise_batch.campaign.speedup",
 )
 
 #: A measured metric below ``baseline * (1 - TOLERANCE)`` fails the

@@ -14,10 +14,13 @@ AB1–AB5 property results.  Any mismatch means the parallel path leaked
 state into the simulation (or the batch evaluator drifted from the
 engine) and fails the build.
 
-Runs two specs so both traffic regimes are covered: a clean contended
-MajorCAN run (all windows batch-eligible) and a noisy CAN run whose
-per-window noise streams come from the spawned seed tree (every window
-falls back to the engine, exercising the fallback accounting).
+Runs three specs so every traffic regime is covered: a clean contended
+MajorCAN run (all windows batch-eligible), a noisy CAN run with a
+deterministic burst whose per-window noise streams come from the
+spawned seed tree (windows scan for the first flip on the vectorised
+noise evaluator and *resume* from the cut — or classify closed-form
+when the scan comes back clean), and a low-BER MajorCAN run where most
+windows scan clean and the occasional flipped one resumes.
 
 Usage::
 
@@ -64,6 +67,17 @@ def _specs():
             seed=29,
             noise_ber=0.002,
             bursts=(BurstSpec(node="n1", window=1, start=200, length=16),),
+        ),
+        TrafficSpec(
+            name="invariance-noisy-low-ber",
+            protocol="majorcan",
+            m=3,
+            n_nodes=4,
+            windows=4,
+            window_bits=900,
+            load=0.55,
+            seed=11,
+            noise_ber=2e-5,
         ),
     )
 
